@@ -1,0 +1,342 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§7), plus micro-benchmarks of the substrate.
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics report the paper's headline numbers:
+//
+//	BenchmarkTable1     slow-down geomeans per configuration column
+//	BenchmarkTable1FalsePositives  total FP count (paper: 84 across 9 benchmarks)
+//	BenchmarkTable2     detection rates (paper: RedFat 484/484, Memcheck 0/484)
+//	BenchmarkFigure8    Kraken write-protection geomean (paper: ≈1.28×)
+//	BenchmarkAblation*  patch-tactic and batch-width ablations
+//
+// The workload scale is reduced so a full -bench sweep completes in
+// minutes; cmd/rfbench runs the same experiments at full scale.
+package redfat_test
+
+import (
+	"testing"
+
+	"redfat"
+	"redfat/internal/bench"
+	"redfat/internal/juliet"
+	"redfat/internal/kraken"
+	"redfat/internal/workload"
+)
+
+const table1Scale = 0.02
+
+// BenchmarkTable1 regenerates paper Table 1: the full SPEC CPU2006-like
+// suite through every instrumentation configuration plus Memcheck.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1(table1Scale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		get := func(f func(*bench.Table1Row) float64) float64 {
+			xs := make([]float64, len(rows))
+			for j, r := range rows {
+				xs[j] = f(r)
+			}
+			return bench.GeoMean(xs)
+		}
+		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.Unopt }), "unopt-x")
+		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.Elim }), "elim-x")
+		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.Batch }), "batch-x")
+		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.Merge }), "merge-x")
+		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.NoSize }), "nosize-x")
+		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.NoReads }), "noreads-x")
+		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.Memcheck }), "memcheck-x")
+		cov := 0.0
+		for _, r := range rows {
+			cov += r.Coverage
+		}
+		b.ReportMetric(100*cov/float64(len(rows)), "coverage-%")
+	}
+}
+
+// BenchmarkTable1PerBenchmark runs each SPEC-like benchmark's fully
+// optimized hardened configuration as its own sub-benchmark.
+func BenchmarkTable1PerBenchmark(b *testing.B) {
+	for _, bm := range workload.All() {
+		bm := bm
+		b.Run(bm.Name, func(b *testing.B) {
+			cp := *bm
+			cp.RefScale = 2000
+			cp.TrainScale = 400
+			bin, err := cp.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			hard, _, err := redfat.Harden(bin, redfat.Defaults())
+			if err != nil {
+				b.Fatal(err)
+			}
+			input := cp.RefInput()
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := redfat.Run(hard, redfat.RunOptions{Input: input, Hardened: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "guest-cycles")
+		})
+	}
+}
+
+// BenchmarkTable1DetectedErrors reproduces the §7.1 "Detected errors"
+// result: the planted calculix and wrf out-of-bounds reads.
+func BenchmarkTable1DetectedErrors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, name := range []string{"calculix", "wrf"} {
+			row, err := bench.Table1Bench(workload.ByName(name), table1Scale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += row.DetectedErrors
+		}
+		if i == 0 {
+			b.ReportMetric(float64(total), "detected-errors")
+		}
+	}
+}
+
+// BenchmarkTable1FalsePositives reproduces the §7.1 false-positive counts
+// under full checking without the allow-list (paper: 85 sites across 9
+// benchmarks: perlbench 1, gcc 14, gobmk 1, povray 1, bwaves 5,
+// gromacs 3, GemsFDTD 32, wrf 26, calculix 2).
+func BenchmarkTable1FalsePositives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.FalsePositives(table1Scale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		total := 0
+		for _, r := range rows {
+			total += r.Count
+		}
+		b.ReportMetric(float64(total), "false-positives")
+	}
+}
+
+// BenchmarkTable2 regenerates paper Table 2: the four CVE models plus the
+// 480-case Juliet CWE-122 suite under RedFat and Memcheck.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		var rf, mc, total int
+		for _, r := range rows {
+			rf += r.RedFat
+			mc += r.Memcheck
+			total += r.Total
+		}
+		b.ReportMetric(float64(rf)/float64(total)*100, "redfat-detect-%")
+		b.ReportMetric(float64(mc)/float64(total)*100, "memcheck-detect-%")
+	}
+}
+
+// BenchmarkTable2Juliet measures a single Juliet case end to end
+// (build + harden + both runs).
+func BenchmarkTable2Juliet(b *testing.B) {
+	cases := juliet.JulietCases()
+	for i := 0; i < b.N; i++ {
+		c := cases[i%len(cases)]
+		bin, err := c.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		hard, _, err := redfat.Harden(bin, redfat.Defaults())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := redfat.Run(hard, redfat.RunOptions{
+			Input: juliet.Trigger(c), Hardened: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates paper Figure 8: Chrome-scale write-only
+// hardening measured with the 14 Kraken sub-benchmarks.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, gm, err := bench.Figure8(2048, 400, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(gm*100, "kraken-geomean-%")
+		}
+	}
+}
+
+// BenchmarkAblationTactics reports the patch-tactic mix across the whole
+// binary population (the rewriting-substrate ablation from DESIGN.md).
+func BenchmarkAblationTactics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Tactics(1024, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		var t1, t2, t3 int
+		for _, r := range rows {
+			t1 += r.T1
+			t2 += r.T2
+			t3 += r.T3
+		}
+		total := float64(t1 + t2 + t3)
+		b.ReportMetric(float64(t1)/total*100, "T1-%")
+		b.ReportMetric(float64(t2)/total*100, "T2-%")
+		b.ReportMetric(float64(t3)/total*100, "T3-%")
+	}
+}
+
+// BenchmarkAblationBatchWidth sweeps the maximum batch width (check
+// batching ablation, paper §6).
+func BenchmarkAblationBatchWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.BatchSweep("povray", table1Scale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[0].Slowdown, "width1-x")
+			b.ReportMetric(rows[len(rows)-1].Slowdown, "width16-x")
+		}
+	}
+}
+
+// BenchmarkHardenThroughput measures static rewriting speed on the
+// Chrome-scale binary (bytes of text instrumented per second).
+func BenchmarkHardenThroughput(b *testing.B) {
+	bin, err := buildChrome(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	textBytes := len(bin.Text().Data)
+	b.SetBytes(int64(textBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := redfat.Harden(bin, redfat.Defaults()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMExecution measures raw interpreter speed (guest
+// instructions per wall-clock second) on an uninstrumented workload.
+func BenchmarkVMExecution(b *testing.B) {
+	bm := workload.ByName("bzip2")
+	cp := *bm
+	cp.RefScale = 20000
+	bin, err := cp.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := cp.RefInput()
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := redfat.Run(bin, redfat.RunOptions{Input: input})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = res.Insts
+	}
+	b.ReportMetric(float64(insts), "guest-insts/op")
+}
+
+// BenchmarkProfileWorkflow measures the full two-phase Fig. 5 pipeline.
+func BenchmarkProfileWorkflow(b *testing.B) {
+	bm := workload.ByName("gcc")
+	cp := *bm
+	cp.RefScale = 2000
+	cp.TrainScale = 400
+	bin, err := cp.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite := [][]uint64{cp.TrainInput()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := redfat.ProfileAndHarden(bin, suite, redfat.Defaults()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func buildChrome(fillers int) (*redfat.Binary, error) {
+	return kraken.Build(fillers)
+}
+
+// BenchmarkMemcheckRun measures the Memcheck model's execution speed for
+// comparison with the hardened runs.
+func BenchmarkMemcheckRun(b *testing.B) {
+	bm := workload.ByName("mcf")
+	cp := *bm
+	cp.RefScale = 2000
+	bin, err := cp.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := cp.RefInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := redfat.Run(bin, redfat.RunOptions{Input: input, Memcheck: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocators compares the baseline and RedFat allocators through
+// the churn workload.
+func BenchmarkAllocators(b *testing.B) {
+	bm := workload.ByName("xalancbmk")
+	cp := *bm
+	cp.RefScale = 2000
+	bin, err := cp.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := cp.RefInput()
+	hard, _, err := redfat.Harden(bin, redfat.Options{}) // no checks: allocator cost only
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("glibc-style", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := redfat.Run(bin, redfat.RunOptions{Input: input}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lowfat-redzone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := redfat.Run(hard, redfat.RunOptions{Input: input, Hardened: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package redfat_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the command-line tools once per test binary.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...")
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building tools: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func runTool(t *testing.T, dir, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v\n%s", name, err, out)
+	}
+	return string(out), code
+}
+
+const cliProg = `
+.func main
+    mov $40, %rdi
+    call @malloc
+    mov %rax, %rbx
+    call @rf_input
+    mov $7, %rcx
+    mov %rcx, (%rbx,%rax,8)
+    mov $0, %rax
+    ret
+`
+
+// TestCLIPipeline drives the full assemble → harden → run → disassemble
+// workflow through the real command-line tools.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI tools")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	src := filepath.Join(work, "prog.s")
+	if err := os.WriteFile(src, []byte(cliProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	relfPath := filepath.Join(work, "prog.relf")
+	hardPath := filepath.Join(work, "prog.hard.relf")
+
+	out, code := runTool(t, bin, "rfasm", "-o", relfPath, src)
+	if code != 0 {
+		t.Fatalf("rfasm: %s", out)
+	}
+	out, code = runTool(t, bin, "redfat", "-v", "-o", hardPath, relfPath)
+	if code != 0 || !strings.Contains(out, "checks") {
+		t.Fatalf("redfat: %d %s", code, out)
+	}
+
+	// Benign run.
+	out, code = runTool(t, bin, "rfvm", "-hardened", "-abort", "-input", "2", hardPath)
+	if code != 0 || !strings.Contains(out, "exit=0") {
+		t.Fatalf("benign rfvm run: %d %s", code, out)
+	}
+	// Attack run: detected, non-zero exit.
+	out, code = runTool(t, bin, "rfvm", "-hardened", "-abort", "-input", "40", hardPath)
+	if code == 0 || !strings.Contains(out, "out-of-bounds write") {
+		t.Fatalf("attack rfvm run: %d %s", code, out)
+	}
+	if !strings.Contains(out, "allocated at") {
+		t.Errorf("diagnostic missing allocation site: %s", out)
+	}
+
+	// Trace mode emits instructions.
+	out, _ = runTool(t, bin, "rfvm", "-trace", "5", "-input", "2", relfPath)
+	if !strings.Contains(out, "mov $0x28, %rdi") {
+		t.Errorf("trace output missing: %s", out)
+	}
+
+	// Disassembly shows the patch artifacts.
+	out, code = runTool(t, bin, "rfdis", hardPath)
+	if code != 0 || !strings.Contains(out, ".tramp") || !strings.Contains(out, "rtcall") {
+		t.Fatalf("rfdis: %d %s", code, out)
+	}
+}
+
+// TestCLIProfileWorkflow drives rfprofile end to end, including the
+// fuzz-boosted variant.
+func TestCLIProfileWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI tools")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	// The anti-idiom program: naive hardening false-positives on it.
+	src := `
+.func main
+    mov $128, %rdi
+    call @malloc
+    mov %rax, %rbx
+    sub $64, %rbx
+    call @rf_input
+    mov $1, %rcx
+    movb %rcx, (%rbx,%rax,1)
+    mov $0, %rax
+    ret
+`
+	srcPath := filepath.Join(work, "anti.s")
+	if err := os.WriteFile(srcPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	relfPath := filepath.Join(work, "anti.relf")
+	allowPath := filepath.Join(work, "allow.lst")
+	hardPath := filepath.Join(work, "anti.hard.relf")
+
+	if out, code := runTool(t, bin, "rfasm", "-o", relfPath, srcPath); code != 0 {
+		t.Fatal(out)
+	}
+	out, code := runTool(t, bin, "rfprofile",
+		"-tests", "64;100;190", "-allowlist", allowPath, "-harden", hardPath, relfPath)
+	if code != 0 {
+		t.Fatalf("rfprofile: %s", out)
+	}
+	data, err := os.ReadFile(allowPath)
+	if err != nil || !strings.HasPrefix(string(data), "redfat-allowlist v1") {
+		t.Fatalf("allow-list file: %v %q", err, data)
+	}
+	// The production binary runs the anti-idiom input cleanly.
+	out, code = runTool(t, bin, "rfvm", "-hardened", "-abort", "-input", "70", hardPath)
+	if code != 0 || strings.Contains(out, "detected") {
+		t.Fatalf("production run false-positived: %s", out)
+	}
+	// Fuzz-boosted variant also works.
+	out, code = runTool(t, bin, "rfprofile",
+		"-tests", "64", "-fuzz", "30", "-allowlist", allowPath, relfPath)
+	if code != 0 || !strings.Contains(out, "fuzzing:") {
+		t.Fatalf("rfprofile -fuzz: %d %s", code, out)
+	}
+}
+
+// TestCLIGen exercises rfgen and feeds one generated binary back through
+// the pipeline.
+func TestCLIGen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI tools")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	out, code := runTool(t, bin, "rfgen", "-cve", "-o", work)
+	if code != 0 || !strings.Contains(out, "wrote 4 binaries") {
+		t.Fatalf("rfgen: %d %s", code, out)
+	}
+	cve := filepath.Join(work, "CVE-2012-4295.relf")
+	hard := filepath.Join(work, "CVE-2012-4295.hard.relf")
+	if out, code := runTool(t, bin, "redfat", "-o", hard, cve); code != 0 {
+		t.Fatal(out)
+	}
+	// The stored attack input triggers detection.
+	input, err := os.ReadFile(filepath.Join(work, "CVE-2012-4295.input"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := strings.ReplaceAll(strings.TrimSpace(string(input)), "\n", ",")
+	out, code = runTool(t, bin, "rfvm", "-hardened", "-abort", "-input", vals, hard)
+	if code == 0 || !strings.Contains(out, "out-of-bounds") {
+		t.Fatalf("CVE not detected via CLI: %d %s", code, out)
+	}
+}

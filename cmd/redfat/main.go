@@ -1,0 +1,88 @@
+// redfat is the binary-hardening tool: it rewrites a RELF binary with
+// RedFat memory-error instrumentation (the paper's prog.orig → prog.hard
+// step).
+//
+// Usage:
+//
+//	redfat [flags] -o prog.hard.relf prog.relf
+//
+// The default configuration is the fully optimized combined
+// (Redzone)+(LowFat) check on reads and writes. Notable flags:
+//
+//	-allowlist f   use a profile-generated allow-list (see rfprofile)
+//	-lowfat=false  redzone-only checking (the conservative baseline)
+//	-reads=false   write-only protection (the paper's fastest mode)
+//	-size=false    drop metadata hardening
+//	-O0            disable all optimizations (elim/batch/merge)
+//	-profile       emit the profiling-phase binary of the Fig. 5 workflow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"redfat"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (required)")
+	lowfat := flag.Bool("lowfat", true, "enable the combined lowfat+redzone check")
+	reads := flag.Bool("reads", true, "instrument reads as well as writes")
+	size := flag.Bool("size", true, "enable metadata (size) hardening")
+	elim := flag.Bool("elim", true, "enable check elimination")
+	batch := flag.Bool("batch", true, "enable check batching")
+	merge := flag.Bool("merge", true, "enable check merging")
+	o0 := flag.Bool("O0", false, "disable all optimizations")
+	profileMode := flag.Bool("profile", false, "build the profiling-phase binary")
+	allowPath := flag.String("allowlist", "", "allow-list file from the profiling phase")
+	maxBatch := flag.Int("maxbatch", 8, "maximum accesses per trampoline")
+	verbose := flag.Bool("v", false, "print the instrumentation report")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: redfat [flags] -o out.relf in.relf\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	bin, err := redfat.LoadBinary(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	opt := redfat.Options{
+		LowFat:     *lowfat,
+		CheckReads: *reads,
+		SizeCheck:  *size,
+		Elim:       *elim && !*o0,
+		Batch:      *batch && !*o0,
+		Merge:      *merge && !*o0,
+		Profile:    *profileMode,
+		MaxBatch:   *maxBatch,
+	}
+	if *allowPath != "" {
+		allow, err := redfat.LoadAllowList(*allowPath)
+		if err != nil {
+			fatal(err)
+		}
+		opt.AllowList = allow
+	}
+	hard, rep, err := redfat.Harden(bin, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if err := redfat.SaveBinary(hard, *out); err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		fmt.Println("redfat:", rep)
+	}
+	fmt.Printf("%s: %d checks in %d trampolines\n", *out, rep.Checks, rep.Batches)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "redfat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// rfasm assembles RF64 assembly source into a RELF executable.
+//
+// Usage:
+//
+//	rfasm [-o prog.relf] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"redfat"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: input with .relf)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rfasm [-o out.relf] in.s\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	bin, err := redfat.Assemble(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", in, err))
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(in, ".s") + ".relf"
+	}
+	if err := redfat.SaveBinary(bin, path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: entry %#x, %d bytes of text\n", path, bin.Entry, len(bin.Text().Data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rfasm:", err)
+	os.Exit(1)
+}

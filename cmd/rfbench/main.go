@@ -1,0 +1,103 @@
+// rfbench regenerates the paper's evaluation tables and figures (§7).
+//
+// Usage:
+//
+//	rfbench -table1 [-scale 1.0]   SPEC CPU2006 slow-downs (Table 1)
+//	rfbench -falsepos              false positives without the allow-list (§7.1)
+//	rfbench -table2                CVE + Juliet detection (Table 2)
+//	rfbench -figure8               Chrome/Kraken overhead (Figure 8)
+//	rfbench -ablation              patch tactics and batch-width ablations
+//	rfbench -all                   everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"redfat/internal/bench"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "run the SPEC CPU2006 performance table")
+	falsepos := flag.Bool("falsepos", false, "run the false-positive experiment")
+	table2 := flag.Bool("table2", false, "run the non-incremental detection table")
+	figure8 := flag.Bool("figure8", false, "run the Chrome/Kraken experiment")
+	ablation := flag.Bool("ablation", false, "run the ablation studies")
+	all := flag.Bool("all", false, "run every experiment")
+	scale := flag.Float64("scale", 1.0, "workload scale for table1/falsepos (1.0 = full ref)")
+	fillers := flag.Int("fillers", 20000, "filler functions in the Chrome-scale image")
+	kscale := flag.Uint64("kscale", 5000, "Kraken workload scale")
+	flag.Parse()
+
+	ran := false
+	w := os.Stdout
+	if *all || *table1 {
+		ran = true
+		fmt.Fprintf(w, "=== Table 1: SPEC CPU2006 (scale %.2f) ===\n", *scale)
+		fmt.Fprintf(w, "%-12s %7s %12s %9s %9s %9s %9s %9s %9s %9s\n",
+			"benchmark", "cover", "baseline", "unopt", "+elim", "+batch",
+			"+merge", "-size", "-reads", "memcheck")
+		if _, err := bench.Table1(*scale, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if *all || *falsepos {
+		ran = true
+		fmt.Fprintln(w, "=== §7.1 False positives (full checking, no allow-list) ===")
+		if _, err := bench.FalsePositives(*scale, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if *all || *table2 {
+		ran = true
+		fmt.Fprintln(w, "=== Table 2: non-incremental bounds errors ===")
+		if _, err := bench.Table2(w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, "--- extension: temporal errors (ours) ---")
+		if _, err := bench.Table2Extended(w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if *all || *figure8 {
+		ran = true
+		fmt.Fprintf(w, "=== Figure 8: Chrome/Kraken, write protection (%d fillers) ===\n", *fillers)
+		if _, _, err := bench.Figure8(*fillers, *kscale, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if *all || *ablation {
+		ran = true
+		fmt.Fprintln(w, "=== Ablation: patch tactics ===")
+		if _, err := bench.Tactics(*fillers, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, "\n=== Ablation: batch width (povray) ===")
+		if _, err := bench.BatchSweep("povray", *scale, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, "\n=== Ablation: clobber specialization (sjeng) ===")
+		if _, err := bench.ClobberSweep("sjeng", *scale, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, "\n=== Ablation: coverage-guided profiling boost (h264ref) ===")
+		if _, err := bench.FuzzBoostStudy("h264ref", []int{1, 50, 200}, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rfbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// rfdis disassembles a RELF binary to AT&T-flavoured assembly.
+//
+// Usage:
+//
+//	rfdis [-bytes] [-leaders] prog.relf
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"redfat"
+	"redfat/internal/dis"
+)
+
+func main() {
+	showBytes := flag.Bool("bytes", false, "show instruction encodings")
+	leaders := flag.Bool("leaders", false, "annotate recovered basic-block leaders")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rfdis [-bytes] [-leaders] prog.relf\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	bin, err := redfat.LoadBinary(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfdis:", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := dis.Binary(w, bin, dis.Options{
+		ShowBytes:   *showBytes,
+		ShowLeaders: *leaders,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "rfdis:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,100 @@
+// rfgen emits the evaluation corpora as RELF binaries on disk, so the
+// command-line tools (redfat, rfprofile, rfvm, rfdis) can be exercised on
+// the same programs the benchmark harness uses.
+//
+// Usage:
+//
+//	rfgen -spec  -o dir       the 29 SPEC CPU2006-like benchmarks
+//	rfgen -cve   -o dir       the four CVE models
+//	rfgen -juliet -o dir      the 480-case Juliet CWE-122 suite
+//	rfgen -chrome -o dir      the Chrome-scale image
+//
+// Each binary is accompanied by a ".input" file holding the ref workload
+// (or attack) input vector, one value per line, usable with
+// rfvm -input "$(paste -sd, prog.input)".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"redfat"
+	"redfat/internal/juliet"
+	"redfat/internal/kraken"
+	"redfat/internal/relf"
+	"redfat/internal/workload"
+)
+
+func main() {
+	out := flag.String("o", "corpus", "output directory")
+	spec := flag.Bool("spec", false, "emit the SPEC-like suite")
+	cve := flag.Bool("cve", false, "emit the CVE models")
+	jl := flag.Bool("juliet", false, "emit the Juliet CWE-122 suite")
+	chrome := flag.Bool("chrome", false, "emit the Chrome-scale image")
+	fillers := flag.Int("fillers", 8000, "Chrome-scale filler functions")
+	flag.Parse()
+	if !*spec && !*cve && !*jl && !*chrome {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	n := 0
+	emit := func(name string, bin *relf.Binary, input []uint64) {
+		if err := redfat.SaveBinary(bin, filepath.Join(*out, name+".relf")); err != nil {
+			fatal(err)
+		}
+		var txt []byte
+		for _, v := range input {
+			txt = append(txt, fmt.Sprintf("%d\n", v)...)
+		}
+		if err := os.WriteFile(filepath.Join(*out, name+".input"), txt, 0o644); err != nil {
+			fatal(err)
+		}
+		n++
+	}
+
+	if *spec {
+		for _, bm := range workload.All() {
+			bin, err := bm.Build()
+			if err != nil {
+				fatal(err)
+			}
+			emit(bm.Name, bin, bm.RefInput())
+		}
+	}
+	if *cve {
+		for _, c := range juliet.CVECases() {
+			bin, err := c.Build()
+			if err != nil {
+				fatal(err)
+			}
+			emit(c.ID, bin, juliet.Trigger(c))
+		}
+	}
+	if *jl {
+		for _, c := range juliet.JulietCases() {
+			bin, err := c.Build()
+			if err != nil {
+				fatal(err)
+			}
+			emit(c.ID, bin, juliet.Trigger(c))
+		}
+	}
+	if *chrome {
+		bin, err := kraken.Build(*fillers)
+		if err != nil {
+			fatal(err)
+		}
+		emit("chrome", bin, []uint64{0, 5000})
+	}
+	fmt.Printf("rfgen: wrote %d binaries to %s\n", n, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rfgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// rfvm runs a RELF binary on the RF64 virtual machine.
+//
+// Usage:
+//
+//	rfvm [-input 1,2,3] [-hardened] [-memcheck] [-abort] [-max N] prog.relf
+//
+// Plain runs use the baseline glibc-style allocator. -hardened selects the
+// RedFat runtime (the LD_PRELOAD model) and is required for binaries
+// produced by the redfat tool. -memcheck runs under the Valgrind Memcheck
+// model instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"redfat"
+)
+
+func main() {
+	input := flag.String("input", "", "comma-separated input values for rf_input")
+	hardened := flag.Bool("hardened", false, "run with the RedFat runtime (libredfat model)")
+	mcheck := flag.Bool("memcheck", false, "run under the Memcheck model")
+	abort := flag.Bool("abort", false, "abort on the first detected memory error")
+	max := flag.Uint64("max", 0, "cycle budget (0 = default)")
+	trace := flag.Int("trace", 0, "print an execution trace of up to N instructions")
+	stats := flag.Int("stats", 0, "print the N hottest instrumentation sites after the run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rfvm [flags] prog.relf\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	bin, err := redfat.LoadBinary(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var in []uint64
+	if *input != "" {
+		for _, f := range strings.Split(*input, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 0, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -input value %q", f))
+			}
+			in = append(in, v)
+		}
+	}
+	ro := redfat.RunOptions{
+		Input:        in,
+		Hardened:     *hardened,
+		Memcheck:     *mcheck,
+		AbortOnError: *abort,
+		MaxCycles:    *max,
+	}
+	if *trace > 0 {
+		ro.Trace = os.Stderr
+		ro.TraceLimit = *trace
+	}
+	res, err := redfat.Run(bin, ro)
+	if res != nil {
+		if len(res.Output) > 0 {
+			os.Stdout.Write(res.Output)
+			fmt.Println()
+		}
+		for _, e := range res.Errors {
+			fmt.Fprintf(os.Stderr, "rfvm: detected %v\n", &e)
+			if e.Note != "" {
+				fmt.Fprintf(os.Stderr, "      %s\n", e.Note)
+			}
+		}
+		fmt.Printf("exit=%d cycles=%d instructions=%d\n", res.ExitCode, res.Cycles, res.Insts)
+		if *stats > 0 && len(res.Checks) > 0 {
+			fmt.Printf("coverage %.1f%%; hottest checks:\n", res.Coverage*100)
+			for i, c := range res.Checks {
+				if i >= *stats {
+					break
+				}
+				fmt.Printf("  %#x %-8s ×%-3d %12d execs  %s\n",
+					c.PC, c.Mode, c.Merged, c.Execs, c.Operand)
+			}
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	os.Exit(int(res.ExitCode & 0x7F))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rfvm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module redfat
+
+go 1.22

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"redfat/internal/fuzz"
+	"redfat/internal/kraken"
+	"redfat/internal/redfat"
+	"redfat/internal/rtlib"
+	"redfat/internal/workload"
+)
+
+// TacticRow reports the patch-tactic mix for one instrumented binary —
+// the ablation DESIGN.md calls out for the rewriting substrate (how often
+// the direct jmp32, byte-stealing and trap tactics fire).
+type TacticRow struct {
+	Name       string
+	TextBytes  int
+	Checks     int
+	T1, T2, T3 int
+	TrampBytes int
+}
+
+// Tactics instruments every SPEC-like benchmark plus the Chrome-scale
+// image with the production configuration and reports tactic statistics.
+func Tactics(fillerFuncs int, w io.Writer) ([]TacticRow, error) {
+	var rows []TacticRow
+	add := func(name string, textLen int) func(*redfat.Report) {
+		return func(rep *redfat.Report) {
+			rows = append(rows, TacticRow{
+				Name: name, TextBytes: textLen, Checks: rep.Checks,
+				T1: rep.Rewrite.T1, T2: rep.Rewrite.T2, T3: rep.Rewrite.T3,
+				TrampBytes: rep.Rewrite.TrampBytes,
+			})
+		}
+	}
+	for _, bm := range workload.All() {
+		bin, err := bm.Build()
+		if err != nil {
+			return nil, err
+		}
+		_, rep, err := redfat.Harden(bin, redfat.Defaults())
+		if err != nil {
+			return nil, err
+		}
+		add(bm.Name, len(bin.Text().Data))(rep)
+	}
+	chrome, err := kraken.Build(fillerFuncs)
+	if err != nil {
+		return nil, err
+	}
+	_, rep, err := redfat.Harden(chrome, redfat.Defaults())
+	if err != nil {
+		return nil, err
+	}
+	add("chrome", len(chrome.Text().Data))(rep)
+
+	if w != nil {
+		fmt.Fprintf(w, "%-12s %10s %8s %8s %8s %8s %10s\n",
+			"binary", "text(B)", "checks", "T1", "T2", "T3", "tramp(B)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-12s %10d %8d %8d %8d %8d %10d\n",
+				r.Name, r.TextBytes, r.Checks, r.T1, r.T2, r.T3, r.TrampBytes)
+		}
+	}
+	return rows, nil
+}
+
+// BatchRow reports the overhead at one maximum batch width.
+type BatchRow struct {
+	MaxBatch int
+	Slowdown float64
+}
+
+// BatchSweep measures the benefit of check batching as a function of the
+// maximum trampoline batch width, on a store-dense benchmark.
+func BatchSweep(benchName string, scale float64, w io.Writer) ([]BatchRow, error) {
+	bm := workload.ByName(benchName)
+	if bm == nil {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
+	}
+	bm = scaled(bm, scale)
+	bin, err := bm.Build()
+	if err != nil {
+		return nil, err
+	}
+	base, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: bm.RefInput()})
+	if err != nil {
+		return nil, err
+	}
+	var rows []BatchRow
+	for _, width := range []int{1, 2, 4, 8, 16} {
+		opt := redfat.Defaults()
+		opt.MaxBatch = width
+		if width == 1 {
+			opt.Batch = false
+			opt.Merge = false
+		}
+		hard, _, err := redfat.Harden(bin, opt)
+		if err != nil {
+			return nil, err
+		}
+		v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: bm.RefInput()})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BatchRow{MaxBatch: width,
+			Slowdown: float64(v.Cycles) / float64(base.Cycles)})
+	}
+	if w != nil {
+		for _, r := range rows {
+			fmt.Fprintf(w, "max batch %2d: %6.2fx\n", r.MaxBatch, r.Slowdown)
+		}
+	}
+	return rows, nil
+}
+
+// ClobberRow compares trampoline save/restore cost with and without the
+// dead-register specialization (paper §6, low-level optimizations).
+type ClobberRow struct {
+	Specialized bool
+	Slowdown    float64
+}
+
+// ClobberSweep measures the benefit of the dead-register trampoline
+// specialization on one benchmark.
+func ClobberSweep(benchName string, scale float64, w io.Writer) ([]ClobberRow, error) {
+	bm := workload.ByName(benchName)
+	if bm == nil {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
+	}
+	bm = scaled(bm, scale)
+	bin, err := bm.Build()
+	if err != nil {
+		return nil, err
+	}
+	base, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: bm.RefInput()})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ClobberRow
+	for _, spec := range []bool{false, true} {
+		opt := redfat.Defaults()
+		opt.NoClobberSpec = !spec
+		hard, _, err := redfat.Harden(bin, opt)
+		if err != nil {
+			return nil, err
+		}
+		v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: bm.RefInput()})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ClobberRow{Specialized: spec,
+			Slowdown: float64(v.Cycles) / float64(base.Cycles)})
+	}
+	if w != nil {
+		for _, r := range rows {
+			fmt.Fprintf(w, "clobber specialization %-5v: %6.2fx\n", r.Specialized, r.Slowdown)
+		}
+	}
+	return rows, nil
+}
+
+// FuzzRow compares allow-list coverage with and without the
+// coverage-guided profiling boost (paper §5 / E9AFL).
+type FuzzRow struct {
+	Runs     int
+	Coverage float64
+}
+
+// FuzzBoostStudy measures production coverage on a train-gated benchmark
+// as the fuzzing budget grows.
+func FuzzBoostStudy(benchName string, budgets []int, w io.Writer) ([]FuzzRow, error) {
+	bm := workload.ByName(benchName)
+	if bm == nil {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
+	}
+	bm = scaled(bm, 0.02)
+	bin, err := bm.Build()
+	if err != nil {
+		return nil, err
+	}
+	profOpt := redfat.Defaults()
+	profOpt.Profile = true
+	profOpt.Merge = false
+	profBin, _, err := redfat.Harden(bin, profOpt)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FuzzRow
+	for _, budget := range budgets {
+		res, err := fuzz.Boost(profBin, [][]uint64{bm.TrainInput()}, fuzz.Options{
+			MaxRuns: budget, MaxCycles: 50_000_000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opt := redfat.Defaults()
+		opt.AllowList = res.Profiler.AllowList()
+		hard, _, err := redfat.Harden(bin, opt)
+		if err != nil {
+			return nil, err
+		}
+		_, rt, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: bm.RefInput()})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FuzzRow{Runs: budget, Coverage: rt.Coverage()})
+	}
+	if w != nil {
+		for _, r := range rows {
+			fmt.Fprintf(w, "fuzz budget %4d runs: coverage %5.1f%%\n", r.Runs, 100*r.Coverage)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,466 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§7) on the RF64 substrate.
+//
+//	Table1         — SPEC CPU2006 slow-downs and coverage (§7.1)
+//	DetectedErrors — the calculix/wrf OOB reads (§7.1)
+//	FalsePositives — FP counts with the allow-list disabled (§7.1)
+//	Table2         — CVE + Juliet non-incremental detection (§7.2)
+//	Figure8        — Chrome/Kraken write-protection overhead (§7.3)
+//	Ablation       — patch-tactic and batching ablations (ours)
+//
+// Slow-downs are measured in deterministic VM cycles. Absolute numbers are
+// not comparable to the paper's Xeon wall-clock; orderings and rough
+// ratios are (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"redfat/internal/juliet"
+	"redfat/internal/kraken"
+	"redfat/internal/memcheck"
+	"redfat/internal/profile"
+	"redfat/internal/redfat"
+	"redfat/internal/relf"
+	"redfat/internal/rtlib"
+	"redfat/internal/vm"
+	"redfat/internal/workload"
+)
+
+// GeoMean returns the geometric mean of xs (ignoring non-positive values).
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Table1Row holds one benchmark's results in paper Table 1 layout.
+type Table1Row struct {
+	Name     string
+	Lang     workload.Lang
+	Coverage float64 // fraction of executed checks that are full-mode
+
+	BaselineCycles uint64
+
+	// Slow-down factors vs baseline.
+	Unopt, Elim, Batch, Merge, NoSize, NoReads, Memcheck float64
+
+	DetectedErrors int // distinct genuine error sites found during ref
+	ChecksumOK     bool
+}
+
+// table1Configs returns the instrumentation ladder of Table 1's columns.
+func table1Configs(allow profile.AllowList) []redfat.Options {
+	base := redfat.Options{LowFat: true, CheckReads: true, SizeCheck: true,
+		AllowList: allow}
+	unopt := base
+	elim := base
+	elim.Elim = true
+	batch := elim
+	batch.Batch = true
+	merge := batch
+	merge.Merge = true
+	nosize := merge
+	nosize.SizeCheck = false
+	noreads := nosize
+	noreads.CheckReads = false
+	return []redfat.Options{unopt, elim, batch, merge, nosize, noreads}
+}
+
+// Table1Bench runs the full Table 1 pipeline for one benchmark at the
+// given workload scale (1.0 = full ref size).
+func Table1Bench(bm *workload.Benchmark, scale float64) (*Table1Row, error) {
+	bm = scaled(bm, scale)
+	bin, err := bm.Build()
+	if err != nil {
+		return nil, err
+	}
+	row := &Table1Row{Name: bm.Name, Lang: bm.Lang, ChecksumOK: true}
+
+	base, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: bm.RefInput()})
+	if err != nil {
+		return nil, fmt.Errorf("%s baseline: %w", bm.Name, err)
+	}
+	row.BaselineCycles = base.Cycles
+
+	// Phase 1: allow-list from the train workload (paper methodology).
+	allow, err := allowListFor(bin, bm)
+	if err != nil {
+		return nil, err
+	}
+
+	slows := make([]float64, 6)
+	for i, opt := range table1Configs(allow) {
+		hard, _, err := redfat.Harden(bin, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s config %d: %w", bm.Name, i, err)
+		}
+		v, rt, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: bm.RefInput()})
+		if err != nil {
+			return nil, fmt.Errorf("%s config %d run: %w", bm.Name, i, err)
+		}
+		if v.ExitCode != base.ExitCode {
+			row.ChecksumOK = false
+		}
+		slows[i] = float64(v.Cycles) / float64(base.Cycles)
+		if i == 3 { // +merge: the fully-optimized full-check configuration
+			row.Coverage = rt.Coverage()
+			row.DetectedErrors = distinctErrorSites(v.Errors)
+		}
+	}
+	row.Unopt, row.Elim, row.Batch = slows[0], slows[1], slows[2]
+	row.Merge, row.NoSize, row.NoReads = slows[3], slows[4], slows[5]
+
+	mc, err := memcheck.Run(bin, rtlib.RunConfig{Input: bm.RefInput()})
+	if err != nil {
+		return nil, fmt.Errorf("%s memcheck: %w", bm.Name, err)
+	}
+	if mc.ExitCode != base.ExitCode {
+		row.ChecksumOK = false
+	}
+	row.Memcheck = float64(mc.Cycles) / float64(base.Cycles)
+	return row, nil
+}
+
+func allowListFor(bin *relf.Binary, bm *workload.Benchmark) (profile.AllowList, error) {
+	opt := redfat.Defaults()
+	opt.Profile = true
+	opt.Merge = false
+	profBin, _, err := redfat.Harden(bin, opt)
+	if err != nil {
+		return nil, err
+	}
+	p := profile.NewProfiler()
+	_, rt, err := rtlib.RunHardened(profBin, rtlib.RunConfig{Input: bm.TrainInput()})
+	if err != nil {
+		return nil, fmt.Errorf("%s profiling: %w", bm.Name, err)
+	}
+	p.Accumulate(rt)
+	return p.AllowList(), nil
+}
+
+func distinctErrorSites(errs []vm.MemError) int {
+	pcs := map[uint64]bool{}
+	for _, e := range errs {
+		pcs[e.PC] = true
+	}
+	return len(pcs)
+}
+
+func scaled(bm *workload.Benchmark, scale float64) *workload.Benchmark {
+	cp := *bm
+	cp.RefScale = uint64(float64(bm.RefScale) * scale)
+	if cp.RefScale < 800 {
+		cp.RefScale = 800
+	}
+	cp.TrainScale = cp.RefScale / 8
+	return &cp
+}
+
+// Table1 runs every benchmark and renders the table to w (nil ok).
+func Table1(scale float64, w io.Writer) ([]*Table1Row, error) {
+	var rows []*Table1Row
+	for _, bm := range workload.All() {
+		row, err := Table1Bench(bm, scale)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if w != nil {
+			fmt.Fprintf(w, "%-12s %6.1f%% %12d %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %s\n",
+				row.Name, row.Coverage*100, row.BaselineCycles,
+				row.Unopt, row.Elim, row.Batch, row.Merge,
+				row.NoSize, row.NoReads, row.Memcheck, okFlag(row.ChecksumOK))
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "%-12s %6.1f%% %12s %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx\n",
+			"geomean", 100*mean(rows, func(r *Table1Row) float64 { return r.Coverage }),
+			"",
+			geo(rows, func(r *Table1Row) float64 { return r.Unopt }),
+			geo(rows, func(r *Table1Row) float64 { return r.Elim }),
+			geo(rows, func(r *Table1Row) float64 { return r.Batch }),
+			geo(rows, func(r *Table1Row) float64 { return r.Merge }),
+			geo(rows, func(r *Table1Row) float64 { return r.NoSize }),
+			geo(rows, func(r *Table1Row) float64 { return r.NoReads }),
+			geo(rows, func(r *Table1Row) float64 { return r.Memcheck }))
+	}
+	return rows, nil
+}
+
+func okFlag(ok bool) string {
+	if ok {
+		return ""
+	}
+	return "CHECKSUM-MISMATCH"
+}
+
+func geo(rows []*Table1Row, f func(*Table1Row) float64) float64 {
+	xs := make([]float64, len(rows))
+	for i, r := range rows {
+		xs[i] = f(r)
+	}
+	return GeoMean(xs)
+}
+
+func mean(rows []*Table1Row, f func(*Table1Row) float64) float64 {
+	s := 0.0
+	for _, r := range rows {
+		s += f(r)
+	}
+	if len(rows) == 0 {
+		return 0
+	}
+	return s / float64(len(rows))
+}
+
+// FPRow is one benchmark's false-positive count (allow-list disabled).
+type FPRow struct {
+	Name    string
+	Count   int // distinct false-positive sites
+	Planted int
+}
+
+// FalsePositives reruns benchmarks with full (Redzone)+(LowFat) on all
+// memory accesses (no allow-list) and counts distinct false-positive
+// sites (§7.1 "False positives"). A site is a false positive if it is
+// flagged under full checking but not under redzone-only checking.
+func FalsePositives(scale float64, w io.Writer) ([]FPRow, error) {
+	var rows []FPRow
+	for _, bm := range workload.All() {
+		bm := scaled(bm, scale)
+		bin, err := bm.Build()
+		if err != nil {
+			return nil, err
+		}
+		fullPCs, err := errorPCs(bin, bm, true)
+		if err != nil {
+			return nil, err
+		}
+		rzPCs, err := errorPCs(bin, bm, false)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for pc := range fullPCs {
+			if !rzPCs[pc] {
+				n++
+			}
+		}
+		if n > 0 || bm.PlantedFPs > 0 {
+			rows = append(rows, FPRow{Name: bm.Name, Count: n, Planted: bm.PlantedFPs})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	if w != nil {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-12s %4d false positives (planted %d)\n", r.Name, r.Count, r.Planted)
+		}
+	}
+	return rows, nil
+}
+
+func errorPCs(bin *relf.Binary, bm *workload.Benchmark, lowfat bool) (map[uint64]bool, error) {
+	opt := redfat.Defaults()
+	opt.LowFat = lowfat
+	opt.Merge = false // per-operand sites, as the paper counts reports
+	hard, _, err := redfat.Harden(bin, opt)
+	if err != nil {
+		return nil, err
+	}
+	v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: bm.RefInput()})
+	if err != nil {
+		return nil, err
+	}
+	pcs := map[uint64]bool{}
+	for _, e := range v.Errors {
+		pcs[e.PC] = true
+	}
+	return pcs, nil
+}
+
+// Table2Row is one line of paper Table 2.
+type Table2Row struct {
+	ID       string
+	Total    int
+	Memcheck int // detected by Memcheck
+	RedFat   int // detected by RedFat
+}
+
+// Table2 runs the CVE models and the Juliet CWE-122 suite under both
+// tools (§7.2).
+func Table2(w io.Writer) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, c := range juliet.CVECases() {
+		rf, mc, err := detects(c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.ID, err)
+		}
+		rows = append(rows, Table2Row{ID: c.ID + " (" + cveProgram(c.ID) + ")",
+			Total: 1, Memcheck: b2i(mc), RedFat: b2i(rf)})
+	}
+	jr := Table2Row{ID: "CWE-122-Heap-Buffer (Juliet)", Total: juliet.NumJuliet}
+	for _, c := range juliet.JulietCases() {
+		rf, mc, err := detects(c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.ID, err)
+		}
+		jr.Memcheck += b2i(mc)
+		jr.RedFat += b2i(rf)
+	}
+	rows = append(rows, jr)
+	if w != nil {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-34s Memcheck %3d/%d (%3.0f%%)  RedFat %3d/%d (%3.0f%%)\n",
+				r.ID, r.Memcheck, r.Total, 100*float64(r.Memcheck)/float64(r.Total),
+				r.RedFat, r.Total, 100*float64(r.RedFat)/float64(r.Total))
+		}
+	}
+	return rows, nil
+}
+
+func cveProgram(id string) string {
+	switch id {
+	case "CVE-2007-3476", "CVE-2016-1903":
+		return "php"
+	case "CVE-2012-4295":
+		return "wireshark"
+	case "CVE-2016-2335":
+		return "7zip"
+	}
+	return "?"
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// detects runs one bad case under both tools.
+func detects(c *juliet.Case) (redfatHit, memcheckHit bool, err error) {
+	bin, err := c.Build()
+	if err != nil {
+		return false, false, err
+	}
+	hard, _, err := redfat.Harden(bin, redfat.Defaults())
+	if err != nil {
+		return false, false, err
+	}
+	v, _, rerr := rtlib.RunHardened(hard, rtlib.RunConfig{Input: juliet.Trigger(c), Abort: true})
+	if _, ok := rerr.(*vm.MemError); ok {
+		redfatHit = true
+	} else if rerr != nil {
+		return false, false, rerr
+	}
+	redfatHit = redfatHit || len(v.Errors) > 0
+
+	mv, merr := memcheck.Run(bin, rtlib.RunConfig{Input: juliet.Trigger(c), Abort: true})
+	if _, ok := merr.(*vm.MemError); ok {
+		memcheckHit = true
+	} else if merr != nil {
+		return false, false, merr
+	}
+	memcheckHit = memcheckHit || len(mv.Errors) > 0
+	return redfatHit, memcheckHit, nil
+}
+
+// Table2Extended runs the CWE-416 (use-after-free) and CWE-415 (double
+// free) extension suites — temporal errors beyond the paper's Table 2,
+// validating the redzone component's Free-state detection.
+func Table2Extended(w io.Writer) ([]Table2Row, error) {
+	suites := []struct {
+		id    string
+		cases []*juliet.Case
+	}{
+		{"CWE-416-Use-After-Free", juliet.UAFCases()},
+		{"CWE-415-Double-Free", juliet.DoubleFreeCases()},
+	}
+	var rows []Table2Row
+	for _, s := range suites {
+		row := Table2Row{ID: s.id, Total: len(s.cases)}
+		for _, c := range s.cases {
+			rf, mc, err := detects(c)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", c.ID, err)
+			}
+			row.RedFat += b2i(rf)
+			row.Memcheck += b2i(mc)
+		}
+		rows = append(rows, row)
+	}
+	if w != nil {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-34s Memcheck %3d/%d (%3.0f%%)  RedFat %3d/%d (%3.0f%%)\n",
+				r.ID, r.Memcheck, r.Total, 100*float64(r.Memcheck)/float64(r.Total),
+				r.RedFat, r.Total, 100*float64(r.RedFat)/float64(r.Total))
+		}
+	}
+	return rows, nil
+}
+
+// Fig8Row is one Kraken sub-benchmark's overhead.
+type Fig8Row struct {
+	Name     string
+	Slowdown float64
+}
+
+// Figure8 builds the Chrome-scale binary, hardens all writes with
+// (Redzone)+(LowFat), and measures per-Kraken-benchmark overhead (§7.3).
+func Figure8(fillerFuncs int, scale uint64, w io.Writer) ([]Fig8Row, float64, error) {
+	bin, err := kraken.Build(fillerFuncs)
+	if err != nil {
+		return nil, 0, err
+	}
+	opt := redfat.Defaults()
+	opt.CheckReads = false // §7.3: write protection
+	hard, rep, err := redfat.Harden(bin, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	if w != nil {
+		fmt.Fprintf(w, "chrome image: text %d bytes, %s\n",
+			len(bin.Text().Data), rep.String())
+	}
+	var rows []Fig8Row
+	for i, name := range kraken.Benchmarks {
+		input := []uint64{uint64(i), scale}
+		base, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: input})
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s baseline: %w", name, err)
+		}
+		v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: input, Abort: true})
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s hardened: %w", name, err)
+		}
+		if v.ExitCode != base.ExitCode {
+			return nil, 0, fmt.Errorf("%s: checksum mismatch", name)
+		}
+		rows = append(rows, Fig8Row{Name: name,
+			Slowdown: float64(v.Cycles) / float64(base.Cycles)})
+	}
+	xs := make([]float64, len(rows))
+	for i, r := range rows {
+		xs[i] = r.Slowdown
+	}
+	gm := GeoMean(xs)
+	if w != nil {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-22s %6.0f%%\n", r.Name, r.Slowdown*100)
+		}
+		fmt.Fprintf(w, "%-22s %6.0f%%\n", "Geometric Mean", gm*100)
+	}
+	return rows, gm, nil
+}

@@ -1,0 +1,208 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"redfat/internal/bench"
+	"redfat/internal/workload"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := bench.GeoMean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Errorf("GeoMean(2,8) = %v", g)
+	}
+	if g := bench.GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %v", g)
+	}
+	if g := bench.GeoMean([]float64{0, -1, 3}); g < 2.99 || g > 3.01 {
+		t.Errorf("GeoMean with junk = %v", g)
+	}
+}
+
+func TestTable1SingleBenchmark(t *testing.T) {
+	row, err := bench.Table1Bench(workload.ByName("libquantum"), 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.ChecksumOK {
+		t.Error("checksum mismatch")
+	}
+	// The optimization ladder must be monotone non-increasing and the
+	// ordering of Table 1 must hold: unopt ≥ elim ≥ batch ≥ merge ≥
+	// nosize ≥ noreads > 1.
+	seq := []float64{row.Unopt, row.Elim, row.Batch, row.Merge, row.NoSize, row.NoReads}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] > seq[i-1]*1.02 { // tiny tolerance
+			t.Errorf("optimization step %d regressed: %v", i, seq)
+		}
+	}
+	if row.NoReads <= 1.0 {
+		t.Errorf("write-only slowdown %.2f ≤ 1", row.NoReads)
+	}
+	if row.Memcheck <= row.NoSize {
+		t.Errorf("Memcheck (%.2fx) not slower than RedFat -size (%.2fx)",
+			row.Memcheck, row.NoSize)
+	}
+	if row.Coverage < 0.9 {
+		t.Errorf("libquantum coverage %.2f, want ≈1 (ungated)", row.Coverage)
+	}
+}
+
+func TestDetectedErrors(t *testing.T) {
+	row, err := bench.Table1Bench(workload.ByName("calculix"), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.DetectedErrors < 4 {
+		t.Errorf("calculix detected errors = %d, want ≥4", row.DetectedErrors)
+	}
+	row, err = bench.Table1Bench(workload.ByName("wrf"), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.DetectedErrors < 1 {
+		t.Errorf("wrf detected errors = %d, want ≥1", row.DetectedErrors)
+	}
+}
+
+func TestFalsePositiveCountsMatchPaper(t *testing.T) {
+	rows, err := bench.FalsePositives(0.02, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §7.1: perlbench 1, gcc 14, gobmk 1, povray 1, bwaves 5,
+	// gromacs 3, GemsFDTD 32, wrf 26, calculix 2.
+	want := map[string]int{
+		"perlbench": 1, "gcc": 14, "gobmk": 1, "povray": 1, "bwaves": 5,
+		"gromacs": 3, "GemsFDTD": 32, "wrf": 26, "calculix": 2,
+	}
+	got := map[string]int{}
+	for _, r := range rows {
+		got[r.Name] = r.Count
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Errorf("%s: %d false positives, paper reports %d", name, got[name], n)
+		}
+	}
+	if len(rows) != len(want) {
+		t.Errorf("FP rows = %d benchmarks, want %d", len(rows), len(want))
+	}
+}
+
+func TestTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("480-case sweep")
+	}
+	var sb strings.Builder
+	rows, err := bench.Table2(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.RedFat != r.Total {
+			t.Errorf("%s: RedFat %d/%d, want 100%%", r.ID, r.RedFat, r.Total)
+		}
+		if r.Memcheck != 0 {
+			t.Errorf("%s: Memcheck %d/%d, want 0%%", r.ID, r.Memcheck, r.Total)
+		}
+	}
+	if !strings.Contains(sb.String(), "Juliet") {
+		t.Error("rendering missing Juliet row")
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	rows, gm, err := bench.Figure8(512, 120, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(rows))
+	}
+	if gm < 1.02 || gm > 3.0 {
+		t.Errorf("Kraken geomean %.2fx outside the plausible write-only band", gm)
+	}
+	for _, r := range rows {
+		if r.Slowdown < 1.0 {
+			t.Errorf("%s: slowdown %.2f < 1", r.Name, r.Slowdown)
+		}
+	}
+}
+
+func TestTactics(t *testing.T) {
+	rows, err := bench.Tactics(256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 { // 29 SPEC + chrome
+		t.Fatalf("rows = %d, want 30", len(rows))
+	}
+	for _, r := range rows {
+		if r.Checks == 0 {
+			t.Errorf("%s: no checks", r.Name)
+		}
+		if r.T1+r.T2+r.T3 == 0 {
+			t.Errorf("%s: no patches recorded", r.Name)
+		}
+	}
+}
+
+func TestBatchSweep(t *testing.T) {
+	rows, err := bench.BatchSweep("povray", 0.02, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Wider batches must not be slower than no batching.
+	if rows[len(rows)-1].Slowdown > rows[0].Slowdown*1.02 {
+		t.Errorf("batching made things worse: %v", rows)
+	}
+}
+
+func TestClobberSweep(t *testing.T) {
+	rows, err := bench.ClobberSweep("sjeng", 0.02, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Slowdown > rows[0].Slowdown*1.01 {
+		t.Errorf("clobber specialization did not help: %+v", rows)
+	}
+}
+
+func TestFuzzBoostStudy(t *testing.T) {
+	rows, err := bench.FuzzBoostStudy("h264ref", []int{1, 120}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Coverage <= rows[0].Coverage {
+		t.Errorf("fuzzing did not raise coverage: %+v", rows)
+	}
+}
+
+func TestTable2Extended(t *testing.T) {
+	rows, err := bench.Table2Extended(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RedFat != r.Total {
+			t.Errorf("%s: RedFat %d/%d, want all detected", r.ID, r.RedFat, r.Total)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package dis renders RF64 binaries as AT&T-flavoured assembly listings:
+// the read side of the toolchain, used by cmd/rfdis and for debugging
+// instrumented binaries.
+package dis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"redfat/internal/cfg"
+	"redfat/internal/isa"
+	"redfat/internal/relf"
+)
+
+// Options controls listing output.
+type Options struct {
+	ShowBytes   bool // hex-dump each instruction's encoding
+	ShowLeaders bool // annotate recovered basic-block leaders
+}
+
+// Inst renders a single decoded instruction as text, resolving branch
+// targets to absolute addresses.
+func Inst(di cfg.DecodedInst) string {
+	in := &di.Inst
+	switch in.Form {
+	case isa.FRel8, isa.FRel32:
+		target := di.Addr + uint64(in.Len) + uint64(in.Imm)
+		return fmt.Sprintf("%s %#x", in.Op, target)
+	}
+	return in.String()
+}
+
+// Section writes a listing of one executable section.
+func Section(w io.Writer, bin *relf.Binary, sec *relf.Section, opt Options) error {
+	prog, err := cfg.Disassemble(bin)
+	if err != nil {
+		return err
+	}
+	// Symbol index for annotations.
+	symAt := map[uint64]string{}
+	for _, s := range bin.Symbols {
+		if s.Func {
+			symAt[s.Addr] = s.Name
+		}
+	}
+	data := sec.Data
+	addr := sec.Addr
+	for off := 0; off < len(data); {
+		in, err := isa.Decode(data[off:])
+		if err != nil {
+			// Patched tails (TRAP fill) may not decode as a stream;
+			// dump the byte and continue.
+			fmt.Fprintf(w, "%8x:\t.byte %#02x\n", addr, data[off])
+			off++
+			addr++
+			continue
+		}
+		if name, ok := symAt[addr]; ok {
+			fmt.Fprintf(w, "\n%016x <%s>:\n", addr, name)
+		} else if opt.ShowLeaders && prog.IsLeader(addr) && sec.Kind == relf.SecText {
+			fmt.Fprintf(w, "%8x: <L>\n", addr)
+		}
+		if opt.ShowBytes {
+			fmt.Fprintf(w, "%8x:\t% -24x\t%s\n", addr, data[off:off+int(in.Len)],
+				Inst(cfg.DecodedInst{Addr: addr, Inst: in}))
+		} else {
+			fmt.Fprintf(w, "%8x:\t%s\n", addr, Inst(cfg.DecodedInst{Addr: addr, Inst: in}))
+		}
+		off += int(in.Len)
+		addr += uint64(in.Len)
+	}
+	return nil
+}
+
+// Binary writes a listing of every executable section plus a summary of
+// the binary's structure.
+func Binary(w io.Writer, bin *relf.Binary, opt Options) error {
+	fmt.Fprintf(w, "RELF binary: entry %#x, PIC=%v, stripped=%v\n",
+		bin.Entry, bin.PIC, bin.Stripped)
+	secs := make([]*relf.Section, len(bin.Sections))
+	copy(secs, bin.Sections)
+	sort.Slice(secs, func(i, j int) bool { return secs[i].Addr < secs[j].Addr })
+	for _, s := range secs {
+		fmt.Fprintf(w, "  section %-12s %-6s addr %#10x size %8d\n",
+			s.Name, s.Kind, s.Addr, s.Size)
+	}
+	if len(bin.Imports) > 0 {
+		fmt.Fprintf(w, "  imports: %v\n", bin.Imports)
+	}
+	for _, s := range secs {
+		if s.Kind != relf.SecText && s.Kind != relf.SecTramp {
+			continue
+		}
+		fmt.Fprintf(w, "\nDisassembly of section %s:\n", s.Name)
+		if s.Kind == relf.SecTramp {
+			// Trampolines are not part of the linear program; decode
+			// them without control-flow annotations.
+			if err := rawSection(w, s, opt); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := Section(w, bin, s, opt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func rawSection(w io.Writer, sec *relf.Section, opt Options) error {
+	data := sec.Data
+	addr := sec.Addr
+	for off := 0; off < len(data); {
+		in, err := isa.Decode(data[off:])
+		if err != nil {
+			fmt.Fprintf(w, "%8x:\t.byte %#02x\n", addr, data[off])
+			off++
+			addr++
+			continue
+		}
+		fmt.Fprintf(w, "%8x:\t%s\n", addr, Inst(cfg.DecodedInst{Addr: addr, Inst: in}))
+		off += int(in.Len)
+		addr += uint64(in.Len)
+	}
+	return nil
+}

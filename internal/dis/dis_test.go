@@ -1,0 +1,74 @@
+package dis_test
+
+import (
+	"strings"
+	"testing"
+
+	"redfat/internal/asm"
+	"redfat/internal/dis"
+	"redfat/internal/redfat"
+)
+
+const src = `
+.data
+msg: .asciz "x"
+
+.text
+.func main
+    mov $40, %rdi
+    call @malloc
+    mov %rax, %rbx
+    mov $7, %rcx
+    mov %rcx, 8(%rbx)
+    jmp out
+out:
+    ret
+`
+
+func TestListing(t *testing.T) {
+	bin, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := dis.Binary(&sb, bin, dis.Options{ShowBytes: true, ShowLeaders: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<main>", "mov $0x28, %rdi", "rtcall", "mov %rcx, 0x8(%rbx)",
+		".text", "imports: [malloc]", "jmp 0x4000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestListingOfHardenedBinary(t *testing.T) {
+	bin, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, _, err := redfat.Harden(bin, redfat.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := dis.Binary(&sb, hard, dis.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, ".tramp") {
+		t.Error("listing missing trampoline section")
+	}
+	if !strings.Contains(out, "__redfat_check") {
+		t.Error("listing missing the check import")
+	}
+	// Patched sites jump into the trampoline region; the stolen-tail
+	// TRAP bytes must not abort the listing.
+	if !strings.Contains(out, "trap") && !strings.Contains(out, ".byte") {
+		t.Log(out)
+		t.Error("no patch artifacts visible in the listing")
+	}
+}

@@ -1,0 +1,324 @@
+package e9_test
+
+import (
+	"testing"
+
+	"redfat/internal/asm"
+	"redfat/internal/e9"
+	"redfat/internal/heap"
+	"redfat/internal/isa"
+	"redfat/internal/mem"
+	"redfat/internal/relf"
+	"redfat/internal/rtlib"
+	"redfat/internal/vm"
+)
+
+// buildAndRun assembles a program, applies patches via fn, and runs both
+// the original and the rewritten binary, returning the two exit codes.
+func buildAndRun(t *testing.T, build func(b *asm.Builder),
+	patch func(rw *e9.Rewriter) error, input ...uint64) (orig, patched uint64, rw *e9.Rewriter) {
+	t.Helper()
+	b := asm.NewBuilder(asm.Options{})
+	build(b)
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err = e9.New(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := patch(rw); err != nil {
+		t.Fatal(err)
+	}
+	hard, err := rw.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(bin *relf.Binary) uint64 {
+		m := mem.New()
+		v := vm.New(m)
+		v.Input = input
+		v.MaxCycles = 10_000_000
+		if err := v.Load(bin, rtlib.LibC(heap.New(m), m)); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return v.ExitCode
+	}
+	return run(bin), run(hard), rw
+}
+
+// markerPayload builds a payload that the test can observe: an RTCALL to
+// a counting host function is overkill, so we use a NOP payload — the
+// semantics test is that behaviour is unchanged.
+var nopPayload = []isa.Inst{{Op: isa.NOP, Form: isa.FNone}}
+
+func TestPatchPreservesSemantics(t *testing.T) {
+	// Patch every instruction of a small program with a NOP payload; the
+	// result must behave identically.
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.MovRI(isa.RAX, 0)
+	b.MovRI(isa.RCX, 1)
+	b.Label("loop")
+	b.AluRR(isa.ADD, isa.RAX, isa.RCX)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, 50)
+	b.Jcc(isa.JLE, "loop")
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for target := 0; target < 7; target++ {
+		rw, err := e9.New(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.Instrument(target, nopPayload); err != nil {
+			t.Fatalf("patching inst %d: %v", target, err)
+		}
+		hard, err := rw.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mem.New()
+		v := vm.New(m)
+		if err := v.Load(hard, rtlib.LibC(heap.New(m), m)); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Run(); err != nil {
+			t.Fatalf("patched inst %d: %v", target, err)
+		}
+		if v.ExitCode != 1275 { // 1+2+...+50
+			t.Errorf("patched inst %d: exit = %d, want 1275", target, v.ExitCode)
+		}
+	}
+}
+
+func TestTacticSelection(t *testing.T) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	// A 6+ byte instruction (movabs = long): T1.
+	b.MovRI(isa.RAX, 1<<40)
+	// Short instructions in a straight line: T2 via byte stealing.
+	b.MovRR(isa.RBX, isa.RAX)
+	b.MovRR(isa.RCX, isa.RBX)
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := e9.New(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Instrument(0, nopPayload); err != nil {
+		t.Fatal(err)
+	}
+	if got := rw.TacticAt(0); got != e9.TacticT1 {
+		t.Errorf("movabs patched with %v, want T1", got)
+	}
+	if err := rw.Instrument(1, nopPayload); err != nil {
+		t.Fatal(err)
+	}
+	if got := rw.TacticAt(1); got != e9.TacticT2 {
+		t.Errorf("short inst patched with %v, want T2", got)
+	}
+	st := rw.Stats()
+	if st.T1 != 1 || st.T2 != 1 || st.Stolen == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestT3FallbackAtBlockBoundary(t *testing.T) {
+	// A short instruction immediately before a jump target cannot steal
+	// bytes (the next instruction is a leader) → T3 trap patch.
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.MovRI(isa.RAX, 5)
+	b.Label("back")
+	b.AluRI(isa.SUB, isa.RAX, 1) // short; followed by...
+	b.MovRR(isa.RCX, isa.RAX)    // ...a branch target (leader)? no — "back" is above.
+	b.AluRI(isa.CMP, isa.RAX, 0)
+	b.Jcc(isa.JG, "back")
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := e9.New(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instrument the SUB at index 1 ("back" label): its successors are
+	// plain instructions, so stealing works — expect T2 and working
+	// semantics even though the patched instruction is a jump target.
+	if err := rw.Instrument(1, nopPayload); err != nil {
+		t.Fatal(err)
+	}
+	hard, err := rw.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	v := vm.New(m)
+	if err := v.Load(hard, rtlib.LibC(heap.New(m), m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.ExitCode != 0 {
+		t.Errorf("exit = %d", v.ExitCode)
+	}
+}
+
+func TestT3TrapPatch(t *testing.T) {
+	// Force T3 by reserving the following instruction (a future patch
+	// point may not be stolen).
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.MovRI(isa.RAX, 7)       // 0 (imm8 form: short)
+	b.MovRR(isa.RBX, isa.RAX) // 1 (reserved)
+	b.MovRR(isa.RAX, isa.RBX) // 2
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := e9.New(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := rw.Prog
+	rw.Reserve(prog.Insts[1].Addr, prog.Insts[2].Addr)
+	if err := rw.Instrument(0, nopPayload); err != nil {
+		t.Fatal(err)
+	}
+	if got := rw.TacticAt(0); got != e9.TacticT3 {
+		t.Fatalf("tactic = %v, want T3", got)
+	}
+	hard, err := rw.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard.Section(relf.PatchTableSection) == nil {
+		t.Fatal("no patch table emitted for a T3 patch")
+	}
+	m := mem.New()
+	v := vm.New(m)
+	if err := v.Load(hard, rtlib.LibC(heap.New(m), m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.ExitCode != 7 {
+		t.Errorf("exit = %d, want 7", v.ExitCode)
+	}
+}
+
+func TestPatchedBranchRelocation(t *testing.T) {
+	// Patch a conditional branch itself: its displacement must be
+	// relocated so the taken path still reaches the original target.
+	orig, patched, _ := buildAndRun(t,
+		func(b *asm.Builder) {
+			b.Func("main")
+			b.MovRI(isa.RAX, 0)
+			b.MovRI(isa.RCX, 3)
+			b.Label("loop")
+			b.AluRR(isa.ADD, isa.RAX, isa.RCX)
+			b.AluRI(isa.SUB, isa.RCX, 1)
+			b.AluRI(isa.CMP, isa.RCX, 0)
+			b.Jcc(isa.JG, "loop") // index 5: the patched branch
+			b.Ret()
+		},
+		func(rw *e9.Rewriter) error {
+			return rw.Instrument(5, nopPayload)
+		})
+	if orig != patched {
+		t.Errorf("branch relocation broke semantics: %d vs %d", orig, patched)
+	}
+}
+
+func TestPatchedCallRelocation(t *testing.T) {
+	orig, patched, _ := buildAndRun(t,
+		func(b *asm.Builder) {
+			b.Func("main")
+			b.Call("f") // index 0: patched call
+			b.Ret()
+			b.Func("f")
+			b.MovRI(isa.RAX, 99)
+			b.Ret()
+		},
+		func(rw *e9.Rewriter) error {
+			return rw.Instrument(0, nopPayload)
+		})
+	if orig != 99 || patched != 99 {
+		t.Errorf("call relocation broke semantics: %d vs %d", orig, patched)
+	}
+}
+
+func TestDoublePatchRejected(t *testing.T) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.MovRI(isa.RAX, 1)
+	b.Ret()
+	bin, _ := b.Build()
+	rw, err := e9.New(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Instrument(0, nopPayload); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Instrument(0, nopPayload); err == nil {
+		t.Error("double patch accepted")
+	}
+}
+
+func TestStolenInstructionNotPatchable(t *testing.T) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.MovRR(isa.RAX, isa.RBX) // 0: short → steals 1
+	b.MovRR(isa.RCX, isa.RAX) // 1: stolen
+	b.MovRI(isa.RAX, 0)
+	b.Ret()
+	bin, _ := b.Build()
+	rw, err := e9.New(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Instrument(0, nopPayload); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Instrument(1, nopPayload); err == nil {
+		t.Error("patching a stolen instruction accepted")
+	}
+}
+
+func TestOriginalUntouched(t *testing.T) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.MovRI(isa.RAX, 1)
+	b.Ret()
+	bin, _ := b.Build()
+	before := append([]byte(nil), bin.Text().Data...)
+	rw, err := e9.New(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Instrument(0, nopPayload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rw.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if string(bin.Text().Data) != string(before) {
+		t.Error("rewriter modified the input binary")
+	}
+}

@@ -1,0 +1,140 @@
+// Package fuzz implements coverage-guided input generation for the
+// profiling phase — the paper's observation (§5) that "automated
+// coverage-guided testing tools, such as AFL over binaries [E9AFL], can
+// be used to boost coverage" of the allow-list.
+//
+// The fuzzer drives the *profiling* binary (paper Fig. 5 step 1): the
+// per-site execution counters that the profiling runtime maintains double
+// as the coverage map, exactly as E9AFL instruments coverage and RedFat
+// instruments checks with the same rewriting machinery. Inputs that light
+// up new instrumentation sites join the corpus and are mutated further.
+package fuzz
+
+import (
+	"math/rand"
+
+	"redfat/internal/profile"
+	"redfat/internal/relf"
+	"redfat/internal/rtlib"
+)
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	// MaxRuns bounds the number of executions (default 256).
+	MaxRuns int
+	// Seed makes the campaign deterministic (default 1).
+	Seed int64
+	// MaxCycles bounds each execution (runaway inputs are discarded).
+	MaxCycles uint64
+}
+
+func (o *Options) defaults() {
+	if o.MaxRuns == 0 {
+		o.MaxRuns = 256
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 200_000_000
+	}
+}
+
+// Result reports a campaign.
+type Result struct {
+	// Profiler has accumulated every successful run; its AllowList is
+	// the boosted phase-1 output.
+	Profiler *profile.Profiler
+	// Corpus holds the coverage-increasing inputs (seeds included).
+	Corpus [][]uint64
+	// SitesCovered is the number of distinct instrumentation sites
+	// executed at least once across the campaign.
+	SitesCovered int
+	// SeedSites is the coverage from the seed inputs alone, for
+	// measuring the boost.
+	SeedSites int
+	Runs      int
+}
+
+// Boost runs a coverage-guided campaign against a *profiling-mode* binary
+// (built with redfat.Options.Profile). seeds must contain at least one
+// input vector.
+func Boost(profBin *relf.Binary, seeds [][]uint64, opt Options) (*Result, error) {
+	opt.defaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := &Result{Profiler: profile.NewProfiler()}
+	covered := map[uint64]bool{} // site PC → seen
+
+	execute := func(input []uint64) (newCov int, err error) {
+		v, rt, err := rtlib.RunHardened(profBin, rtlib.RunConfig{
+			Input: input, MaxCycles: opt.MaxCycles,
+		})
+		res.Runs++
+		if err != nil {
+			// Crashes and cycle blowups are uninteresting inputs, not
+			// campaign failures (AFL keeps going too).
+			_ = v
+			return 0, nil
+		}
+		res.Profiler.Accumulate(rt)
+		for i := range rt.Checks {
+			if rt.Stats[i].Execs > 0 && !covered[rt.Checks[i].PC] {
+				covered[rt.Checks[i].PC] = true
+				newCov++
+			}
+		}
+		return newCov, nil
+	}
+
+	for _, s := range seeds {
+		if _, err := execute(s); err != nil {
+			return nil, err
+		}
+		res.Corpus = append(res.Corpus, append([]uint64(nil), s...))
+	}
+	res.SeedSites = len(covered)
+
+	for res.Runs < opt.MaxRuns && len(res.Corpus) > 0 {
+		parent := res.Corpus[rng.Intn(len(res.Corpus))]
+		child := mutate(rng, parent)
+		n, err := execute(child)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			res.Corpus = append(res.Corpus, child)
+		}
+	}
+	res.SitesCovered = len(covered)
+	return res, nil
+}
+
+// mutate applies one of several AFL-style mutations to an input vector.
+func mutate(rng *rand.Rand, in []uint64) []uint64 {
+	out := append([]uint64(nil), in...)
+	if len(out) == 0 {
+		return []uint64{rng.Uint64() & 0xFFFF}
+	}
+	switch rng.Intn(6) {
+	case 0: // bit flip
+		i := rng.Intn(len(out))
+		out[i] ^= 1 << rng.Intn(64)
+	case 1: // arithmetic nudge
+		i := rng.Intn(len(out))
+		out[i] += uint64(rng.Intn(65)) - 32
+	case 2: // interesting value
+		i := rng.Intn(len(out))
+		vals := []uint64{0, 1, 0xFF, 0xFFFF, 1 << 31, ^uint64(0)}
+		out[i] = vals[rng.Intn(len(vals))]
+	case 3: // random byte-width value
+		i := rng.Intn(len(out))
+		out[i] = rng.Uint64() >> (8 * uint(rng.Intn(8)))
+	case 4: // append a value
+		out = append(out, rng.Uint64()&0xFFFF)
+	case 5: // set-bit splice (turn on a flag bit — effective for the
+		// kernel-gating inputs of the workload suite)
+		i := rng.Intn(len(out))
+		out[i] |= 1 << rng.Intn(16)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+// Package heap implements a glibc-style baseline memory allocator.
+//
+// This is the allocator uninstrumented binaries run with: a brk-style
+// arena with boundary-tag headers and size-binned free lists. It lives in
+// a non-fat region (well below the low-fat regions at 32 GB), so pointers
+// it returns are non-fat by construction.
+//
+// The RedFat workflow replaces this allocator with the redzone/low-fat one
+// (package redzone) by rebinding the malloc/free imports — the simulation
+// of the paper's LD_PRELOAD interposition.
+package heap
+
+import (
+	"fmt"
+
+	"redfat/internal/mem"
+)
+
+// Arena placement: a classic brk heap placed above the data segment and
+// far (≫2 GB) below the low-fat regions.
+const (
+	ArenaBase = 0x10000000        // 256 MB
+	ArenaEnd  = ArenaBase + 1<<30 // 1 GB arena
+)
+
+// headerSize is the boundary-tag header prepended to each chunk: 8 bytes
+// holding the chunk size (including header), plus 8 bytes of padding to
+// keep 16-byte alignment, like glibc.
+const headerSize = 16
+
+// Heap is the baseline allocator.
+type Heap struct {
+	Mem *mem.Memory
+
+	next     uint64 // wilderness bump pointer
+	mappedTo uint64
+	bins     map[uint64][]uint64 // chunk size → free chunk addresses
+
+	allocs uint64
+	frees  uint64
+	errors uint64
+}
+
+// New creates a baseline heap on m.
+func New(m *mem.Memory) *Heap {
+	return &Heap{
+		Mem:      m,
+		next:     ArenaBase,
+		mappedTo: ArenaBase,
+		bins:     make(map[uint64][]uint64),
+	}
+}
+
+// chunkSize rounds a request up to a binned chunk size: multiples of 16 up
+// to 512 bytes, then powers of two. The padding this introduces is the
+// padding the paper notes redzone tools cannot protect (§2.1).
+func chunkSize(size uint64) uint64 {
+	n := size + headerSize
+	if n <= 512 {
+		return (n + 15) &^ 15
+	}
+	c := uint64(1024)
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Malloc allocates size bytes, 16-byte aligned.
+func (h *Heap) Malloc(size uint64) (uint64, error) {
+	c := chunkSize(size)
+	if lst := h.bins[c]; len(lst) > 0 {
+		chunk := lst[len(lst)-1]
+		h.bins[c] = lst[:len(lst)-1]
+		h.allocs++
+		if err := h.Mem.Store(chunk, 8, c); err != nil {
+			return 0, err
+		}
+		return chunk + headerSize, nil
+	}
+	if h.next+c > ArenaEnd {
+		return 0, fmt.Errorf("heap: arena exhausted")
+	}
+	chunk := h.next
+	h.next += c
+	if h.next > h.mappedTo {
+		grow := c
+		if grow < 1<<16 {
+			grow = 1 << 16
+		}
+		end := (h.mappedTo + grow + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
+		if end > ArenaEnd {
+			end = ArenaEnd
+		}
+		h.Mem.Map(h.mappedTo, end-h.mappedTo, mem.PermRW)
+		h.mappedTo = end
+	}
+	if err := h.Mem.Store(chunk, 8, c); err != nil {
+		return 0, err
+	}
+	h.allocs++
+	return chunk + headerSize, nil
+}
+
+// Calloc allocates zeroed memory.
+func (h *Heap) Calloc(n, size uint64) (uint64, error) {
+	total := n * size
+	if size != 0 && total/size != n {
+		return 0, fmt.Errorf("heap: calloc overflow")
+	}
+	p, err := h.Malloc(total)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.Mem.Memset(p, 0, total); err != nil {
+		return 0, err
+	}
+	return p, nil
+}
+
+// Free returns a chunk to its bin. The baseline allocator performs only
+// the cheap sanity checks glibc does; corrupted headers lead to the same
+// class of undefined behaviour as on real systems (which is exactly what
+// heap-overflow attacks exploit).
+func (h *Heap) Free(ptr uint64) error {
+	if ptr == 0 {
+		return nil
+	}
+	chunk := ptr - headerSize
+	c, err := h.Mem.Load(chunk, 8)
+	if err != nil {
+		h.errors++
+		return fmt.Errorf("heap: free of unmapped pointer %#x", ptr)
+	}
+	if c < headerSize || c > ArenaEnd-ArenaBase || c%16 != 0 {
+		h.errors++
+		return fmt.Errorf("heap: free(%#x): invalid chunk size %#x", ptr, c)
+	}
+	h.bins[c] = append(h.bins[c], chunk)
+	h.frees++
+	return nil
+}
+
+// Realloc resizes an allocation.
+func (h *Heap) Realloc(ptr, size uint64) (uint64, error) {
+	if ptr == 0 {
+		return h.Malloc(size)
+	}
+	if size == 0 {
+		return 0, h.Free(ptr)
+	}
+	c, err := h.Mem.Load(ptr-headerSize, 8)
+	if err != nil {
+		return 0, fmt.Errorf("heap: realloc of invalid pointer %#x", ptr)
+	}
+	old := c - headerSize
+	if size <= old {
+		return ptr, nil
+	}
+	np, err := h.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.Mem.Memcpy(np, ptr, old); err != nil {
+		return 0, err
+	}
+	return np, h.Free(ptr)
+}
+
+// UsableSize returns the usable bytes of an allocation (chunk minus header).
+func (h *Heap) UsableSize(ptr uint64) (uint64, error) {
+	c, err := h.Mem.Load(ptr-headerSize, 8)
+	if err != nil {
+		return 0, err
+	}
+	return c - headerSize, nil
+}
+
+// Stats returns (allocs, frees, detected errors).
+func (h *Heap) Stats() (allocs, frees, errors uint64) {
+	return h.allocs, h.frees, h.errors
+}

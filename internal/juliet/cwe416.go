@@ -1,0 +1,167 @@
+package juliet
+
+import (
+	"fmt"
+
+	"redfat/internal/asm"
+	"redfat/internal/isa"
+	"redfat/internal/relf"
+)
+
+// Extension suites beyond the paper's Table 2: CWE-416 (use-after-free)
+// and CWE-415 (double free) cases in the same Juliet good/bad structure.
+// The paper's title promises hardening against "more memory errors" —
+// these suites validate the temporal-error side of the complementary
+// design: use-after-free is caught by the redzone component's Free state
+// (SIZE=0 in the merged check), which the low-fat component alone could
+// never see (paper §2.1, "No use-after-free detection").
+
+// uafFlow enumerates how the dangling pointer reaches the sink.
+type uafFlow int
+
+const (
+	uafDirect  uafFlow = iota // free then use in straight line
+	uafLoop                   // use under a loop after the free
+	uafHelper                 // dangling pointer passed to a helper
+	uafRealloc                // dangling alias left by realloc
+	numUafFlows
+)
+
+// UAFCases generates the CWE-416 suite: flows × sinks (write/read) ×
+// 8 sizes = 64 bad cases (each with a good variant).
+func UAFCases() []*Case {
+	var out []*Case
+	for f := uafFlow(0); f < numUafFlows; f++ {
+		for _, write := range []bool{true, false} {
+			for v := 0; v < 8; v++ {
+				f, write, v := f, write, v
+				size := int64(24 + 24*v)
+				kind := "R"
+				if write {
+					kind = "W"
+				}
+				out = append(out, &Case{
+					ID:    fmt.Sprintf("CWE416_f%d_%s_v%d", f, kind, v),
+					Group: "CWE416",
+					Write: write,
+					Input: []uint64{0},
+					build: func(good bool) (*relf.Binary, error) {
+						return buildUAF(f, write, size, good)
+					},
+				})
+			}
+		}
+	}
+	return out
+}
+
+func buildUAF(f uafFlow, write bool, size int64, good bool) (*relf.Binary, error) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.MovRI(isa.RDI, size)
+	b.CallImport("malloc")
+	b.MovRR(isa.RBX, isa.RAX)
+	b.StoreI(isa.RBX, 0, 7, 8)
+
+	if !good {
+		switch f {
+		case uafRealloc:
+			// realloc moves the object; RBX keeps the stale alias.
+			b.MovRR(isa.RDI, isa.RBX)
+			b.MovRI(isa.RSI, size*4)
+			b.CallImport("realloc")
+			b.MovRR(isa.R13, isa.RAX) // new pointer (unused)
+		default:
+			b.MovRR(isa.RDI, isa.RBX)
+			b.CallImport("free")
+		}
+	}
+
+	sink := func() {
+		if write {
+			b.StoreI(isa.RBX, 8, 0x42, 8)
+		} else {
+			b.Load(isa.RDX, isa.RBX, 8, 8)
+			b.Emit(isa.Inst{Op: isa.TEST, Form: isa.FRR, Reg: isa.RDX, Reg2: isa.RDX, Size: 8})
+		}
+	}
+	switch f {
+	case uafDirect, uafRealloc:
+		sink()
+	case uafLoop:
+		b.MovRI(isa.RCX, 0)
+		b.Label("uloop")
+		sink()
+		b.AluRI(isa.ADD, isa.RCX, 1)
+		b.AluRI(isa.CMP, isa.RCX, 4)
+		b.Jcc(isa.JL, "uloop")
+	case uafHelper:
+		b.MovRR(isa.RDI, isa.RBX)
+		b.Call("use")
+	}
+	if good {
+		b.MovRR(isa.RDI, isa.RBX)
+		b.CallImport("free")
+	}
+	b.MovRI(isa.RAX, 0)
+	b.Ret()
+	if f == uafHelper {
+		b.Func("use")
+		if write {
+			b.StoreI(isa.RDI, 8, 0x42, 8)
+		} else {
+			b.Load(isa.RDX, isa.RDI, 8, 8)
+			b.Emit(isa.Inst{Op: isa.TEST, Form: isa.FRR, Reg: isa.RDX, Reg2: isa.RDX, Size: 8})
+		}
+		b.Ret()
+	}
+	return b.Build()
+}
+
+// DoubleFreeCases generates the CWE-415 suite: 16 bad cases. Double frees
+// are caught by the allocator interposition itself (the redzone wrapper's
+// SIZE=0 state), not by instrumented checks — exactly how the real
+// libredfat reports invalid frees.
+func DoubleFreeCases() []*Case {
+	var out []*Case
+	for v := 0; v < 16; v++ {
+		v := v
+		size := int64(16 + 16*v)
+		out = append(out, &Case{
+			ID:    fmt.Sprintf("CWE415_v%02d", v),
+			Group: "CWE415",
+			Write: false,
+			Input: []uint64{0},
+			build: func(good bool) (*relf.Binary, error) {
+				return buildDoubleFree(size, v%2 == 1, good)
+			},
+		})
+	}
+	return out
+}
+
+func buildDoubleFree(size int64, viaHelper, good bool) (*relf.Binary, error) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.MovRI(isa.RDI, size)
+	b.CallImport("malloc")
+	b.MovRR(isa.RBX, isa.RAX)
+	b.MovRR(isa.RDI, isa.RBX)
+	if viaHelper {
+		b.Call("release")
+	} else {
+		b.CallImport("free")
+	}
+	if !good {
+		b.MovRR(isa.RDI, isa.RBX)
+		b.CallImport("free") // the second free
+	}
+	b.MovRI(isa.RAX, 0)
+	b.Ret()
+	if viaHelper {
+		b.Func("release")
+		b.CallImport("free")
+		b.Ret()
+	}
+	return b.Build()
+}

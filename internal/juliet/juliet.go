@@ -1,0 +1,306 @@
+// Package juliet builds the non-incremental-overflow detection suite of
+// paper §7.2 (Table 2): four real-world CVE models and a 480-case Juliet
+// CWE-122 (heap buffer overflow) suite.
+//
+// Every bad case performs an attacker-controlled *non-incremental*
+// out-of-bounds access: the offset skips past the 16-byte redzone of the
+// overflowed object and lands inside an adjacent allocated object. This is
+// exactly the class redzone-only tools (Valgrind Memcheck) cannot see and
+// RedFat's LowFat component catches (paper Problem #1).
+//
+// Each case also has a "good" variant (in-bounds access), mirroring the
+// Juliet good/bad structure, used to confirm the absence of false alarms.
+package juliet
+
+import (
+	"fmt"
+
+	"redfat/internal/asm"
+	"redfat/internal/isa"
+	"redfat/internal/relf"
+)
+
+// Case is one test program of the suite.
+type Case struct {
+	ID    string
+	Group string // "CVE" or "Juliet"
+	Write bool   // the overflowing access is a write
+	// Input is the attack input (the in-victim offset and flow values).
+	Input []uint64
+	// build assembles the program; good selects the in-bounds variant.
+	build func(good bool) (*relf.Binary, error)
+}
+
+// Build assembles the bad (vulnerable+triggered) variant.
+func (c *Case) Build() (*relf.Binary, error) { return c.build(false) }
+
+// BuildGood assembles the good (in-bounds) variant.
+func (c *Case) BuildGood() (*relf.Binary, error) { return c.build(true) }
+
+// emitVictimPair emits the standard preamble: RBX = buffer of size s,
+// R13 = adjacent victim of the same size, R14 = byte distance victim−buffer.
+func emitVictimPair(b *asm.Builder, size int64) {
+	b.MovRI(isa.RDI, size)
+	b.CallImport("malloc")
+	b.MovRR(isa.RBX, isa.RAX)
+	b.MovRI(isa.RDI, size)
+	b.CallImport("malloc")
+	b.MovRR(isa.R13, isa.RAX)
+	b.MovRR(isa.R14, isa.R13)
+	b.AluRR(isa.SUB, isa.R14, isa.RBX)
+}
+
+// --- CVE models ---
+
+// cveWireshark models CVE-2012-4295 (paper Fig. 1):
+// channelised_fill_sdh_g707_format. The struct layout:
+//
+//	offset 0  m_vc_size      (u8)
+//	offset 1  m_sdh_line_rate(u8)
+//	offset 16 m_vc_index_array[5]
+//
+// Line 15: in_fmt->m_vc_index_array[speed-1] = 0, with attacker-chosen
+// speed large enough to skip the redzone into the adjacent heap object.
+func cveWireshark(good bool) (*relf.Binary, error) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	emitVictimPair(b, 24) // sizeof(sdh_g707_format_t)
+	// vc_size/speed from the (attacker's) packet.
+	b.CallImport("rf_input")
+	b.MovRR(isa.RCX, isa.RAX) // vc_size
+	b.CallImport("rf_input")
+	b.MovRR(isa.RDX, isa.RAX) // speed (attacker controlled)
+	// if (vc_size == 0) return -1
+	b.AluRI(isa.CMP, isa.RCX, 0)
+	b.Jcc(isa.JNE, "fill")
+	b.MovRI(isa.RAX, -1)
+	b.Ret()
+	b.Label("fill")
+	b.Store(isa.RBX, 0, isa.RCX, 1) // in_fmt->m_vc_size = vc_size
+	b.Store(isa.RBX, 1, isa.RDX, 1) // in_fmt->m_sdh_line_rate = speed
+	// memset(&m_vc_index_array[0], 0xff, 5)
+	b.MovRR(isa.R12, isa.RDX) // preserve speed across the call
+	b.MovRR(isa.RDI, isa.RBX)
+	b.AluRI(isa.ADD, isa.RDI, 16)
+	b.MovRI(isa.RSI, 0xFF)
+	b.MovRI(isa.RDX, 5)
+	b.CallImport("memset")
+	b.MovRR(isa.RDX, isa.R12)
+	_ = good
+	// in_fmt->m_vc_index_array[speed-1] = 0  — the vulnerable store.
+	b.StoreMI(asm.MemBID(isa.RBX, isa.RDX, 1, 16-1), 0, 1)
+	b.MovRI(isa.RAX, 0)
+	b.Ret()
+	return b.Build()
+}
+
+// cveIndexed models the php/7zip-style CVEs: a heap array accessed at an
+// attacker-controlled index. In the bad variant the guest adds the
+// groomed object distance (R14) to the input — the attacker's knowledge
+// of the heap layout — so the access lands inside the adjacent victim
+// under any allocator.
+func cveIndexed(size int64, elem uint8, write bool) func(bool) (*relf.Binary, error) {
+	return func(good bool) (*relf.Binary, error) {
+		b := asm.NewBuilder(asm.Options{})
+		b.Func("main")
+		emitVictimPair(b, size)
+		b.CallImport("rf_input") // attacker offset
+		if !good {
+			b.AluRR(isa.ADD, isa.RAX, isa.R14) // heap grooming
+		}
+		if write {
+			b.MovRI(isa.RCX, 0x41)
+			b.StoreM(asm.MemBID(isa.RBX, isa.RAX, 1, 0), isa.RCX, elem)
+		} else {
+			b.LoadM(isa.RDX, asm.MemBID(isa.RBX, isa.RAX, 1, 0), 8)
+			b.Emit(isa.Inst{Op: isa.TEST, Form: isa.FRR, Reg: isa.RDX, Reg2: isa.RDX, Size: 8})
+		}
+		b.MovRI(isa.RAX, 0)
+		b.Ret()
+		return b.Build()
+	}
+}
+
+// CVECases returns the four real-world CVE models of Table 2.
+func CVECases() []*Case {
+	return []*Case{
+		{
+			ID: "CVE-2007-3476", Group: "CVE", Write: true,
+			Input: []uint64{0}, // first victim byte
+			build: cveIndexed(64, 1, true),
+		},
+		{
+			ID: "CVE-2016-1903", Group: "CVE", Write: false,
+			Input: []uint64{8},
+			build: cveIndexed(128, 8, false),
+		},
+		{
+			ID: "CVE-2012-4295", Group: "CVE", Write: true,
+			// vc_size=3, speed=200: the paper's example value, enough to
+			// skip the 16-byte redzone into the adjacent heap object.
+			Input: []uint64{3, 200},
+			build: cveWireshark,
+		},
+		{
+			ID: "CVE-2016-2335", Group: "CVE", Write: true,
+			Input: []uint64{4},
+			build: cveIndexed(96, 4, true),
+		},
+	}
+}
+
+// Trigger returns the attack input for the bad variant of a case.
+func Trigger(c *Case) []uint64 { return c.Input }
+
+// GoodInput returns an in-bounds input for the good variant.
+func GoodInput(c *Case) []uint64 {
+	if c.ID == "CVE-2012-4295" {
+		return []uint64{3, 5} // speed ≤ 5: in bounds
+	}
+	return []uint64{1}
+}
+
+// --- Juliet CWE-122 generation ---
+
+// flow enumerates Juliet-style data-flow variants for the overflow index.
+type flow int
+
+const (
+	flowDirect      flow = iota // index straight from input
+	flowArith                   // index = input + constant arithmetic
+	flowHelper                  // index passed through a helper function
+	flowConditional             // index selected by a branch
+	flowStride                  // index reached by a striding loop
+	flowMemory                  // index stored to and reloaded from memory
+	flowScaled                  // index computed with a scaled operand
+	flowDouble                  // index doubled through two helpers
+	numFlows
+)
+
+// sink enumerates the overflowing access shapes.
+type sink int
+
+const (
+	sinkStore8 sink = iota
+	sinkStore4
+	sinkStore2
+	sinkStore1
+	sinkLoad8
+	sinkRMW
+	numSinks
+)
+
+// NumJuliet is the number of generated CWE-122 bad cases (Table 2: 480).
+const NumJuliet = int(numFlows) * int(numSinks) * 10
+
+// JulietCases generates the CWE-122 suite: numFlows × numSinks × 10
+// buffer sizes = 480 cases.
+func JulietCases() []*Case {
+	var out []*Case
+	for f := flow(0); f < numFlows; f++ {
+		for s := sink(0); s < numSinks; s++ {
+			for v := 0; v < 10; v++ {
+				f, s, v := f, s, v
+				size := int64(16 + 16*v) // 16..160 bytes
+				id := fmt.Sprintf("CWE122_f%02d_s%02d_v%02d", f, s, v)
+				out = append(out, &Case{
+					ID: id, Group: "Juliet",
+					Write: s != sinkLoad8,
+					Input: []uint64{4}, // in-victim offset
+					build: func(good bool) (*relf.Binary, error) {
+						return buildJuliet(f, s, size, good)
+					},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// buildJuliet assembles one Juliet-style case.
+func buildJuliet(f flow, s sink, size int64, good bool) (*relf.Binary, error) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	emitVictimPair(b, size)
+	b.CallImport("rf_input") // in-victim offset (bad) or in-bounds index (good)
+
+	// Bad variants compute index = distance(R14) + input; good variants
+	// use the input directly (kept within bounds by the harness).
+	if !good {
+		b.AluRR(isa.ADD, isa.RAX, isa.R14)
+	}
+
+	// Data-flow shaping.
+	switch f {
+	case flowDirect:
+		// nothing
+	case flowArith:
+		b.AluRI(isa.ADD, isa.RAX, 7)
+		b.AluRI(isa.SUB, isa.RAX, 7)
+	case flowHelper:
+		b.MovRR(isa.RDI, isa.RAX)
+		b.Call("identity")
+	case flowConditional:
+		b.AluRI(isa.CMP, isa.RAX, 0)
+		b.Jcc(isa.JE, "zero")
+		b.Jmp("after")
+		b.Label("zero")
+		b.MovRI(isa.RAX, 0)
+		b.Label("after")
+	case flowStride:
+		// Reach the index by striding in steps of 64 — a loop, but the
+		// final access still skips redzones (non-incremental in effect).
+		b.MovRR(isa.RDX, isa.RAX)
+		b.MovRI(isa.RAX, 0)
+		b.Label("stride")
+		b.AluRI(isa.ADD, isa.RAX, 64)
+		b.AluRR(isa.CMP, isa.RAX, isa.RDX)
+		b.Jcc(isa.JLE, "stride")
+		b.AluRI(isa.SUB, isa.RAX, 64)
+		b.MovRR(isa.RCX, isa.RDX)
+		b.AluRR(isa.SUB, isa.RCX, isa.RAX)
+		b.AluRR(isa.ADD, isa.RAX, isa.RCX) // exact index again
+	case flowMemory:
+		b.Zero("spill", 8)
+		b.StoreGlobal("spill", 0, isa.RAX, 8)
+		b.LoadGlobal(isa.RAX, "spill", 0, 8)
+	case flowScaled:
+		b.MovRR(isa.RDX, isa.RAX)
+		b.Shift(isa.SHR, isa.RDX, 1)
+		b.AluRR(isa.SUB, isa.RAX, isa.RDX) // rax = ceil(rax/2)
+		b.AluRR(isa.ADD, isa.RAX, isa.RDX) // back to full
+	case flowDouble:
+		b.MovRR(isa.RDI, isa.RAX)
+		b.Call("identity")
+		b.MovRR(isa.RDI, isa.RAX)
+		b.Call("identity")
+	}
+
+	// Sink.
+	b.MovRI(isa.RCX, 0x42)
+	m := asm.MemBID(isa.RBX, isa.RAX, 1, 0)
+	switch s {
+	case sinkStore8:
+		b.StoreM(m, isa.RCX, 8)
+	case sinkStore4:
+		b.StoreM(m, isa.RCX, 4)
+	case sinkStore2:
+		b.StoreM(m, isa.RCX, 2)
+	case sinkStore1:
+		b.StoreM(m, isa.RCX, 1)
+	case sinkLoad8:
+		b.LoadM(isa.RDX, m, 8)
+		b.Emit(isa.Inst{Op: isa.TEST, Form: isa.FRR, Reg: isa.RDX, Reg2: isa.RDX, Size: 8})
+	case sinkRMW:
+		b.AluMR(isa.ADD, m, isa.RCX, 8)
+	}
+	b.MovRI(isa.RAX, 0)
+	b.Ret()
+
+	if f == flowHelper || f == flowDouble {
+		b.Func("identity")
+		b.MovRR(isa.RAX, isa.RDI)
+		b.Ret()
+	}
+	return b.Build()
+}

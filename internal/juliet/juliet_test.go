@@ -1,0 +1,115 @@
+package juliet_test
+
+import (
+	"testing"
+
+	"redfat/internal/juliet"
+	"redfat/internal/memcheck"
+	"redfat/internal/redfat"
+	"redfat/internal/rtlib"
+	"redfat/internal/vm"
+)
+
+func TestSuiteSizes(t *testing.T) {
+	if n := len(juliet.CVECases()); n != 4 {
+		t.Errorf("CVE cases = %d, want 4", n)
+	}
+	js := juliet.JulietCases()
+	if len(js) != 480 || juliet.NumJuliet != 480 {
+		t.Errorf("Juliet cases = %d/%d, want 480", len(js), juliet.NumJuliet)
+	}
+	ids := map[string]bool{}
+	for _, c := range js {
+		if ids[c.ID] {
+			t.Fatalf("duplicate case id %s", c.ID)
+		}
+		ids[c.ID] = true
+	}
+}
+
+// runCase returns (redfatDetected, memcheckDetected) for a bad case.
+func runCase(t *testing.T, c *juliet.Case) (bool, bool) {
+	t.Helper()
+	bin, err := c.Build()
+	if err != nil {
+		t.Fatalf("%s: %v", c.ID, err)
+	}
+	hard, _, err := redfat.Harden(bin, redfat.Defaults())
+	if err != nil {
+		t.Fatalf("%s: %v", c.ID, err)
+	}
+	v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{
+		Input: juliet.Trigger(c), Abort: true,
+	})
+	rf := len(v.Errors) > 0
+	if _, ok := err.(*vm.MemError); ok {
+		rf = true
+	} else if err != nil {
+		t.Fatalf("%s: hardened run: %v", c.ID, err)
+	}
+
+	mv, err := memcheck.Run(bin, rtlib.RunConfig{Input: juliet.Trigger(c), Abort: true})
+	mc := len(mv.Errors) > 0
+	if _, ok := err.(*vm.MemError); ok {
+		mc = true
+	} else if err != nil {
+		t.Fatalf("%s: memcheck run: %v", c.ID, err)
+	}
+	return rf, mc
+}
+
+func TestCVEDetection(t *testing.T) {
+	// Table 2: RedFat 4/4, Memcheck 0/4.
+	for _, c := range juliet.CVECases() {
+		rf, mc := runCase(t, c)
+		if !rf {
+			t.Errorf("%s: RedFat missed the non-incremental overflow", c.ID)
+		}
+		if mc {
+			t.Errorf("%s: Memcheck unexpectedly detected the redzone skip", c.ID)
+		}
+	}
+}
+
+func TestJulietSample(t *testing.T) {
+	// A representative slice of the 480 (the full sweep runs in the
+	// bench harness); every 31st case to cover all flows and sinks.
+	cases := juliet.JulietCases()
+	for i := 0; i < len(cases); i += 31 {
+		c := cases[i]
+		rf, mc := runCase(t, c)
+		if !rf {
+			t.Errorf("%s: RedFat missed", c.ID)
+		}
+		if mc {
+			t.Errorf("%s: Memcheck detected a redzone skip (should be invisible)", c.ID)
+		}
+	}
+}
+
+func TestGoodVariantsClean(t *testing.T) {
+	// Good (in-bounds) variants must run clean under full hardening:
+	// no false alarms on the Juliet structure itself.
+	var cases []*juliet.Case
+	cases = append(cases, juliet.CVECases()...)
+	js := juliet.JulietCases()
+	for i := 0; i < len(js); i += 53 {
+		cases = append(cases, js[i])
+	}
+	for _, c := range cases {
+		bin, err := c.BuildGood()
+		if err != nil {
+			t.Fatalf("%s: %v", c.ID, err)
+		}
+		hard, _, err := redfat.Harden(bin, redfat.Defaults())
+		if err != nil {
+			t.Fatalf("%s: %v", c.ID, err)
+		}
+		v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{
+			Input: juliet.GoodInput(c), Abort: true,
+		})
+		if err != nil || len(v.Errors) != 0 {
+			t.Errorf("%s (good): false alarm: %v %v", c.ID, err, v.Errors)
+		}
+	}
+}

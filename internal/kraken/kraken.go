@@ -1,0 +1,205 @@
+// Package kraken reproduces the paper's scalability experiment (§7.3,
+// Fig. 8): instrumenting a very large, Chrome-like binary and measuring
+// the overhead of write-only hardening under the 14 Kraken browser
+// sub-benchmarks.
+//
+// The generated "Chrome" image composes:
+//
+//   - the 14 Kraken driver functions (astar … sha256-iterative), each
+//     built around a workload kernel matching the sub-benchmark's
+//     character plus an indirect-call dispatch through a function-pointer
+//     table (the v8/Blink virtual-dispatch flavour);
+//   - a large population of filler functions forming call chains, to give
+//     the rewriter a text section with tens of thousands of
+//     instrumentation sites, mixed instruction shapes, and jump-table
+//     targets it must treat conservatively.
+//
+// The real Chrome binary is ~149 MB of x86-64; the generated image is
+// parameterized by function count and reaches multi-megabyte text at the
+// benchmark harness's default, which exercises the same rewriting
+// machinery (tactic selection, trampoline budget, conservative leaders)
+// at a scale Go test time permits.
+package kraken
+
+import (
+	"fmt"
+
+	"redfat/internal/asm"
+	"redfat/internal/isa"
+	"redfat/internal/relf"
+	"redfat/internal/workload"
+)
+
+// Benchmarks lists the Kraken sub-benchmarks in the paper's Fig. 8 order.
+var Benchmarks = []string{
+	"astar", "beat-detection", "dft", "fft", "oscillator",
+	"gaussian-blur", "darkroom", "desaturate", "parse-financial",
+	"stringify-tinderbox", "aes", "ccm", "pbkdf2", "sha256-iterative",
+}
+
+// kernelFor maps each Kraken sub-benchmark to a kernel matching its
+// memory-access character.
+func kernelFor(i int) workload.Kern {
+	switch Benchmarks[i] {
+	case "astar":
+		return workload.Kern{Kind: workload.KTree}
+	case "beat-detection", "dft", "fft", "oscillator":
+		return workload.Kern{Kind: workload.KStencil}
+	case "gaussian-blur", "darkroom":
+		return workload.Kern{Kind: workload.KSweep}
+	case "desaturate", "parse-financial", "stringify-tinderbox":
+		return workload.Kern{Kind: workload.KString}
+	default: // aes, ccm, pbkdf2, sha256-iterative
+		return workload.Kern{Kind: workload.KHash}
+	}
+}
+
+// Build generates the Chrome-like binary with the given number of filler
+// functions (≥ 64). Input protocol: rf_input() → sub-benchmark index,
+// rf_input() → scale.
+func Build(fillerFuncs int) (*relf.Binary, error) {
+	if fillerFuncs < 64 {
+		fillerFuncs = 64
+	}
+	b := asm.NewBuilder(asm.Options{FuncAlign: 16})
+	nb := len(Benchmarks)
+
+	// main: dispatch on the sub-benchmark index.
+	b.Func("main")
+	b.CallImport("rf_input")
+	b.MovRR(isa.R10, isa.RAX) // bench index
+	b.CallImport("rf_input")
+	b.MovRR(isa.RDI, isa.RAX) // scale
+	for i := range Benchmarks {
+		next := fmt.Sprintf("main_next_%d", i)
+		b.AluRI(isa.CMP, isa.R10, int64(i))
+		b.Jcc(isa.JNE, next)
+		b.Call(driverName(i))
+		b.Ret()
+		b.Label(next)
+	}
+	b.MovRI(isa.RAX, 0)
+	b.Ret()
+
+	// Drivers: kernel + indirect-call walk over a slice of the filler
+	// population through a function-pointer table.
+	seg := fillerFuncs / nb
+	for i := range Benchmarks {
+		emitDriver(b, i, seg)
+	}
+	for i := range Benchmarks {
+		workload.EmitKernel(b, kernName(i), kernelFor(i))
+	}
+
+	// Filler population: varied small functions chained by calls.
+	for f := 0; f < fillerFuncs; f++ {
+		emitFiller(b, f, fillerFuncs)
+	}
+
+	// Jump tables: per driver, the chain heads in its segment.
+	for i := range Benchmarks {
+		var heads []string
+		for h := i * seg; h < (i+1)*seg; h += 8 {
+			heads = append(heads, fillerName(h))
+		}
+		b.FuncTable(tableName(i), heads...)
+	}
+
+	bin, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("kraken: %w", err)
+	}
+	bin.Strip() // Chrome is a stripped COTS binary
+	return bin, nil
+}
+
+func driverName(i int) string { return fmt.Sprintf("kraken_%d", i) }
+func kernName(i int) string   { return fmt.Sprintf("kernel_%d", i) }
+func tableName(i int) string  { return fmt.Sprintf("ktab_%d", i) }
+func fillerName(f int) string { return fmt.Sprintf("fn_%05d", f) }
+
+// emitDriver: runs the kernel, then n indirect calls through the jump
+// table into the filler chains, accumulating a checksum.
+func emitDriver(b *asm.Builder, i, seg int) {
+	heads := (seg + 7) / 8
+	b.Func(driverName(i))
+	b.Push(isa.RBX)
+	b.Push(isa.R12)
+	b.Push(isa.R13)
+	b.Push(isa.R14)
+	b.MovRR(isa.R12, isa.RDI) // n
+	// Kernel pass.
+	b.Call(kernName(i))
+	b.MovRR(isa.R14, isa.RAX) // checksum
+	// Scratch buffer for the filler chains.
+	b.MovRI(isa.RDI, 512)
+	b.CallImport("malloc")
+	b.MovRR(isa.RBX, isa.RAX)
+	b.MovRR(isa.RDI, isa.RBX)
+	b.MovRI(isa.RSI, 0)
+	b.MovRI(isa.RDX, 512)
+	b.CallImport("memset")
+	b.MovRI(isa.R13, 0)
+	loop := fmt.Sprintf("kraken_loop_%d", i)
+	b.Label(loop)
+	// target = ktab[i13 % heads]; call target(buf, i13)
+	b.MovRR(isa.RAX, isa.R13)
+	b.MovRI(isa.RDX, 0)
+	b.MovRI(isa.RCX, int64(heads))
+	b.Emit(isa.Inst{Op: isa.UDIV, Form: isa.FR, Reg: isa.RCX, Size: 8}) // RDX = i13 % heads
+	b.LoadAddr(isa.RCX, tableName(i), 0)
+	b.LoadM(isa.RCX, asm.MemBID(isa.RCX, isa.RDX, 8, 0), 8)
+	b.MovRR(isa.RDI, isa.RBX)
+	b.MovRR(isa.RSI, isa.R13)
+	b.Emit(isa.Inst{Op: isa.CALL, Form: isa.FR, Reg: isa.RCX, Size: 8})
+	b.AluRR(isa.ADD, isa.R14, isa.RAX)
+	b.AluRI(isa.ADD, isa.R13, 1)
+	b.AluRR(isa.CMP, isa.R13, isa.R12)
+	b.Jcc(isa.JL, loop)
+	b.MovRR(isa.RDI, isa.RBX)
+	b.CallImport("free")
+	b.MovRR(isa.RAX, isa.R14)
+	b.Pop(isa.R14)
+	b.Pop(isa.R13)
+	b.Pop(isa.R12)
+	b.Pop(isa.RBX)
+	b.Ret()
+}
+
+// emitFiller: a small function with a varied body; functions whose index
+// is not ≡7 (mod 8) tail into the next one, forming depth-8 call chains.
+// Signature: RDI = 512-byte buffer, RSI = seed; returns RAX.
+func emitFiller(b *asm.Builder, f, total int) {
+	b.Func(fillerName(f))
+	slot := int32((f % 56) * 8)
+	switch f % 4 {
+	case 0: // store + load
+		b.MovRR(isa.RAX, isa.RSI)
+		b.AluRI(isa.ADD, isa.RAX, int64(f&0xFF))
+		b.Store(isa.RDI, slot, isa.RAX, 8)
+		b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.RDI, isa.RegNone, 1, slot), 8)
+	case 1: // read-modify-write
+		b.MovRR(isa.RAX, isa.RSI)
+		b.AluMR(isa.ADD, asm.MemBID(isa.RDI, isa.RegNone, 1, slot), isa.RAX, 8)
+		b.Load(isa.RAX, isa.RDI, slot, 8)
+	case 2: // sub-word traffic
+		b.MovRR(isa.RAX, isa.RSI)
+		b.Store(isa.RDI, slot, isa.RAX, 1)
+		b.Emit(isa.Inst{Op: isa.MOVZX, Form: isa.FRM, Reg: isa.RAX, Size: 1,
+			Mem: asm.MemBID(isa.RDI, isa.RegNone, 1, slot)})
+		b.Shift(isa.SHL, isa.RAX, 2)
+	case 3: // pure ALU (no memory: check elimination sees plenty of these)
+		b.MovRR(isa.RAX, isa.RSI)
+		b.Shift(isa.SHL, isa.RAX, 1)
+		b.AluRI(isa.XOR, isa.RAX, (int64(f)*2654435761)&0x7FFFFFFF)
+		b.AluRI(isa.AND, isa.RAX, 0xFFFF)
+	}
+	if f%8 != 7 && f+1 < total {
+		b.Push(isa.RAX)
+		b.Call(fillerName(f + 1))
+		b.MovRR(isa.RDX, isa.RAX)
+		b.Pop(isa.RAX)
+		b.AluRR(isa.ADD, isa.RAX, isa.RDX)
+	}
+	b.Ret()
+}

@@ -1,0 +1,354 @@
+// Package mem implements the sparse paged virtual memory used by the RF64
+// virtual machine.
+//
+// The address space is the full 64-bit range, backed lazily by 4 KiB page
+// frames allocated on Map. This is what lets the low-fat allocator (package
+// lowfat) reserve many 32 GB virtual regions (paper Fig. 2) without
+// committing physical memory — exactly the virtual-address-space trick the
+// LowFat allocator plays on Linux with mmap(PROT_NONE) reservations.
+//
+// All simulated program memory lives in these explicitly managed frames, so
+// the Go garbage collector never interacts with simulated pointers.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageShift and PageSize define the 4 KiB page geometry.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	pageMask  = PageSize - 1
+)
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead  Perm = 1 << 0
+	PermWrite Perm = 1 << 1
+	PermExec  Perm = 1 << 2
+
+	// PermRW and PermRX are the common combinations.
+	PermRW = PermRead | PermWrite
+	PermRX = PermRead | PermExec
+)
+
+// String renders the permissions as "rwx" flags.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Fault describes a memory access violation.
+type Fault struct {
+	Addr  uint64
+	Write bool
+	Exec  bool
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	if f.Exec {
+		kind = "execute"
+	}
+	return fmt.Sprintf("segmentation fault: %s at %#x", kind, f.Addr)
+}
+
+type page struct {
+	data [PageSize]byte
+	perm Perm
+}
+
+// Memory is a sparse paged address space. The zero value is not ready for
+// use; call New.
+type Memory struct {
+	pages map[uint64]*page
+
+	// Single-entry caches for the hot paths (sequential data access and
+	// instruction fetch tend to hit the same page repeatedly).
+	cacheIdx  uint64
+	cachePage *page
+
+	mapped uint64 // number of mapped pages, for accounting
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page, 1024), cacheIdx: ^uint64(0)}
+}
+
+// lookup returns the page containing addr, or nil if unmapped.
+func (m *Memory) lookup(addr uint64) *page {
+	idx := addr >> PageShift
+	if idx == m.cacheIdx {
+		return m.cachePage
+	}
+	p := m.pages[idx]
+	if p != nil {
+		m.cacheIdx, m.cachePage = idx, p
+	}
+	return p
+}
+
+// Map ensures [addr, addr+size) is mapped with the given permissions.
+// Already-mapped pages have their permissions replaced. Mapping rounds
+// outward to page boundaries, as mmap does.
+func (m *Memory) Map(addr, size uint64, perm Perm) {
+	if size == 0 {
+		return
+	}
+	first := addr >> PageShift
+	last := (addr + size - 1) >> PageShift
+	for idx := first; ; idx++ {
+		p := m.pages[idx]
+		if p == nil {
+			p = &page{}
+			m.pages[idx] = p
+			m.mapped++
+		}
+		p.perm = perm
+		if idx == last {
+			break
+		}
+	}
+	m.cacheIdx = ^uint64(0) // permissions changed; drop cache
+}
+
+// Unmap removes the pages covering [addr, addr+size).
+func (m *Memory) Unmap(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := addr >> PageShift
+	last := (addr + size - 1) >> PageShift
+	for idx := first; ; idx++ {
+		if _, ok := m.pages[idx]; ok {
+			delete(m.pages, idx)
+			m.mapped--
+		}
+		if idx == last {
+			break
+		}
+	}
+	m.cacheIdx = ^uint64(0)
+}
+
+// Protect changes permissions on the pages covering [addr, addr+size).
+// Unmapped pages in the range are left unmapped.
+func (m *Memory) Protect(addr, size uint64, perm Perm) {
+	if size == 0 {
+		return
+	}
+	first := addr >> PageShift
+	last := (addr + size - 1) >> PageShift
+	for idx := first; ; idx++ {
+		if p := m.pages[idx]; p != nil {
+			p.perm = perm
+		}
+		if idx == last {
+			break
+		}
+	}
+	m.cacheIdx = ^uint64(0)
+}
+
+// Mapped reports whether addr lies on a mapped page.
+func (m *Memory) Mapped(addr uint64) bool { return m.lookup(addr) != nil }
+
+// PermAt returns the permissions of the page containing addr (zero if
+// unmapped).
+func (m *Memory) PermAt(addr uint64) Perm {
+	if p := m.lookup(addr); p != nil {
+		return p.perm
+	}
+	return 0
+}
+
+// MappedPages returns the number of mapped pages (for memory accounting).
+func (m *Memory) MappedPages() uint64 { return m.mapped }
+
+// Load reads a little-endian integer of the given width (1, 2, 4 or 8
+// bytes) from addr.
+func (m *Memory) Load(addr uint64, width uint16) (uint64, error) {
+	p := m.lookup(addr)
+	if p == nil || p.perm&PermRead == 0 {
+		return 0, &Fault{Addr: addr}
+	}
+	off := addr & pageMask
+	if off+uint64(width) <= PageSize {
+		switch width {
+		case 1:
+			return uint64(p.data[off]), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p.data[off:])), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p.data[off:])), nil
+		case 8:
+			return binary.LittleEndian.Uint64(p.data[off:]), nil
+		}
+		return 0, fmt.Errorf("mem: bad load width %d", width)
+	}
+	// Cross-page access.
+	var v uint64
+	for i := uint16(0); i < width; i++ {
+		b, err := m.Load(addr+uint64(i), 1)
+		if err != nil {
+			return 0, err
+		}
+		v |= b << (8 * i)
+	}
+	return v, nil
+}
+
+// Store writes a little-endian integer of the given width to addr.
+func (m *Memory) Store(addr uint64, width uint16, val uint64) error {
+	p := m.lookup(addr)
+	if p == nil || p.perm&PermWrite == 0 {
+		return &Fault{Addr: addr, Write: true}
+	}
+	off := addr & pageMask
+	if off+uint64(width) <= PageSize {
+		switch width {
+		case 1:
+			p.data[off] = byte(val)
+		case 2:
+			binary.LittleEndian.PutUint16(p.data[off:], uint16(val))
+		case 4:
+			binary.LittleEndian.PutUint32(p.data[off:], uint32(val))
+		case 8:
+			binary.LittleEndian.PutUint64(p.data[off:], val)
+		default:
+			return fmt.Errorf("mem: bad store width %d", width)
+		}
+		return nil
+	}
+	for i := uint16(0); i < width; i++ {
+		if err := m.Store(addr+uint64(i), 1, val>>(8*i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAt copies len(buf) bytes starting at addr into buf.
+func (m *Memory) ReadAt(addr uint64, buf []byte) error {
+	for len(buf) > 0 {
+		p := m.lookup(addr)
+		if p == nil || p.perm&PermRead == 0 {
+			return &Fault{Addr: addr}
+		}
+		off := addr & pageMask
+		n := copy(buf, p.data[off:])
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// WriteAt copies buf into memory starting at addr.
+func (m *Memory) WriteAt(addr uint64, buf []byte) error {
+	for len(buf) > 0 {
+		p := m.lookup(addr)
+		if p == nil || p.perm&PermWrite == 0 {
+			return &Fault{Addr: addr, Write: true}
+		}
+		off := addr & pageMask
+		n := copy(p.data[off:], buf)
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Fetch reads up to n instruction bytes at addr from executable pages into
+// buf, returning the number of bytes available (which may be short if the
+// next page is not executable). A zero return means addr itself is not
+// executable.
+func (m *Memory) Fetch(addr uint64, buf []byte) int {
+	total := 0
+	for total < len(buf) {
+		p := m.lookup(addr)
+		if p == nil || p.perm&PermExec == 0 {
+			break
+		}
+		off := addr & pageMask
+		n := copy(buf[total:], p.data[off:])
+		total += n
+		addr += uint64(n)
+	}
+	return total
+}
+
+// Memset fills [addr, addr+size) with the byte b.
+func (m *Memory) Memset(addr uint64, b byte, size uint64) error {
+	chunk := make([]byte, 256)
+	for i := range chunk {
+		chunk[i] = b
+	}
+	for size > 0 {
+		n := uint64(len(chunk))
+		if n > size {
+			n = size
+		}
+		if err := m.WriteAt(addr, chunk[:n]); err != nil {
+			return err
+		}
+		addr += n
+		size -= n
+	}
+	return nil
+}
+
+// Memcpy copies size bytes from src to dst within the address space.
+func (m *Memory) Memcpy(dst, src, size uint64) error {
+	buf := make([]byte, 4096)
+	for size > 0 {
+		n := uint64(len(buf))
+		if n > size {
+			n = size
+		}
+		if err := m.ReadAt(src, buf[:n]); err != nil {
+			return err
+		}
+		if err := m.WriteAt(dst, buf[:n]); err != nil {
+			return err
+		}
+		dst += n
+		src += n
+		size -= n
+	}
+	return nil
+}
+
+// ReadCString reads a NUL-terminated string at addr (bounded by max bytes).
+func (m *Memory) ReadCString(addr uint64, max int) (string, error) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b, err := m.Load(addr+uint64(i), 1)
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, byte(b))
+	}
+	return string(out), fmt.Errorf("mem: unterminated string at %#x", addr)
+}

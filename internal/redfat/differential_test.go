@@ -1,0 +1,184 @@
+package redfat_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"redfat/internal/asm"
+	"redfat/internal/isa"
+	"redfat/internal/redfat"
+	"redfat/internal/relf"
+	"redfat/internal/rtlib"
+)
+
+// genProgram builds a random but well-behaved program: every memory
+// access is in bounds by construction, control flow terminates, and the
+// exit code is a deterministic data-only checksum. This underpins the
+// central rewriting property: on error-free executions, the hardened
+// binary is observationally identical to the original.
+func genProgram(r *rand.Rand) (*relf.Binary, error) {
+	b := asm.NewBuilder(asm.Options{FuncAlign: 16})
+	b.Func("main")
+	b.Push(isa.RBX)
+	b.Push(isa.R12)
+	b.Push(isa.R13)
+	b.Push(isa.R14)
+
+	// 1-3 heap buffers; sizes are powers of two so masking keeps
+	// accesses in bounds.
+	bufRegs := []isa.Reg{isa.RBX, isa.R12, isa.R13}
+	nBufs := 1 + r.Intn(3)
+	sizes := make([]int64, nBufs)
+	for i := 0; i < nBufs; i++ {
+		sizes[i] = 64 << r.Intn(5) // 64..1024 bytes
+		b.MovRI(isa.RDI, sizes[i])
+		b.CallImport("malloc")
+		b.MovRR(bufRegs[i], isa.RAX)
+		// Deterministic contents.
+		b.MovRR(isa.RDI, bufRegs[i])
+		b.MovRI(isa.RSI, int64(i))
+		b.MovRI(isa.RDX, sizes[i])
+		b.CallImport("memset")
+	}
+
+	// Main loop: RCX counts, R14 accumulates.
+	iters := int64(16 + r.Intn(100))
+	b.MovRI(isa.RCX, 0)
+	b.MovRI(isa.R14, 0)
+	b.Label("loop")
+
+	nOps := 2 + r.Intn(8)
+	for op := 0; op < nOps; op++ {
+		buf := r.Intn(nBufs)
+		reg := bufRegs[buf]
+		elems := sizes[buf] / 8
+		// RDX = in-bounds element index derived from the counter.
+		b.MovRR(isa.RDX, isa.RCX)
+		if r.Intn(2) == 0 {
+			b.AluRI(isa.ADD, isa.RDX, int64(r.Intn(16)))
+		}
+		b.AluRI(isa.AND, isa.RDX, elems-1)
+		m := asm.MemBID(reg, isa.RDX, 8, 0)
+		switch r.Intn(6) {
+		case 0:
+			b.StoreM(m, isa.RCX, 8)
+		case 1:
+			b.AluRM(isa.ADD, isa.R14, m, 8)
+		case 2:
+			b.AluMR(isa.ADD, m, isa.RCX, 8)
+		case 3: // struct-style multi-field stores (batch/merge food)
+			base := asm.MemBID(reg, isa.RegNone, 1, int32(8*r.Intn(4)))
+			b.StoreMI(base, int64(r.Intn(100)), 8)
+			base.Disp += 8
+			b.StoreMI(base, int64(r.Intn(100)), 8)
+		case 4: // stack spill pair (elimination food)
+			b.Store(isa.RSP, -32, isa.RCX, 8)
+			b.Load(isa.RCX, isa.RSP, -32, 8)
+		case 5: // sub-width access
+			b.StoreM(asm.MemBID(reg, isa.RDX, 1, 0), isa.RCX, 1)
+			b.Emit(isa.Inst{Op: isa.MOVZX, Form: isa.FRM, Reg: isa.RSI, Size: 1,
+				Mem: asm.MemBID(reg, isa.RDX, 1, 0)})
+			b.AluRR(isa.ADD, isa.R14, isa.RSI)
+		}
+		// Occasional in-loop branch (control-flow variety).
+		if r.Intn(4) == 0 {
+			skip := b0Label(r)
+			b.Emit(isa.Inst{Op: isa.TEST, Form: isa.FRR, Reg: isa.RCX, Reg2: isa.RCX, Size: 8})
+			b.Jcc(isa.JS, skip) // never taken (counter ≥ 0); still a block split
+			b.AluRI(isa.ADD, isa.R14, 1)
+			b.Label(skip)
+		}
+	}
+
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, iters)
+	b.Jcc(isa.JL, "loop")
+
+	for i := 0; i < nBufs; i++ {
+		b.MovRR(isa.RDI, bufRegs[i])
+		b.CallImport("free")
+	}
+	b.MovRR(isa.RAX, isa.R14)
+	b.Pop(isa.R14)
+	b.Pop(isa.R13)
+	b.Pop(isa.R12)
+	b.Pop(isa.RBX)
+	b.Ret()
+	return b.Build()
+}
+
+var labelCounter int
+
+func b0Label(r *rand.Rand) string {
+	labelCounter++
+	return "rnd_" + string(rune('a'+labelCounter%26)) + string(rune('0'+labelCounter%10)) +
+		string(rune('a'+(labelCounter/10)%26)) + string(rune('0'+(labelCounter/260)%10))
+}
+
+// TestDifferentialRandomPrograms: for random well-behaved programs, every
+// instrumentation configuration preserves behaviour exactly and reports
+// no errors.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	configs := []redfat.Options{
+		redfat.Defaults(),
+		{LowFat: true, CheckReads: true, SizeCheck: true}, // unoptimized
+		{LowFat: false, CheckReads: true, SizeCheck: true, Elim: true, Batch: true, Merge: true},
+		{LowFat: true, SizeCheck: true, Elim: true, Batch: true, Merge: true}, // writes only
+	}
+	for trial := 0; trial < 25; trial++ {
+		bin, err := genProgram(r)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		base, err := rtlib.RunBaseline(bin, rtlib.RunConfig{})
+		if err != nil {
+			t.Fatalf("trial %d baseline: %v", trial, err)
+		}
+		for ci, opt := range configs {
+			hard, _, err := redfat.Harden(bin, opt)
+			if err != nil {
+				t.Fatalf("trial %d config %d: %v", trial, ci, err)
+			}
+			v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Abort: true})
+			if err != nil {
+				t.Fatalf("trial %d config %d run: %v", trial, ci, err)
+			}
+			if v.ExitCode != base.ExitCode {
+				t.Fatalf("trial %d config %d: checksum %#x != baseline %#x",
+					trial, ci, v.ExitCode, base.ExitCode)
+			}
+			if len(v.Errors) != 0 {
+				t.Fatalf("trial %d config %d: spurious errors %v", trial, ci, v.Errors)
+			}
+		}
+	}
+}
+
+// TestDifferentialRandomizedAllocator: random programs also behave
+// identically under placement randomization.
+func TestDifferentialRandomizedAllocator(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 10; trial++ {
+		bin, err := genProgram(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hard, _, err := redfat.Harden(bin, redfat.Defaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Abort: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Abort: true, RandomizeHeap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.ExitCode != rnd.ExitCode {
+			t.Fatalf("trial %d: randomization changed checksum: %#x vs %#x",
+				trial, plain.ExitCode, rnd.ExitCode)
+		}
+	}
+}

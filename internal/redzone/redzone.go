@@ -1,0 +1,255 @@
+// Package redzone implements the RedFat replacement memory allocator: a
+// wrapper over the low-fat allocator that prepends a 16-byte redzone to
+// every object (paper §4.1, Fig. 3).
+//
+// The redzone serves two purposes at once:
+//
+//  1. it is poisoned memory — any access to it is an out-of-bounds error;
+//  2. it is the shadow storage for the object's STATE/SIZE metadata,
+//     eliminating ASAN-style separate shadow memory.
+//
+// Conceptually: malloc(SIZE) = lowfat_malloc(SIZE+16)+16.
+//
+// The object layout (addresses grow up):
+//
+//	BASE+0  .. BASE+8   SIZE  (uint64; >0 ⇒ Allocated, 0 ⇒ Free)
+//	BASE+8  .. BASE+16  object id (allocation counter; diagnostic)
+//	BASE+16 ..          OBJECT (SIZE bytes), then slot padding
+//
+// Because a redzone is prepended to every object, the redzone of the *next*
+// object in memory doubles as the redzone at the end of the current object,
+// even if the next slot is unallocated (paper §4.1).
+//
+// State is recovered from a pointer with the low-fat base operation:
+//
+//	state(ptr) = ptr − base(ptr) < 16 ? Redzone : *base(ptr)
+package redzone
+
+import (
+	"fmt"
+
+	"redfat/internal/lowfat"
+	"redfat/internal/mem"
+)
+
+// Size is the redzone size in bytes (which is also the metadata size).
+const Size = 16
+
+// State is an object state, as encoded in the redzone metadata.
+type State uint8
+
+// Object states.
+const (
+	StateNonFat State = iota // pointer not managed by the low-fat heap
+	StateRedzone
+	StateAllocated
+	StateFree
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateNonFat:
+		return "nonfat"
+	case StateRedzone:
+		return "redzone"
+	case StateAllocated:
+		return "allocated"
+	case StateFree:
+		return "free"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Heap is the RedFat replacement allocator. In the real system this lives
+// in libredfat.so and is interposed over glibc malloc via LD_PRELOAD; here
+// the VM binds the malloc/free imports to it when hardening is enabled.
+type Heap struct {
+	LF  *lowfat.Allocator
+	Mem *mem.Memory
+
+	// QuarantineBytes delays slot reuse after free to improve
+	// use-after-free detection, like ASAN's quarantine. Zero disables.
+	QuarantineBytes uint64
+
+	quarantine      []uint64 // FIFO of slot bases awaiting real free
+	quarantineUsage uint64
+	nextID          uint64
+
+	// MallocErrors counts invalid/double frees detected by the allocator
+	// itself (as opposed to instrumentation-detected errors).
+	MallocErrors uint64
+
+	// allocPC maps object id → the call site that allocated it, for
+	// ASAN-style error diagnostics ("allocated at ..."). The id is the
+	// counter stored in the second metadata word of the redzone.
+	allocPC map[uint64]allocSite
+	notedPC uint64
+}
+
+// allocSite records where and how large an allocation was.
+type allocSite struct {
+	pc   uint64
+	size uint64
+	free uint64 // pc of the free call, 0 while live
+}
+
+// NewHeap creates a RedFat heap over the given allocator and memory.
+func NewHeap(lf *lowfat.Allocator, m *mem.Memory) *Heap {
+	return &Heap{LF: lf, Mem: m, QuarantineBytes: 1 << 20,
+		allocPC: make(map[uint64]allocSite)}
+}
+
+// NoteAllocPC records the guest call site of the next Malloc/Free (set by
+// the libc binding, which knows the VM's program counter).
+func (h *Heap) NoteAllocPC(pc uint64) { h.notedPC = pc }
+
+// SiteOf returns the allocation diagnostics for the object with the given
+// id (the second metadata word at the object's redzone base).
+func (h *Heap) SiteOf(id uint64) (allocPC, size, freePC uint64, ok bool) {
+	s, ok := h.allocPC[id]
+	return s.pc, s.size, s.free, ok
+}
+
+// Malloc allocates size bytes and returns the object pointer (BASE+16).
+func (h *Heap) Malloc(size uint64) (uint64, error) {
+	slot, err := h.LF.Alloc(size + Size)
+	if err != nil {
+		return 0, err
+	}
+	h.nextID++
+	if err := h.Mem.Store(slot, 8, size); err != nil {
+		return 0, fmt.Errorf("redzone: header write: %w", err)
+	}
+	if err := h.Mem.Store(slot+8, 8, h.nextID); err != nil {
+		return 0, err
+	}
+	h.allocPC[h.nextID] = allocSite{pc: h.notedPC, size: size}
+	return slot + Size, nil
+}
+
+// Calloc allocates zeroed memory for n objects of the given size.
+func (h *Heap) Calloc(n, size uint64) (uint64, error) {
+	total := n * size
+	if size != 0 && total/size != n {
+		return 0, fmt.Errorf("redzone: calloc overflow (%d × %d)", n, size)
+	}
+	ptr, err := h.Malloc(total)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.Mem.Memset(ptr, 0, total); err != nil {
+		return 0, err
+	}
+	return ptr, nil
+}
+
+// Free releases the object at ptr. Freeing a non-object pointer or an
+// already-free object is detected and reported as an error.
+func (h *Heap) Free(ptr uint64) error {
+	if ptr == 0 {
+		return nil // free(NULL) is a no-op
+	}
+	base := ptr - Size
+	if lowfat.IsLowFat(ptr) {
+		if lowfat.Base(base) != base || lowfat.Base(ptr) != base {
+			h.MallocErrors++
+			return fmt.Errorf("redzone: free of non-object pointer %#x", ptr)
+		}
+	}
+	size, err := h.Mem.Load(base, 8)
+	if err != nil {
+		h.MallocErrors++
+		return fmt.Errorf("redzone: free of unmapped pointer %#x", ptr)
+	}
+	if size == 0 {
+		h.MallocErrors++
+		return fmt.Errorf("redzone: double free of %#x", ptr)
+	}
+	// Mark Free: SIZE=0 merges the free state into the bounds check
+	// (paper §4.2, "Mergeable code").
+	if err := h.Mem.Store(base, 8, 0); err != nil {
+		return err
+	}
+	if id, err := h.Mem.Load(base+8, 8); err == nil {
+		if s, ok := h.allocPC[id]; ok {
+			s.free = h.notedPC
+			h.allocPC[id] = s
+		}
+	}
+	if h.QuarantineBytes == 0 {
+		return h.LF.Free(base)
+	}
+	h.quarantine = append(h.quarantine, base)
+	h.quarantineUsage += lowfat.Size(base)
+	for h.quarantineUsage > h.QuarantineBytes && len(h.quarantine) > 0 {
+		old := h.quarantine[0]
+		h.quarantine = h.quarantine[1:]
+		h.quarantineUsage -= lowfat.Size(old)
+		if err := h.LF.Free(old); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Realloc resizes an allocation, copying the contents.
+func (h *Heap) Realloc(ptr, size uint64) (uint64, error) {
+	if ptr == 0 {
+		return h.Malloc(size)
+	}
+	if size == 0 {
+		return 0, h.Free(ptr)
+	}
+	oldSize, err := h.Mem.Load(ptr-Size, 8)
+	if err != nil || oldSize == 0 {
+		h.MallocErrors++
+		return 0, fmt.Errorf("redzone: realloc of invalid pointer %#x", ptr)
+	}
+	np, err := h.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	n := oldSize
+	if size < n {
+		n = size
+	}
+	if err := h.Mem.Memcpy(np, ptr, n); err != nil {
+		return 0, err
+	}
+	if err := h.Free(ptr); err != nil {
+		return 0, err
+	}
+	return np, nil
+}
+
+// ObjectSize returns the malloc'd SIZE stored in the metadata of the object
+// whose redzone base is base.
+func (h *Heap) ObjectSize(base uint64) (uint64, error) {
+	return h.Mem.Load(base, 8)
+}
+
+// StateOf classifies ptr exactly as the instrumented check does: via the
+// low-fat base operation and the in-redzone metadata (paper §4.1).
+func (h *Heap) StateOf(ptr uint64) State {
+	base := lowfat.Base(ptr)
+	if base == 0 {
+		return StateNonFat
+	}
+	if ptr-base < Size {
+		return StateRedzone
+	}
+	size, err := h.Mem.Load(base, 8)
+	if err != nil {
+		return StateNonFat // slot never handed out; header unmapped
+	}
+	if size == 0 {
+		return StateFree
+	}
+	if ptr-base < Size+size {
+		return StateAllocated
+	}
+	// Past the object but inside the slot: allocation padding. The
+	// accurate SIZE-based check treats this as out of bounds.
+	return StateRedzone
+}

@@ -1,0 +1,46 @@
+package relf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PatchTableSection is the name of the metadata section holding the
+// 1-byte-trap patch table emitted by the rewriter. When the rewriter must
+// fall back to a 1-byte TRAP patch (the analogue of E9Patch's last-resort
+// tactics for instructions too short to hold a jump), the VM consults this
+// table to redirect execution to the trampoline, modelling int3-and-handler
+// dispatch with its associated cost.
+const PatchTableSection = ".rf.patch"
+
+// EncodePatchTable serializes a patch table (trap address → trampoline
+// address) into section data. Entries are sorted by the caller if
+// determinism is needed; the VM loads them into a map.
+func EncodePatchTable(entries map[uint64]uint64) []byte {
+	buf := make([]byte, 0, 8+16*len(entries))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(entries)))
+	for from, to := range entries {
+		buf = binary.LittleEndian.AppendUint64(buf, from)
+		buf = binary.LittleEndian.AppendUint64(buf, to)
+	}
+	return buf
+}
+
+// DecodePatchTable parses section data produced by EncodePatchTable.
+func DecodePatchTable(data []byte) (map[uint64]uint64, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("relf: patch table too short")
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if uint64(len(data)) < 8+16*n {
+		return nil, fmt.Errorf("relf: patch table truncated (%d entries)", n)
+	}
+	m := make(map[uint64]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		off := 8 + 16*i
+		from := binary.LittleEndian.Uint64(data[off:])
+		to := binary.LittleEndian.Uint64(data[off+8:])
+		m[from] = to
+	}
+	return m, nil
+}

@@ -1,0 +1,69 @@
+package rtlib
+
+// Cycle-cost model for the instrumented checks.
+//
+// In the real RedFat, trampolines contain hand-optimized x86_64 assembly;
+// in this reproduction the check logic executes host-side (the RTCALL
+// handler) and charges the cycle cost of the instruction sequence it
+// stands for. The constants below are derived by counting the operations
+// of each check step at vm.CostInst/CostMem rates:
+//
+//	register/flag save+restore     2 cycles per register pair + 4 for flags
+//	LB/UB computation (2× lea)     3
+//	base(ptr): shift, table load,
+//	  magic-multiply modulo        6
+//	header load (STATE/SIZE)       3
+//	size-metadata validation       3   (the -size option removes this)
+//	merged UaF+LB+UB compare       5   (underflow-trick variant)
+//	redzone fallback base(LB)      6   (only when ptr is non-fat)
+//
+// The profiling variant additionally maintains per-site counters (+4).
+const (
+	costSavePerReg = 1
+	costSaveFlags  = 2
+	costAddrCalc   = 2
+	costBasePtr    = 4
+	costHeaderLoad = 2
+	costSizeCheck  = 2
+	costBoundsCmp  = 3
+	costProfileAcc = 4
+)
+
+// checkCost returns the cycle cost of executing the check c once, given
+// whether the pointer turned out to be low-fat (the non-fat fallback path
+// costs one more base computation but skips the rest when LB is also
+// non-fat).
+func checkCost(c *Check, fat, fallbackFat bool) uint64 {
+	cost := uint64(0)
+	if c.Leader {
+		cost += uint64(c.SavedRegs) * costSavePerReg
+		if c.SaveFlags {
+			cost += costSaveFlags
+		}
+	}
+	cost += costAddrCalc
+	switch c.Mode {
+	case ModeFull, ModeProfile:
+		cost += costBasePtr
+		if !fat {
+			cost += costBasePtr // fallback: base(LB)
+			if !fallbackFat {
+				return cost // non-fat pointer: check returns early
+			}
+		}
+	case ModeRedzone:
+		cost += costBasePtr // base(LB)
+		if !fallbackFat {
+			return cost
+		}
+	}
+	cost += costHeaderLoad
+	if !c.NoSizeCheck {
+		cost += costSizeCheck
+	}
+	cost += costBoundsCmp
+	if c.Mode == ModeProfile {
+		cost += costProfileAcc
+	}
+	return cost
+}

@@ -1,0 +1,165 @@
+package rtlib
+
+import (
+	"fmt"
+	"io"
+
+	"redfat/internal/heap"
+	"redfat/internal/isa"
+	"redfat/internal/lowfat"
+	"redfat/internal/mem"
+	"redfat/internal/redzone"
+	"redfat/internal/relf"
+	"redfat/internal/vm"
+)
+
+// RunConfig parameterizes an execution.
+type RunConfig struct {
+	Input     []uint64
+	MaxCycles uint64 // 0 → 2e9
+	Abort     bool   // abort on detected memory errors (hardening mode)
+
+	// RandomizeHeap enables the low-fat allocator's placement
+	// randomization (the basic heap randomization paper §8 mentions).
+	RandomizeHeap bool
+
+	// QuarantineBytes overrides the free quarantine budget (-1 disables
+	// the quarantine entirely, 0 keeps the default).
+	QuarantineBytes int64
+
+	// TraceWriter, when set, receives one line per executed instruction
+	// (address and disassembly), up to TraceLimit lines (0 = 10000).
+	TraceWriter io.Writer
+	TraceLimit  int
+}
+
+// AttachTrace installs the execution tracer on v if configured.
+func (c *RunConfig) AttachTrace(v *vm.VM) {
+	if c.TraceWriter == nil {
+		return
+	}
+	limit := c.TraceLimit
+	if limit == 0 {
+		limit = 10000
+	}
+	n := 0
+	v.TraceHook = func(v *vm.VM, pc uint64, in *isa.Inst) {
+		if n >= limit {
+			return
+		}
+		n++
+		fmt.Fprintf(c.TraceWriter, "%10x: %s\n", pc, in.String())
+	}
+}
+
+// newHeap builds the RedFat heap for a hardened run.
+func (c *RunConfig) newHeap(m *mem.Memory) *redzone.Heap {
+	lf := lowfat.New(m)
+	lf.Randomize = c.RandomizeHeap
+	h := redzone.NewHeap(lf, m)
+	switch {
+	case c.QuarantineBytes < 0:
+		h.QuarantineBytes = 0
+	case c.QuarantineBytes > 0:
+		h.QuarantineBytes = uint64(c.QuarantineBytes)
+	}
+	return h
+}
+
+func (c *RunConfig) maxCycles() uint64 {
+	if c.MaxCycles == 0 {
+		return 2_000_000_000
+	}
+	return c.MaxCycles
+}
+
+// RunBaseline executes an uninstrumented binary with the glibc-style
+// allocator. Returns the VM after execution (inspect ExitCode, Cycles,
+// Output) and the run error, if any.
+func RunBaseline(bin *relf.Binary, cfg RunConfig) (*vm.VM, error) {
+	m := mem.New()
+	v := vm.New(m)
+	v.Input = cfg.Input
+	v.MaxCycles = cfg.maxCycles()
+	cfg.AttachTrace(v)
+	env := LibC(heap.New(m), m)
+	if err := v.Load(bin, env); err != nil {
+		return v, err
+	}
+	return v, v.Run()
+}
+
+// RunHardened executes a RedFat-hardened binary: the low-fat allocator
+// with the redzone wrapper is interposed over malloc (the LD_PRELOAD
+// model) and the check routine is bound to the site table. It returns the
+// VM and the runtime (for profiling counters and coverage).
+func RunHardened(bin *relf.Binary, cfg RunConfig) (*vm.VM, *Runtime, error) {
+	m := mem.New()
+	v := vm.New(m)
+	v.Input = cfg.Input
+	v.MaxCycles = cfg.maxCycles()
+	v.AbortOnError = cfg.Abort
+	cfg.AttachTrace(v)
+	h := cfg.newHeap(m)
+	rt, err := NewRuntime(bin, h)
+	if err != nil {
+		return v, nil, err
+	}
+	env := Merge(LibC(h, m), rt.Bindings())
+	if err := v.Load(bin, env); err != nil {
+		return v, rt, err
+	}
+	err = v.Run()
+	return v, rt, err
+}
+
+// RunLinked executes a dynamically linked program: the main executable
+// plus shared-object dependencies, loaded in order (paper §7.4). Each
+// module may or may not have been instrumented by RedFat — only the
+// instrumented ones are protected, which is exactly the semantics of
+// statically rewriting individual ELF files. The process-wide allocator
+// is the RedFat heap (the LD_PRELOAD interposition affects every module).
+//
+// The returned runtimes parallel the instrumented modules, libraries
+// first, main last (if instrumented).
+func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, []*Runtime, error) {
+	m := mem.New()
+	v := vm.New(m)
+	v.Input = cfg.Input
+	v.MaxCycles = cfg.maxCycles()
+	v.AbortOnError = cfg.Abort
+	cfg.AttachTrace(v)
+	h := cfg.newHeap(m)
+	libc := LibC(h, m)
+
+	var rts []*Runtime
+	envFor := func(bin *relf.Binary) (vm.Bindings, error) {
+		if bin.Section(SitesSection) == nil {
+			return libc, nil // uninstrumented module: libc only
+		}
+		rt, err := NewRuntime(bin, h)
+		if err != nil {
+			return nil, err
+		}
+		rts = append(rts, rt)
+		return Merge(libc, rt.Bindings()), nil
+	}
+	for _, lib := range libs {
+		env, err := envFor(lib)
+		if err != nil {
+			return v, rts, err
+		}
+		if err := v.LoadLibrary(lib, env); err != nil {
+			return v, rts, err
+		}
+	}
+	env, err := envFor(main)
+	if err != nil {
+		return v, rts, err
+	}
+	if err := v.Load(main, env); err != nil {
+		return v, rts, err
+	}
+	err = v.Run()
+	return v, rts, err
+}

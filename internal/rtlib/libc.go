@@ -1,0 +1,204 @@
+// Package rtlib implements the runtime libraries that RF64 programs call
+// through RTCALL:
+//
+//   - a modelled libc (malloc/free/memset/memcpy/string and simple I/O),
+//     bound to either the baseline glibc-style allocator or the RedFat
+//     redzone/low-fat allocator — the simulation of LD_PRELOAD
+//     interposition (paper §2.1);
+//   - libredfat: the instrumented memory-error checks of paper Fig. 4 in
+//     all their variants, with an explicit cycle-cost model (cost.go).
+package rtlib
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"redfat/internal/isa"
+	"redfat/internal/mem"
+	"redfat/internal/vm"
+)
+
+// Allocator is the malloc-family interface; both the baseline heap
+// (internal/heap) and the RedFat heap (internal/redzone) satisfy it.
+type Allocator interface {
+	Malloc(size uint64) (uint64, error)
+	Calloc(n, size uint64) (uint64, error)
+	Free(ptr uint64) error
+	Realloc(ptr, size uint64) (uint64, error)
+}
+
+// Cycle costs of modelled library calls. A call's cost approximates the
+// instruction count of a real implementation; size-dependent costs scale
+// with the bytes touched.
+const (
+	costMallocCall = 80
+	costFreeCall   = 50
+	costPerByte8   = 1 // per 8 bytes for memset/memcpy-style loops
+	costIOCall     = 30
+)
+
+// pcNoter is implemented by allocators that record guest allocation
+// sites for diagnostics (the RedFat heap).
+type pcNoter interface{ NoteAllocPC(pc uint64) }
+
+// LibC builds the libc bindings over the given allocator and memory.
+// The same function serves baseline and hardened runs; only the allocator
+// differs, exactly as with LD_PRELOAD.
+func LibC(a Allocator, m *mem.Memory) vm.Bindings {
+	b := vm.Bindings{}
+	notePC := func(v *vm.VM) {
+		if n, ok := a.(pcNoter); ok {
+			n.NoteAllocPC(v.RIP)
+		}
+	}
+
+	b["malloc"] = func(v *vm.VM, _ uint32) error {
+		notePC(v)
+		v.Cycles += costMallocCall
+		p, err := a.Malloc(v.Regs[isa.RDI])
+		if err != nil {
+			// Out-of-memory returns NULL; allocator-integrity errors
+			// (invalid free etc.) do not arise in malloc.
+			v.Regs[isa.RAX] = 0
+			return nil
+		}
+		v.Regs[isa.RAX] = p
+		return nil
+	}
+	b["calloc"] = func(v *vm.VM, _ uint32) error {
+		notePC(v)
+		n, size := v.Regs[isa.RDI], v.Regs[isa.RSI]
+		v.Cycles += costMallocCall + n*size/8*costPerByte8
+		p, err := a.Calloc(n, size)
+		if err != nil {
+			v.Regs[isa.RAX] = 0
+			return nil
+		}
+		v.Regs[isa.RAX] = p
+		return nil
+	}
+	b["free"] = func(v *vm.VM, _ uint32) error {
+		notePC(v)
+		v.Cycles += costFreeCall
+		if err := a.Free(v.Regs[isa.RDI]); err != nil {
+			return v.Report(vm.MemError{
+				Kind: vm.ErrInvalidFree,
+				Addr: v.Regs[isa.RDI],
+				PC:   v.RIP,
+				Note: err.Error(),
+			})
+		}
+		return nil
+	}
+	b["realloc"] = func(v *vm.VM, _ uint32) error {
+		notePC(v)
+		ptr, size := v.Regs[isa.RDI], v.Regs[isa.RSI]
+		v.Cycles += costMallocCall + size/8*costPerByte8
+		p, err := a.Realloc(ptr, size)
+		if err != nil {
+			v.Regs[isa.RAX] = 0
+			return v.Report(vm.MemError{
+				Kind: vm.ErrInvalidFree, Addr: ptr, PC: v.RIP, Note: err.Error(),
+			})
+		}
+		v.Regs[isa.RAX] = p
+		return nil
+	}
+
+	b["memset"] = func(v *vm.VM, _ uint32) error {
+		dst, c, n := v.Regs[isa.RDI], v.Regs[isa.RSI], v.Regs[isa.RDX]
+		v.Cycles += 20 + n/8*costPerByte8
+		if err := m.Memset(dst, byte(c), n); err != nil {
+			return err
+		}
+		v.Regs[isa.RAX] = dst
+		return nil
+	}
+	b["memcpy"] = func(v *vm.VM, _ uint32) error {
+		dst, src, n := v.Regs[isa.RDI], v.Regs[isa.RSI], v.Regs[isa.RDX]
+		v.Cycles += 20 + n/8*costPerByte8
+		if err := m.Memcpy(dst, src, n); err != nil {
+			return err
+		}
+		v.Regs[isa.RAX] = dst
+		return nil
+	}
+	b["strlen"] = func(v *vm.VM, _ uint32) error {
+		s := v.Regs[isa.RDI]
+		var n uint64
+		for {
+			c, err := m.Load(s+n, 1)
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				break
+			}
+			n++
+			if n > 1<<24 {
+				return fmt.Errorf("rtlib: unterminated string at %#x", s)
+			}
+		}
+		v.Cycles += 10 + n
+		v.Regs[isa.RAX] = n
+		return nil
+	}
+
+	b["exit"] = func(v *vm.VM, _ uint32) error {
+		v.Halted = true
+		v.ExitCode = v.Regs[isa.RDI]
+		return nil
+	}
+	b["abort"] = func(v *vm.VM, _ uint32) error {
+		v.Halted = true
+		v.ExitCode = 134 // SIGABRT-style
+		return nil
+	}
+
+	// rf_input pops the next value from the VM's input vector (models
+	// reading attacker-controlled or workload input).
+	b["rf_input"] = func(v *vm.VM, _ uint32) error {
+		v.Cycles += costIOCall
+		v.Regs[isa.RAX] = v.NextInput()
+		return nil
+	}
+	// rf_output appends RDI to the VM's captured output.
+	b["rf_output"] = func(v *vm.VM, _ uint32) error {
+		v.Cycles += costIOCall
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v.Regs[isa.RDI])
+		v.Output = append(v.Output, buf[:]...)
+		return nil
+	}
+	// print_str writes the NUL-terminated string at RDI to the output.
+	b["print_str"] = func(v *vm.VM, _ uint32) error {
+		v.Cycles += costIOCall
+		s, err := m.ReadCString(v.Regs[isa.RDI], 1<<16)
+		if err != nil {
+			return err
+		}
+		v.Output = append(v.Output, s...)
+		return nil
+	}
+
+	// rf_rand is a deterministic xorshift PRNG seeded per-VM; workloads
+	// use it for data-dependent but reproducible behaviour.
+	b["rf_rand"] = func(v *vm.VM, _ uint32) error {
+		v.Cycles += 8
+		v.Regs[isa.RAX] = v.NextRand()
+		return nil
+	}
+
+	return b
+}
+
+// Merge combines bindings maps (later maps win on conflicts).
+func Merge(maps ...vm.Bindings) vm.Bindings {
+	out := vm.Bindings{}
+	for _, m := range maps {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
+}

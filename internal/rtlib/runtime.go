@@ -1,0 +1,206 @@
+package rtlib
+
+import (
+	"fmt"
+
+	"redfat/internal/isa"
+	"redfat/internal/lowfat"
+	"redfat/internal/redzone"
+	"redfat/internal/relf"
+	"redfat/internal/vm"
+)
+
+// SiteStat accumulates per-site profiling counters (paper Fig. 5, step 1).
+type SiteStat struct {
+	Execs       uint64
+	LowFatFails uint64 // executions where the LowFat component flagged the access
+}
+
+// Runtime is the libredfat runtime instance bound to one hardened binary:
+// it holds the site table, the RedFat heap, and the profiling counters.
+type Runtime struct {
+	Checks []Check
+	Heap   *redzone.Heap
+	Stats  []SiteStat
+}
+
+// NewRuntime parses the site table of a hardened binary.
+func NewRuntime(bin *relf.Binary, h *redzone.Heap) (*Runtime, error) {
+	checks, err := SitesFrom(bin)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{
+		Checks: checks,
+		Heap:   h,
+		Stats:  make([]SiteStat, len(checks)),
+	}, nil
+}
+
+// Bindings returns the host binding for the check routine.
+func (rt *Runtime) Bindings() vm.Bindings {
+	return vm.Bindings{CheckImport: rt.handle}
+}
+
+// handle is the instrumented check of paper Fig. 4, executed when a
+// trampoline's RTCALL fires. arg is the site index.
+func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
+	if int(arg) >= len(rt.Checks) {
+		return &vm.MemError{Kind: vm.ErrCorruptMeta, PC: v.RIP,
+			Note: "check with invalid site index"}
+	}
+	c := &rt.Checks[arg]
+	rt.Stats[arg].Execs++
+
+	// Reconstruct (ptr, i) from the operand (paper §4.1): ptr is the
+	// base register, i = disp + index*scale (+ segment base).
+	var ptr uint64
+	i := uint64(int64(c.Operand.Disp))
+	switch {
+	case c.Operand.Base == isa.RIP:
+		i += c.RipNext
+	case c.Operand.Base != isa.RegNone:
+		ptr = v.Regs[c.Operand.Base]
+	}
+	if c.Operand.Index != isa.RegNone {
+		i += v.Regs[c.Operand.Index] * uint64(c.Operand.Scale)
+	}
+	switch c.Operand.Seg {
+	case isa.SegFS:
+		i += v.FSBase
+	case isa.SegGS:
+		i += v.GSBase
+	}
+
+	// STEP (1): the access range.
+	lb := ptr + i
+	ub := lb + uint64(c.Len)
+
+	// STEP (2): the object base. Full/Profile first try base(ptr) — the
+	// LowFat component — and fall back to base(LB) — the Redzone
+	// component — for non-fat pointers.
+	var base uint64
+	fat := false
+	if c.Mode == ModeFull || c.Mode == ModeProfile {
+		base = lowfat.Base(ptr)
+		fat = base != 0
+	}
+	fallback := !fat
+	fallbackFat := false
+	if base == 0 {
+		base = lowfat.Base(lb)
+		fallbackFat = base != 0
+	}
+	v.Cycles += checkCost(c, fat, fallbackFat)
+	if base == 0 {
+		return nil // non-fat pointer and non-fat access: nothing to check
+	}
+
+	// STEP (3): metadata from the redzone header. Low-fat region memory
+	// is demand-zero in the real allocator, so a slot never handed out
+	// reads SIZE=0 and fails the merged bounds check below; we emulate
+	// that for headers on unmapped pages.
+	size, err := rt.Heap.Mem.Load(base, 8)
+	wild := false
+	if err != nil {
+		size, wild = 0, true
+	}
+
+	// STEP (4): the checks.
+	var kind vm.MemErrorKind
+	bad := false
+	switch {
+	case !c.NoSizeCheck && lowfat.Size(base) != lowfat.SizeMax &&
+		size > lowfat.Size(base)-redzone.Size:
+		kind, bad = vm.ErrCorruptMeta, true
+	case size == 0:
+		// Free state is encoded as SIZE=0; the merged bounds check
+		// always fails, i.e. a use-after-free (or a wild pointer into
+		// an unallocated slot, which reads as zero).
+		kind, bad = vm.ErrUseAfterFree, true
+		if wild {
+			if c.Write {
+				kind = vm.ErrOOBWrite
+			} else {
+				kind = vm.ErrOOBRead
+			}
+		}
+	case lb < base+redzone.Size || ub > base+redzone.Size+size:
+		if c.Write {
+			kind = vm.ErrOOBWrite
+		} else {
+			kind = vm.ErrOOBRead
+		}
+		bad = true
+	}
+
+	if c.Mode == ModeProfile {
+		// Profiling records LowFat-component verdicts and never aborts.
+		// The LowFat component is the base(ptr) path only: a violation
+		// found via the fallback base(LB) is redzone business and does
+		// not disqualify the site from the allow-list.
+		if bad && fat && !fallback {
+			rt.Stats[arg].LowFatFails++
+		}
+		return nil
+	}
+	if !bad {
+		return nil
+	}
+	return v.Report(vm.MemError{
+		Kind: kind,
+		Addr: lb,
+		PC:   c.PC,
+		Site: arg,
+		Note: rt.describe(c, base, size, lb),
+	})
+}
+
+// describe builds an ASAN-style diagnostic line for a detected error,
+// using the allocation-site bookkeeping of the RedFat heap.
+func (rt *Runtime) describe(c *Check, base, size, lb uint64) string {
+	desc := fmt.Sprintf("%s check at operand %s", c.Mode, c.Operand.String())
+	id, err := rt.Heap.Mem.Load(base+8, 8)
+	if err != nil {
+		return desc
+	}
+	allocPC, objSize, freePC, ok := rt.Heap.SiteOf(id)
+	if !ok {
+		return desc
+	}
+	if size == 0 && freePC != 0 {
+		return fmt.Sprintf("%s; object (%d bytes, allocated at %#x) freed at %#x",
+			desc, objSize, allocPC, freePC)
+	}
+	off := int64(lb) - int64(base+redzone.Size)
+	var where string
+	switch {
+	case off < 0:
+		where = fmt.Sprintf("%d bytes before", -off)
+	case off >= int64(objSize):
+		where = fmt.Sprintf("%d bytes past the end of", off-int64(objSize))
+	default:
+		where = fmt.Sprintf("%d bytes into", off)
+	}
+	return fmt.Sprintf("%s; access %s a %d-byte object allocated at %#x",
+		desc, where, objSize, allocPC)
+}
+
+// Coverage returns the dynamic full-check coverage: the fraction of
+// executed sites whose mode is ModeFull (paper Table 1, "coverage").
+func (rt *Runtime) Coverage() float64 {
+	var full, total int
+	for i := range rt.Checks {
+		if rt.Stats[i].Execs == 0 {
+			continue
+		}
+		total += int(rt.Checks[i].Merged)
+		if rt.Checks[i].Mode == ModeFull {
+			full += int(rt.Checks[i].Merged)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(full) / float64(total)
+}

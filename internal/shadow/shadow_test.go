@@ -1,0 +1,118 @@
+package shadow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoisonCheck(t *testing.T) {
+	m := New()
+	m.Poison(0x1000, 16, HeapRedzone)
+	m.Unpoison(0x1010, 64)
+	m.Poison(0x1050, 16, HeapRedzone)
+
+	// Accesses fully inside the object pass.
+	if kind, bad := m.Check(0x1010, 8); bad {
+		t.Errorf("in-bounds access flagged: kind %#x", kind)
+	}
+	if _, bad := m.Check(0x1048, 8); bad {
+		t.Error("last object granule flagged")
+	}
+	// Accesses touching the redzones fail.
+	if kind, bad := m.Check(0x1008, 8); !bad || kind != HeapRedzone {
+		t.Errorf("left redzone access not caught: %#x, %v", kind, bad)
+	}
+	if kind, bad := m.Check(0x1050, 1); !bad || kind != HeapRedzone {
+		t.Errorf("right redzone access not caught: %#x, %v", kind, bad)
+	}
+	// Straddling access fails.
+	if _, bad := m.Check(0x104C, 8); !bad {
+		t.Error("straddling access not caught")
+	}
+}
+
+func TestPartialGranule(t *testing.T) {
+	m := New()
+	m.Unpoison(0x2000, 13) // 1 full granule + 5-byte partial
+	if s := m.State(0x2008); s != 5 {
+		t.Fatalf("partial shadow = %d, want 5", s)
+	}
+	if _, bad := m.Check(0x2008, 5); bad {
+		t.Error("access within partial granule flagged")
+	}
+	if _, bad := m.Check(0x2008, 6); !bad {
+		t.Error("access past partial limit not caught")
+	}
+	if _, bad := m.Check(0x200C, 1); bad {
+		t.Error("access to last addressable byte flagged")
+	}
+	if _, bad := m.Check(0x200D, 1); !bad {
+		t.Error("byte access past partial limit not caught")
+	}
+	if _, bad := m.Check(0x200A, 2); bad {
+		t.Error("short access inside partial limit flagged")
+	}
+}
+
+func TestFreedPoison(t *testing.T) {
+	m := New()
+	m.Unpoison(0x3000, 64)
+	m.Poison(0x3000, 64, FreedMemory)
+	kind, bad := m.Check(0x3010, 8)
+	if !bad || kind != FreedMemory {
+		t.Errorf("freed access = %#x, %v", kind, bad)
+	}
+}
+
+func TestDefaultAddressable(t *testing.T) {
+	m := New()
+	if _, bad := m.Check(0xDEADBEEF000, 8); bad {
+		t.Error("untouched memory should be addressable (stack/globals)")
+	}
+}
+
+func TestZeroSize(t *testing.T) {
+	m := New()
+	m.Poison(0x1000, 0, HeapRedzone)
+	m.Unpoison(0x1000, 0)
+	if _, bad := m.Check(0x1000, 0); bad {
+		t.Error("zero-size access flagged")
+	}
+}
+
+// Property: after Unpoison(p, n) inside a poisoned span, every aligned
+// access inside [p, p+n) passes and every access crossing either boundary
+// fails.
+func TestQuickRedzoneBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	f := func() bool {
+		m := New()
+		base := (uint64(r.Intn(1<<30)) + 1) &^ 7 // 8-aligned
+		n := uint64(8 * (1 + r.Intn(64)))        // whole granules for exactness
+		m.Poison(base-16, 16, HeapRedzone)
+		m.Unpoison(base, n)
+		m.Poison(base+n, 16, HeapRedzone)
+
+		for i := 0; i < 8; i++ {
+			off := uint64(r.Int63n(int64(n)))
+			size := uint64(1 + r.Intn(8))
+			if off+size > n {
+				size = n - off
+			}
+			if _, bad := m.Check(base+off, size); bad {
+				return false
+			}
+		}
+		if _, bad := m.Check(base-1, 1); !bad {
+			return false
+		}
+		if _, bad := m.Check(base+n, 1); !bad {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,508 @@
+package vm
+
+import (
+	"fmt"
+
+	"redfat/internal/isa"
+)
+
+func widthMask(w uint16) uint64 {
+	if w >= 8 {
+		return ^uint64(0)
+	}
+	return 1<<(8*w) - 1
+}
+
+func signBit(v uint64, w uint16) bool {
+	return v&(1<<(8*w-1)) != 0
+}
+
+// addFlags computes flags for a + b = r at width w.
+func addFlags(a, b, r uint64, w uint16) Flags {
+	mask := widthMask(w)
+	a, b, r = a&mask, b&mask, r&mask
+	return Flags{
+		ZF: r == 0,
+		SF: signBit(r, w),
+		CF: r < a,
+		OF: signBit((a^r)&(b^r), w),
+	}
+}
+
+// subFlags computes flags for a - b = r at width w.
+func subFlags(a, b, r uint64, w uint16) Flags {
+	mask := widthMask(w)
+	a, b, r = a&mask, b&mask, r&mask
+	return Flags{
+		ZF: r == 0,
+		SF: signBit(r, w),
+		CF: a < b,
+		OF: signBit((a^b)&(a^r), w),
+	}
+}
+
+// logicFlags computes flags for logical operations (CF=OF=0).
+func logicFlags(r uint64, w uint16) Flags {
+	mask := widthMask(w)
+	r &= mask
+	return Flags{ZF: r == 0, SF: signBit(r, w)}
+}
+
+func (v *VM) condition(op isa.Op) bool {
+	f := v.Flags
+	switch op {
+	case isa.JE:
+		return f.ZF
+	case isa.JNE:
+		return !f.ZF
+	case isa.JL:
+		return f.SF != f.OF
+	case isa.JLE:
+		return f.ZF || f.SF != f.OF
+	case isa.JG:
+		return !f.ZF && f.SF == f.OF
+	case isa.JGE:
+		return f.SF == f.OF
+	case isa.JB:
+		return f.CF
+	case isa.JBE:
+		return f.CF || f.ZF
+	case isa.JA:
+		return !f.CF && !f.ZF
+	case isa.JAE:
+		return !f.CF
+	case isa.JS:
+		return f.SF
+	case isa.JNS:
+		return !f.SF
+	case isa.JO:
+		return f.OF
+	case isa.JNO:
+		return !f.OF
+	}
+	return false
+}
+
+func (v *VM) load(addr uint64, w uint16) (uint64, error) {
+	if v.MemHook != nil {
+		if err := v.MemHook(v, addr, w, false); err != nil {
+			return 0, err
+		}
+	}
+	v.Cycles += CostMem
+	return v.Mem.Load(addr, w)
+}
+
+func (v *VM) store(addr uint64, w uint16, val uint64) error {
+	if v.MemHook != nil {
+		if err := v.MemHook(v, addr, w, true); err != nil {
+			return err
+		}
+	}
+	v.Cycles += CostMem
+	return v.Mem.Store(addr, w, val)
+}
+
+func (v *VM) branchTo(target uint64) {
+	v.RIP = target
+	v.Cycles += CostBranch
+	if v.BlockHook != nil {
+		v.BlockHook(v, target)
+	}
+}
+
+// aluOp applies a binary ALU operation at width w, returning the result
+// and whether flags follow add/sub/logic semantics.
+func (v *VM) aluCompute(op isa.Op, a, b uint64, w uint16) (uint64, Flags, error) {
+	mask := widthMask(w)
+	switch op {
+	case isa.MOV, isa.MOVZX:
+		return b & mask, v.Flags, nil // moves don't touch flags
+	case isa.MOVSX:
+		r := b & mask
+		if signBit(r, w) {
+			r |= ^mask
+		}
+		return r, v.Flags, nil
+	case isa.ADD:
+		r := (a + b) & mask
+		return r, addFlags(a, b, r, w), nil
+	case isa.SUB:
+		r := (a - b) & mask
+		return r, subFlags(a, b, r, w), nil
+	case isa.CMP:
+		r := (a - b) & mask
+		return a & mask, subFlags(a, b, r, w), nil
+	case isa.AND, isa.TEST:
+		r := (a & b) & mask
+		if op == isa.TEST {
+			return a & mask, logicFlags(r, w), nil
+		}
+		return r, logicFlags(r, w), nil
+	case isa.OR:
+		r := (a | b) & mask
+		return r, logicFlags(r, w), nil
+	case isa.XOR:
+		r := (a ^ b) & mask
+		return r, logicFlags(r, w), nil
+	case isa.IMUL:
+		v.Cycles += CostMul
+		r := uint64(int64(a)*int64(b)) & mask
+		return r, logicFlags(r, w), nil
+	}
+	return 0, v.Flags, fmt.Errorf("vm: alu cannot execute %v", op)
+}
+
+// Step executes a single instruction.
+func (v *VM) Step() error {
+	pc := v.RIP
+	in, err := v.fetch(pc)
+	if err != nil {
+		return err
+	}
+	next := pc + uint64(in.Len)
+	if v.TraceHook != nil {
+		v.TraceHook(v, pc, in)
+	}
+	v.Insts++
+	v.Cycles += CostInst + v.PerInstOverhead
+
+	switch in.Op {
+	case isa.NOP:
+		v.RIP = next
+
+	case isa.TRAP:
+		target, ok := v.PatchTable[pc]
+		if !ok {
+			return fmt.Errorf("vm: trap at %#x with no patch-table entry", pc)
+		}
+		v.Cycles += CostTrap
+		v.RIP = target // trap dispatch is not a guest branch; no hook
+
+	case isa.HLT:
+		v.Halted = true
+		v.ExitCode = v.Regs[isa.RAX]
+		v.RIP = next
+
+	case isa.RET:
+		v.Cycles += CostCall
+		addr, err := v.pop()
+		if err != nil {
+			return err
+		}
+		if addr == ExitSentinel {
+			v.Halted = true
+			v.ExitCode = v.Regs[isa.RAX]
+			return nil
+		}
+		v.branchTo(addr)
+
+	case isa.PUSHF:
+		if err := v.push(v.Flags.pack()); err != nil {
+			return err
+		}
+		v.Cycles += CostMem
+		v.RIP = next
+
+	case isa.POPF:
+		val, err := v.pop()
+		if err != nil {
+			return err
+		}
+		v.Cycles += CostMem
+		v.Flags = unpackFlags(val)
+		v.RIP = next
+
+	case isa.CQO:
+		v.Regs[isa.RDX] = uint64(int64(v.Regs[isa.RAX]) >> 63)
+		v.RIP = next
+
+	case isa.MOV, isa.MOVABS, isa.MOVZX, isa.MOVSX,
+		isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.CMP, isa.TEST, isa.IMUL:
+		if err := v.stepALU(in, next); err != nil {
+			return err
+		}
+		v.RIP = next
+
+	case isa.LEA:
+		v.Regs[in.Reg] = v.EA(in.Mem, next)
+		v.RIP = next
+
+	case isa.PUSH:
+		var val uint64
+		if in.Form == isa.FR {
+			val = v.Regs[in.Reg]
+		} else {
+			val, err = v.load(v.EA(in.Mem, next), 8)
+			if err != nil {
+				return err
+			}
+		}
+		if err := v.push(val); err != nil {
+			return err
+		}
+		v.Cycles += CostMem
+		v.RIP = next
+
+	case isa.POP:
+		val, err := v.pop()
+		if err != nil {
+			return err
+		}
+		v.Cycles += CostMem
+		if in.Form == isa.FR {
+			v.Regs[in.Reg] = val
+		} else {
+			if err := v.store(v.EA(in.Mem, next), 8, val); err != nil {
+				return err
+			}
+		}
+		v.RIP = next
+
+	case isa.XCHG:
+		v.Regs[in.Reg], v.Regs[in.Reg2] = v.Regs[in.Reg2], v.Regs[in.Reg]
+		v.RIP = next
+
+	case isa.INC, isa.DEC, isa.NEG, isa.NOT:
+		if err := v.stepUnary(in, next); err != nil {
+			return err
+		}
+		v.RIP = next
+
+	case isa.SHL, isa.SHR, isa.SAR:
+		var count uint64
+		if in.Form == isa.FRI {
+			count = uint64(in.Imm)
+		} else {
+			count = v.Regs[isa.RCX]
+		}
+		count &= 63
+		val := v.Regs[in.Reg]
+		var r uint64
+		var cf bool
+		if count > 0 {
+			switch in.Op {
+			case isa.SHL:
+				cf = val&(1<<(64-count)) != 0
+				r = val << count
+			case isa.SHR:
+				cf = val&(1<<(count-1)) != 0
+				r = val >> count
+			case isa.SAR:
+				cf = val&(1<<(count-1)) != 0
+				r = uint64(int64(val) >> count)
+			}
+			v.Flags = Flags{ZF: r == 0, SF: signBit(r, 8), CF: cf}
+		} else {
+			r = val
+		}
+		v.Regs[in.Reg] = r
+		v.RIP = next
+
+	case isa.UDIV, isa.IDIV:
+		v.Cycles += CostDiv
+		d := v.Regs[in.Reg]
+		if d == 0 {
+			return fmt.Errorf("vm: division by zero at %#x", pc)
+		}
+		a := v.Regs[isa.RAX]
+		if in.Op == isa.UDIV {
+			v.Regs[isa.RAX] = a / d
+			v.Regs[isa.RDX] = a % d
+		} else {
+			sa, sd := int64(a), int64(d)
+			if sa == -1<<63 && sd == -1 {
+				return fmt.Errorf("vm: division overflow at %#x", pc)
+			}
+			v.Regs[isa.RAX] = uint64(sa / sd)
+			v.Regs[isa.RDX] = uint64(sa % sd)
+		}
+		v.RIP = next
+
+	case isa.JMP:
+		switch in.Form {
+		case isa.FRel8, isa.FRel32:
+			v.branchTo(next + uint64(in.Imm))
+		case isa.FR:
+			v.branchTo(v.Regs[in.Reg])
+		case isa.FM:
+			target, err := v.load(v.EA(in.Mem, next), 8)
+			if err != nil {
+				return err
+			}
+			v.branchTo(target)
+		}
+
+	case isa.CALL:
+		v.Cycles += CostCall
+		var target uint64
+		switch in.Form {
+		case isa.FRel32:
+			target = next + uint64(in.Imm)
+		case isa.FR:
+			target = v.Regs[in.Reg]
+		case isa.FM:
+			target, err = v.load(v.EA(in.Mem, next), 8)
+			if err != nil {
+				return err
+			}
+		}
+		if err := v.push(next); err != nil {
+			return err
+		}
+		v.branchTo(target)
+
+	case isa.RTCALL:
+		idx, arg := SplitRTCallImm(in.Imm)
+		host := v.moduleFor(pc)
+		if idx >= len(host) || host[idx] == nil {
+			return fmt.Errorf("vm: rtcall to unbound import %d at %#x", idx, pc)
+		}
+		v.RIP = next // handlers may inspect/modify RIP (e.g. longjmp-style)
+		if err := host[idx](v, arg); err != nil {
+			return err
+		}
+
+	default:
+		if in.Op.IsCondJump() {
+			if v.condition(in.Op) {
+				v.branchTo(next + uint64(in.Imm))
+			} else {
+				v.RIP = next
+			}
+			break
+		}
+		return fmt.Errorf("vm: unimplemented op %v at %#x", in.Op, pc)
+	}
+	return nil
+}
+
+// stepALU executes two-operand ALU/MOV forms.
+func (v *VM) stepALU(in *isa.Inst, next uint64) error {
+	w := uint16(in.Size)
+	if w == 0 {
+		w = 8
+	}
+	regW := w
+	if in.Form == isa.FRR || in.Form == isa.FRI {
+		// Register-to-register arithmetic is always 64-bit in RF64.
+		regW = 8
+	}
+	switch in.Form {
+	case isa.FRR:
+		a, b := v.Regs[in.Reg], v.Regs[in.Reg2]
+		r, fl, err := v.aluCompute(in.Op, a, b, regW)
+		if err != nil {
+			return err
+		}
+		v.Flags = fl
+		if in.Op != isa.CMP && in.Op != isa.TEST {
+			v.Regs[in.Reg] = r
+		}
+	case isa.FRI:
+		a, b := v.Regs[in.Reg], uint64(in.Imm)
+		if in.Op == isa.MOV || in.Op == isa.MOVABS {
+			v.Regs[in.Reg] = b
+			return nil
+		}
+		r, fl, err := v.aluCompute(in.Op, a, b, regW)
+		if err != nil {
+			return err
+		}
+		v.Flags = fl
+		if in.Op != isa.CMP && in.Op != isa.TEST {
+			v.Regs[in.Reg] = r
+		}
+	case isa.FRM:
+		addr := v.EA(in.Mem, next)
+		b, err := v.load(addr, w)
+		if err != nil {
+			return err
+		}
+		a := v.Regs[in.Reg]
+		// Moves (zero/sign-extending) and ALU-from-memory both operate at
+		// the access width; sub-width results zero-extend into the
+		// register (MOVSX sign-extends inside aluCompute).
+		r, fl, err := v.aluCompute(in.Op, a, b, w)
+		if err != nil {
+			return err
+		}
+		v.Flags = fl
+		if in.Op != isa.CMP && in.Op != isa.TEST {
+			v.Regs[in.Reg] = r
+		}
+	case isa.FMR, isa.FMI:
+		addr := v.EA(in.Mem, next)
+		var b uint64
+		if in.Form == isa.FMR {
+			b = v.Regs[in.Reg]
+		} else {
+			b = uint64(in.Imm)
+		}
+		if in.Op == isa.MOV {
+			return v.store(addr, w, b)
+		}
+		a, err := v.load(addr, w)
+		if err != nil {
+			return err
+		}
+		r, fl, err := v.aluCompute(in.Op, a, b, w)
+		if err != nil {
+			return err
+		}
+		v.Flags = fl
+		if in.Op != isa.CMP && in.Op != isa.TEST {
+			return v.store(addr, w, r)
+		}
+	default:
+		return fmt.Errorf("vm: bad ALU form %v", in.Form)
+	}
+	return nil
+}
+
+// stepUnary executes INC/DEC/NEG/NOT on a register or memory operand.
+func (v *VM) stepUnary(in *isa.Inst, next uint64) error {
+	w := uint16(in.Size)
+	if w == 0 || in.Form == isa.FR {
+		w = 8
+	}
+	var val uint64
+	var addr uint64
+	if in.Form == isa.FR {
+		val = v.Regs[in.Reg]
+	} else {
+		addr = v.EA(in.Mem, next)
+		var err error
+		val, err = v.load(addr, w)
+		if err != nil {
+			return err
+		}
+	}
+	mask := widthMask(w)
+	var r uint64
+	switch in.Op {
+	case isa.INC:
+		r = (val + 1) & mask
+		fl := addFlags(val, 1, r, w)
+		fl.CF = v.Flags.CF // INC preserves CF (x86 semantics)
+		v.Flags = fl
+	case isa.DEC:
+		r = (val - 1) & mask
+		fl := subFlags(val, 1, r, w)
+		fl.CF = v.Flags.CF
+		v.Flags = fl
+	case isa.NEG:
+		r = (-val) & mask
+		fl := subFlags(0, val, r, w)
+		fl.CF = val&mask != 0
+		v.Flags = fl
+	case isa.NOT:
+		r = (^val) & mask // NOT does not touch flags
+	}
+	if in.Form == isa.FR {
+		v.Regs[in.Reg] = r
+		return nil
+	}
+	return v.store(addr, w, r)
+}

@@ -1,0 +1,230 @@
+package vm_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redfat/internal/asm"
+	"redfat/internal/heap"
+	"redfat/internal/isa"
+	"redfat/internal/mem"
+	"redfat/internal/rtlib"
+	"redfat/internal/vm"
+)
+
+// evalCond runs cmp a, b followed by the given conditional jump and
+// reports whether the jump was taken (guest-truth).
+func evalCond(t *testing.T, op isa.Op, a, b uint64) bool {
+	t.Helper()
+	bld := asm.NewBuilder(asm.Options{})
+	bld.Func("main")
+	bld.MovRI(isa.RAX, 0)
+	bld.Emit(isa.Inst{Op: isa.MOVABS, Form: isa.FRI, Reg: isa.RBX, Imm: int64(a)})
+	bld.Emit(isa.Inst{Op: isa.MOVABS, Form: isa.FRI, Reg: isa.RCX, Imm: int64(b)})
+	bld.AluRR(isa.CMP, isa.RBX, isa.RCX)
+	bld.Jcc(op, "taken")
+	bld.Ret()
+	bld.Label("taken")
+	bld.MovRI(isa.RAX, 1)
+	bld.Ret()
+	bin, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	v := vm.New(m)
+	if err := v.Load(bin, rtlib.LibC(heap.New(m), m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return v.ExitCode == 1
+}
+
+// TestQuickConditionSemantics: every conditional jump after cmp a, b
+// agrees with the Go reference comparison, for random 64-bit operands.
+func TestQuickConditionSemantics(t *testing.T) {
+	refs := map[isa.Op]func(a, b uint64) bool{
+		isa.JE:  func(a, b uint64) bool { return a == b },
+		isa.JNE: func(a, b uint64) bool { return a != b },
+		isa.JL:  func(a, b uint64) bool { return int64(a) < int64(b) },
+		isa.JLE: func(a, b uint64) bool { return int64(a) <= int64(b) },
+		isa.JG:  func(a, b uint64) bool { return int64(a) > int64(b) },
+		isa.JGE: func(a, b uint64) bool { return int64(a) >= int64(b) },
+		isa.JB:  func(a, b uint64) bool { return a < b },
+		isa.JBE: func(a, b uint64) bool { return a <= b },
+		isa.JA:  func(a, b uint64) bool { return a > b },
+		isa.JAE: func(a, b uint64) bool { return a >= b },
+		isa.JS:  func(a, b uint64) bool { return int64(a-b) < 0 },
+		isa.JNS: func(a, b uint64) bool { return int64(a-b) >= 0 },
+	}
+	r := rand.New(rand.NewSource(77))
+	interesting := []uint64{0, 1, ^uint64(0), 1 << 63, 1<<63 - 1, 42}
+	sample := func() uint64 {
+		if r.Intn(2) == 0 {
+			return interesting[r.Intn(len(interesting))]
+		}
+		return r.Uint64()
+	}
+	for op, ref := range refs {
+		op, ref := op, ref
+		f := func() bool {
+			a, b := sample(), sample()
+			got := evalCond(t, op, a, b)
+			want := ref(a, b)
+			if got != want {
+				t.Logf("%v with a=%#x b=%#x: guest %v, reference %v", op, a, b, got, want)
+			}
+			return got == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%v: %v", op, err)
+		}
+	}
+}
+
+// TestQuickArithmeticSemantics: ADD/SUB/IMUL/AND/OR/XOR results match the
+// Go reference for random operands.
+func TestQuickArithmeticSemantics(t *testing.T) {
+	ops := map[isa.Op]func(a, b uint64) uint64{
+		isa.ADD:  func(a, b uint64) uint64 { return a + b },
+		isa.SUB:  func(a, b uint64) uint64 { return a - b },
+		isa.AND:  func(a, b uint64) uint64 { return a & b },
+		isa.OR:   func(a, b uint64) uint64 { return a | b },
+		isa.XOR:  func(a, b uint64) uint64 { return a ^ b },
+		isa.IMUL: func(a, b uint64) uint64 { return uint64(int64(a) * int64(b)) },
+	}
+	r := rand.New(rand.NewSource(78))
+	for op, ref := range ops {
+		for i := 0; i < 40; i++ {
+			a, b := r.Uint64(), r.Uint64()
+			bld := asm.NewBuilder(asm.Options{})
+			bld.Func("main")
+			bld.Emit(isa.Inst{Op: isa.MOVABS, Form: isa.FRI, Reg: isa.RAX, Imm: int64(a)})
+			bld.Emit(isa.Inst{Op: isa.MOVABS, Form: isa.FRI, Reg: isa.RBX, Imm: int64(b)})
+			bld.AluRR(op, isa.RAX, isa.RBX)
+			bld.Ret()
+			bin, err := bld.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := mem.New()
+			v := vm.New(m)
+			if err := v.Load(bin, rtlib.LibC(heap.New(m), m)); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if want := ref(a, b); v.ExitCode != want {
+				t.Fatalf("%v(%#x, %#x) = %#x, want %#x", op, a, b, v.ExitCode, want)
+			}
+		}
+	}
+}
+
+// TestQuickShiftSemantics: shifts by immediate match Go references.
+func TestQuickShiftSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	for i := 0; i < 120; i++ {
+		a := r.Uint64()
+		count := int64(r.Intn(64))
+		var op isa.Op
+		var want uint64
+		switch i % 3 {
+		case 0:
+			op, want = isa.SHL, a<<count
+		case 1:
+			op, want = isa.SHR, a>>count
+		case 2:
+			op, want = isa.SAR, uint64(int64(a)>>count)
+		}
+		bld := asm.NewBuilder(asm.Options{})
+		bld.Func("main")
+		bld.Emit(isa.Inst{Op: isa.MOVABS, Form: isa.FRI, Reg: isa.RAX, Imm: int64(a)})
+		bld.Shift(op, isa.RAX, count)
+		bld.Ret()
+		bin, err := bld.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mem.New()
+		v := vm.New(m)
+		if err := v.Load(bin, rtlib.LibC(heap.New(m), m)); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if v.ExitCode != want {
+			t.Fatalf("%v(%#x, %d) = %#x, want %#x", op, a, count, v.ExitCode, want)
+		}
+	}
+}
+
+// TestSubWidthFlagSemantics: flags for sub-width memory compares are
+// computed at the access width (a cmpb loop must terminate).
+func TestSubWidthFlagSemantics(t *testing.T) {
+	bld := asm.NewBuilder(asm.Options{})
+	bld.GlobalU64("data", 0x00FF_0000_0000_0080) // byte 0 = 0x80, byte 6 = 0xFF
+	bld.Func("main")
+	bld.MovRI(isa.RAX, 0)
+	bld.LoadAddr(isa.RBX, "data", 0)
+	// cmpb $0x80, (%rbx): equal at byte width even though the 64-bit
+	// word differs.
+	bld.Emit(isa.Inst{Op: isa.CMP, Form: isa.FMI, Size: 1, Imm: -128, // 0x80 sign-extended
+		Mem: isa.Mem{Base: isa.RBX, Index: isa.RegNone, Scale: 1}})
+	bld.Jcc(isa.JE, "eq")
+	bld.Ret()
+	bld.Label("eq")
+	bld.MovRI(isa.RAX, 1)
+	bld.Ret()
+	bin, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	v := vm.New(m)
+	if err := v.Load(bin, rtlib.LibC(heap.New(m), m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.ExitCode != 1 {
+		t.Error("byte-width compare did not match at byte width")
+	}
+}
+
+func TestGuestFuncTransfer(t *testing.T) {
+	// vm.GuestFunc is the PLT mechanism for cross-module calls: verify
+	// the return path lands after the RTCALL.
+	bld := asm.NewBuilder(asm.Options{})
+	bld.Func("main")
+	bld.CallImport("external")
+	bld.AluRI(isa.ADD, isa.RAX, 1)
+	bld.Ret()
+	bld.Func("callee")
+	bld.MovRI(isa.RAX, 41)
+	bld.Ret()
+	bin, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	calleeAddr, _ := bin.Lookup("callee")
+	m := mem.New()
+	v := vm.New(m)
+	env := rtlib.LibC(heap.New(m), m)
+	env["external"] = v.GuestFunc(calleeAddr)
+	if err := v.Load(bin, env); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", v.ExitCode)
+	}
+}

@@ -1,0 +1,360 @@
+// Package vm implements the RF64 virtual machine: a CPU interpreter over
+// the sparse paged memory of package mem.
+//
+// The VM is the testbed on which all experiments run. It executes RELF
+// binaries — original, RedFat-hardened, or under the Memcheck DBI model —
+// and accounts execution in cycles so that the paper's slow-down factors
+// can be measured deterministically.
+//
+// Host runtime functions (the RTCALL instruction) model calls into shared
+// libraries: libc (malloc, memset, I/O) and libredfat (the instrumented
+// checks). A handler reads guest registers directly and charges an explicit
+// cycle cost equal to the instruction sequence it stands for; the cost
+// model is documented in internal/rtlib.
+package vm
+
+import (
+	"fmt"
+
+	"redfat/internal/isa"
+	"redfat/internal/mem"
+	"redfat/internal/relf"
+)
+
+// Flags is the RF64 condition-code state (an EFLAGS subset).
+type Flags struct {
+	ZF, SF, CF, OF bool
+}
+
+// pack encodes flags using the x86 EFLAGS bit layout.
+func (f Flags) pack() uint64 {
+	var v uint64 = 0x2 // bit 1 is always set in EFLAGS
+	if f.CF {
+		v |= 1 << 0
+	}
+	if f.ZF {
+		v |= 1 << 6
+	}
+	if f.SF {
+		v |= 1 << 7
+	}
+	if f.OF {
+		v |= 1 << 11
+	}
+	return v
+}
+
+func unpackFlags(v uint64) Flags {
+	return Flags{
+		CF: v&(1<<0) != 0,
+		ZF: v&(1<<6) != 0,
+		SF: v&(1<<7) != 0,
+		OF: v&(1<<11) != 0,
+	}
+}
+
+// HostFunc is a runtime function bound to an RTCALL import slot. arg is
+// the static argument encoded in the RTCALL immediate (bits 12..31);
+// ordinary libc functions ignore it, libredfat checks use it as the
+// instrumentation-site index.
+type HostFunc func(v *VM, arg uint32) error
+
+// RTCallImm builds an RTCALL immediate from an import index and a static
+// argument.
+func RTCallImm(importIdx int, arg uint32) int64 {
+	return int64(uint32(importIdx)&0xFFF) | int64(arg)<<12
+}
+
+// SplitRTCallImm is the inverse of RTCallImm.
+func SplitRTCallImm(imm int64) (importIdx int, arg uint32) {
+	return int(imm & 0xFFF), uint32(uint64(imm) >> 12)
+}
+
+// ExitSentinel is the return address pushed below the entry point; a RET
+// to it terminates the program (models returning from main into
+// __libc_start_main).
+const ExitSentinel = 0xFFFF_FFFF_FFFF_F000
+
+// Default cycle costs. These approximate a simple in-order machine; the
+// absolute values are arbitrary but the *relative* costs (memory ops,
+// branch redirection, trap dispatch) are what shape the measured
+// overheads.
+const (
+	CostInst   = 1   // any instruction
+	CostMem    = 2   // extra for a memory access
+	CostBranch = 1   // extra for a taken branch
+	CostCall   = 2   // extra for call/ret
+	CostMul    = 2   // extra for imul
+	CostDiv    = 20  // extra for udiv/idiv
+	CostTrap   = 150 // trap-patch dispatch (signal-style redirection)
+)
+
+// MemErrorKind classifies a detected memory error.
+type MemErrorKind uint8
+
+// Memory error kinds reported by instrumentation.
+const (
+	ErrOOBWrite MemErrorKind = iota
+	ErrOOBRead
+	ErrUseAfterFree
+	ErrCorruptMeta
+	ErrInvalidFree
+)
+
+// String names the error kind.
+func (k MemErrorKind) String() string {
+	switch k {
+	case ErrOOBWrite:
+		return "out-of-bounds write"
+	case ErrOOBRead:
+		return "out-of-bounds read"
+	case ErrUseAfterFree:
+		return "use-after-free"
+	case ErrCorruptMeta:
+		return "corrupted metadata"
+	case ErrInvalidFree:
+		return "invalid free"
+	}
+	return "memory error"
+}
+
+// MemError is a detected memory error report.
+type MemError struct {
+	Kind MemErrorKind
+	Addr uint64 // faulting access address
+	PC   uint64 // program counter of the access
+	Site uint32 // instrumentation site (0 if not site-based)
+	Note string
+}
+
+// Error implements the error interface.
+func (e *MemError) Error() string {
+	return fmt.Sprintf("%s at address %#x (pc %#x)", e.Kind, e.Addr, e.PC)
+}
+
+// VM is an RF64 machine instance.
+type VM struct {
+	Mem   *mem.Memory
+	Regs  [isa.NumRegs]uint64
+	RIP   uint64
+	Flags Flags
+
+	// FSBase and GSBase are the segment base registers.
+	FSBase, GSBase uint64
+
+	Cycles    uint64
+	MaxCycles uint64 // execution budget; 0 means none
+	Insts     uint64 // retired instruction count
+
+	Halted   bool
+	ExitCode uint64
+
+	// PatchTable redirects TRAP instructions to trampolines (the 1-byte
+	// patch tactic). Loaded from the binary's .rf.patch section.
+	PatchTable map[uint64]uint64
+
+	// AbortOnError makes detected memory errors terminate execution
+	// (hardening mode); otherwise they are recorded and execution
+	// continues (profiling / bug-finding mode).
+	AbortOnError bool
+	Errors       []MemError
+
+	// Output collects bytes written by the output host functions.
+	Output []byte
+
+	// Input supplies values to the rf_input host function.
+	Input    []uint64
+	inputPos int
+
+	// randState drives the deterministic rf_rand host function.
+	randState uint64
+
+	hostFuncs []HostFunc // import bindings of the main executable
+	icache    map[uint64]*isa.Inst
+	binary    *relf.Binary
+
+	// modules supports dynamically-linked RELF shared objects: each
+	// loaded module carries its own import bindings (RTCALL immediates
+	// index the containing module's import table, like per-DSO PLTs).
+	modules []moduleEntry
+	// exports accumulates function symbols of loaded libraries for
+	// import resolution (the dynamic-linker view).
+	exports  map[string]uint64
+	modCache *moduleEntry
+
+	// PerInstOverhead adds cycles to every retired instruction; the
+	// Memcheck DBI model uses it for its dispatch overhead.
+	PerInstOverhead uint64
+
+	// MemHook, if set, is invoked for every memory access the guest
+	// performs (before it happens). The Memcheck model uses this to run
+	// shadow checks. Returning an error aborts execution.
+	MemHook func(v *VM, addr uint64, size uint16, write bool) error
+
+	// BlockHook, if set, is invoked at every branch target (basic-block
+	// entry, approximately). The Memcheck model charges JIT translation
+	// cost here.
+	BlockHook func(v *VM, addr uint64)
+
+	// TraceHook, if set, is invoked before every instruction retires
+	// (single-step debugging / execution tracing).
+	TraceHook func(v *VM, pc uint64, in *isa.Inst)
+}
+
+// New creates a VM over the given memory.
+func New(m *mem.Memory) *VM {
+	return &VM{
+		Mem:    m,
+		icache: make(map[uint64]*isa.Inst, 4096),
+	}
+}
+
+// Binary returns the loaded binary, if any.
+func (v *VM) Binary() *relf.Binary { return v.binary }
+
+// Bindings maps import names to host functions.
+type Bindings map[string]HostFunc
+
+// Load maps a RELF executable into memory, binds its imports (against
+// host bindings and the exports of any libraries loaded earlier via
+// LoadLibrary), initializes the stack and sets RIP to the entry point.
+func (v *VM) Load(bin *relf.Binary, env Bindings) error {
+	if err := v.mapSections(bin); err != nil {
+		return err
+	}
+	host, err := v.bindImports(bin, env)
+	if err != nil {
+		return err
+	}
+	v.hostFuncs = host
+	if err := v.registerModule(bin, host); err != nil {
+		return err
+	}
+
+	// Stack.
+	stackBase := uint64(relf.DefaultStackTop - relf.DefaultStackSize)
+	v.Mem.Map(stackBase, relf.DefaultStackSize, mem.PermRW)
+	v.Regs[isa.RSP] = relf.DefaultStackTop - 64
+	if err := v.push(ExitSentinel); err != nil {
+		return err
+	}
+
+	v.RIP = bin.Entry
+	v.binary = bin
+	return nil
+}
+
+// Report records a detected memory error, honouring AbortOnError.
+func (v *VM) Report(e MemError) error {
+	v.Errors = append(v.Errors, e)
+	if v.AbortOnError {
+		v.Halted = true
+		cp := e
+		return &cp
+	}
+	return nil
+}
+
+func (v *VM) push(val uint64) error {
+	v.Regs[isa.RSP] -= 8
+	return v.Mem.Store(v.Regs[isa.RSP], 8, val)
+}
+
+func (v *VM) pop() (uint64, error) {
+	val, err := v.Mem.Load(v.Regs[isa.RSP], 8)
+	if err != nil {
+		return 0, err
+	}
+	v.Regs[isa.RSP] += 8
+	return val, nil
+}
+
+// EA computes the effective address of a memory operand given the current
+// register state, with nextRIP used for RIP-relative operands.
+func (v *VM) EA(m isa.Mem, nextRIP uint64) uint64 {
+	addr := uint64(int64(m.Disp))
+	switch m.Seg {
+	case isa.SegFS:
+		addr += v.FSBase
+	case isa.SegGS:
+		addr += v.GSBase
+	}
+	switch {
+	case m.Base == isa.RIP:
+		addr += nextRIP
+	case m.Base != isa.RegNone:
+		addr += v.Regs[m.Base]
+	}
+	if m.Index != isa.RegNone {
+		addr += v.Regs[m.Index] * uint64(m.Scale)
+	}
+	return addr
+}
+
+// CycleLimitError reports that execution exceeded the cycle budget.
+type CycleLimitError struct{ Cycles uint64 }
+
+// Error implements the error interface.
+func (e *CycleLimitError) Error() string {
+	return fmt.Sprintf("vm: cycle limit exceeded (%d cycles)", e.Cycles)
+}
+
+// Run executes until the program halts or faults.
+func (v *VM) Run() error {
+	for !v.Halted {
+		if err := v.Step(); err != nil {
+			return err
+		}
+		if v.MaxCycles != 0 && v.Cycles > v.MaxCycles {
+			return &CycleLimitError{v.Cycles}
+		}
+	}
+	return nil
+}
+
+// fetch decodes (with caching) the instruction at addr.
+func (v *VM) fetch(addr uint64) (*isa.Inst, error) {
+	if in, ok := v.icache[addr]; ok {
+		return in, nil
+	}
+	var buf [isa.MaxInstLen]byte
+	n := v.Mem.Fetch(addr, buf[:])
+	if n == 0 {
+		return nil, &mem.Fault{Addr: addr, Exec: true}
+	}
+	in, err := isa.Decode(buf[:n])
+	if err != nil {
+		return nil, fmt.Errorf("vm: at %#x: %w", addr, err)
+	}
+	cp := in
+	v.icache[addr] = &cp
+	return &cp, nil
+}
+
+// FlushICache drops cached decodes (needed only if code is modified after
+// it has executed; offline rewriting does not require it).
+func (v *VM) FlushICache() { v.icache = make(map[uint64]*isa.Inst, 4096) }
+
+// NextInput returns the next value from the input vector (0 when
+// exhausted, like EOF).
+func (v *VM) NextInput() uint64 {
+	if v.inputPos >= len(v.Input) {
+		return 0
+	}
+	val := v.Input[v.inputPos]
+	v.inputPos++
+	return val
+}
+
+// NextRand steps the VM's deterministic PRNG (xorshift64*).
+func (v *VM) NextRand() uint64 {
+	if v.randState == 0 {
+		v.randState = 0x853C49E6748FEA9B
+	}
+	x := v.randState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	v.randState = x
+	return x * 0x2545F4914F6CDD1D
+}

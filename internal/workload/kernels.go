@@ -1,0 +1,680 @@
+// Package workload generates the synthetic SPEC CPU2006-like benchmark
+// programs used to reproduce the paper's Table 1 evaluation.
+//
+// Each of the 29 benchmarks is composed from a catalogue of memory-access
+// kernels chosen to mimic the real benchmark's character (pointer chasing
+// for mcf, stencils for lbm, string scanning for perlbench, ...). The
+// planted properties drive the paper's qualitative results:
+//
+//   - Fortran-style (array−K)[i] anti-idioms produce exactly the paper's
+//     false-positive counts under naive full hardening (§7.1);
+//   - genuine out-of-bounds read bugs are planted in calculix (4×
+//     array[-1]) and wrf (1 read overflow), the errors the paper reports
+//     detecting;
+//   - some kernels are gated behind ref-only input flags, so the train
+//     workload does not exercise them — the source of partial allow-list
+//     coverage (the coverage column).
+//
+// Every kernel accumulates a data-only checksum (never addresses), so a
+// benchmark's exit code is identical under the baseline allocator, the
+// RedFat heap, and Memcheck — used for differential correctness testing.
+package workload
+
+import (
+	"fmt"
+
+	"redfat/internal/asm"
+	"redfat/internal/isa"
+)
+
+// KernKind enumerates the kernel catalogue.
+type KernKind int
+
+// Kernel kinds.
+const (
+	KSweep    KernKind = iota // incremental array fill + sum
+	KChase                    // linked-list build/traverse/free
+	KHash                     // scattered read-modify-write (non-incremental, in-bounds)
+	KStencil                  // 3-point stencil over two grids
+	KString                   // byte scanning with 1-byte accesses
+	KMatrix                   // 32×32 matrix multiply
+	KTree                     // binary searches over a sorted array
+	KStruct                   // multi-field struct stores (merge-friendly)
+	KChurn                    // malloc/free churn
+	KAnti                     // (array−K)[i] anti-idiom accesses (false positives)
+	KBugUnder                 // planted array[-1] OOB reads
+	KBugOver                  // planted array[n] OOB read
+)
+
+// Kern instantiates a kernel within a benchmark. Its position in the
+// benchmark's kernel list is also its enable-flag bit in the input vector.
+type Kern struct {
+	Kind       KernKind
+	ScaleShift uint  // kernel iterations = scale >> ScaleShift (min 1)
+	Param      int64 // kernel-specific: site count for KAnti/KBugUnder
+}
+
+// emitter state shared while generating one benchmark.
+type emitter struct {
+	b   *asm.Builder
+	n   int // label counter
+	pfx string
+}
+
+func (e *emitter) lbl(s string) string {
+	e.n++
+	return fmt.Sprintf("%s_%s_%d", e.pfx, s, e.n)
+}
+
+// Common register plan inside kernels:
+//
+//	RDI = iteration count on entry
+//	R12 = saved iteration count
+//	RBX = primary buffer pointer
+//	R13, R14 = kernel-specific saved state
+//	RAX = returned checksum
+func (e *emitter) prologue() {
+	b := e.b
+	b.Push(isa.RBX)
+	b.Push(isa.R12)
+	b.Push(isa.R13)
+	b.Push(isa.R14)
+	b.MovRR(isa.R12, isa.RDI)
+}
+
+func (e *emitter) epilogue() {
+	b := e.b
+	b.Pop(isa.R14)
+	b.Pop(isa.R13)
+	b.Pop(isa.R12)
+	b.Pop(isa.RBX)
+	b.Ret()
+}
+
+// callFree frees RBX-held pointer, preserving the checksum in RAX.
+func (e *emitter) callFree(ptr isa.Reg) {
+	b := e.b
+	b.Push(isa.RAX)
+	b.MovRR(isa.RDI, ptr)
+	b.CallImport("free")
+	b.Pop(isa.RAX)
+}
+
+// malloc emits: dst = malloc(bytes), where bytes is an immediate.
+func (e *emitter) malloc(dst isa.Reg, bytes int64) {
+	b := e.b
+	b.MovRI(isa.RDI, bytes)
+	b.CallImport("malloc")
+	if dst != isa.RAX {
+		b.MovRR(dst, isa.RAX)
+	}
+}
+
+// EmitKernel generates the function for one kernel instance; name is the
+// function symbol. Exported for reuse by the Chrome-scale generator.
+func EmitKernel(b *asm.Builder, name string, k Kern) {
+	e := &emitter{b: b, pfx: name}
+	b.Func(name)
+	switch k.Kind {
+	case KSweep:
+		e.sweep()
+	case KChase:
+		e.chase()
+	case KHash:
+		e.hash()
+	case KStencil:
+		e.stencil()
+	case KString:
+		e.strScan()
+	case KMatrix:
+		e.matrix()
+	case KTree:
+		e.tree()
+	case KStruct:
+		e.structs()
+	case KChurn:
+		e.churn()
+	case KAnti:
+		e.anti(k.Param)
+	case KBugUnder:
+		e.bugUnder(int(k.Param))
+	case KBugOver:
+		e.bugOver()
+	default:
+		panic("workload: unknown kernel kind")
+	}
+}
+
+// sweep: buf[i] = i for i < min(n, 4096); sum and free. Incremental
+// access, the bread and butter of redzone protection.
+func (e *emitter) sweep() {
+	b := e.b
+	e.prologue()
+	// Cap the buffer, loop n times over it modulo the cap.
+	b.MovRI(isa.R13, 4096) // element cap
+	e.malloc(isa.RBX, 4096*8)
+	// Zero first: reused chunks carry dirt that depends on the allocator,
+	// and the checksum must be allocator-independent.
+	b.MovRR(isa.RDI, isa.RBX)
+	b.MovRI(isa.RSI, 0)
+	b.MovRI(isa.RDX, 4096*8)
+	b.CallImport("memset")
+	b.MovRI(isa.RCX, 0)
+	fill := e.lbl("fill")
+	b.Label(fill)
+	// Compiler-style spill of the loop counter (rsp-relative accesses,
+	// removed by check elimination).
+	b.Store(isa.RSP, -24, isa.RCX, 8)
+	b.MovRR(isa.RDX, isa.RCX)
+	b.AluRI(isa.AND, isa.RDX, 4095)
+	b.MovRR(isa.RSI, isa.RCX)
+	b.AluRI(isa.AND, isa.RSI, 0xFFFF)
+	b.StoreM(asm.MemBID(isa.RBX, isa.RDX, 8, 0), isa.RSI, 8)
+	b.Load(isa.RCX, isa.RSP, -24, 8)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRR(isa.CMP, isa.RCX, isa.R12)
+	b.Jcc(isa.JL, fill)
+
+	b.MovRI(isa.RAX, 0)
+	b.MovRI(isa.RCX, 0)
+	sum := e.lbl("sum")
+	b.Label(sum)
+	b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.RBX, isa.RCX, 8, 0), 8)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRR(isa.CMP, isa.RCX, isa.R13)
+	b.Jcc(isa.JL, sum)
+	e.callFree(isa.RBX)
+	e.epilogue()
+}
+
+// chase: build a 256-node linked list, traverse it n/64 times, free it.
+func (e *emitter) chase() {
+	b := e.b
+	e.prologue()
+	const nodes = 256
+	b.MovRI(isa.RBX, 0) // head
+	b.MovRI(isa.R13, 0) // i
+	build := e.lbl("build")
+	b.Label(build)
+	b.MovRI(isa.RDI, 32)
+	b.CallImport("malloc")
+	b.Store(isa.RAX, 0, isa.RBX, 8) // node.next = head
+	b.Store(isa.RAX, 8, isa.R13, 8) // node.val = i
+	b.StoreI(isa.RAX, 16, 0, 8)     // node.aux
+	b.MovRR(isa.RBX, isa.RAX)
+	b.AluRI(isa.ADD, isa.R13, 1)
+	b.AluRI(isa.CMP, isa.R13, nodes)
+	b.Jcc(isa.JL, build)
+
+	// Traverse n>>6 + 1 times.
+	b.MovRR(isa.R13, isa.R12)
+	b.Shift(isa.SHR, isa.R13, 6)
+	b.AluRI(isa.ADD, isa.R13, 1)
+	b.MovRI(isa.RAX, 0)
+	outer := e.lbl("outer")
+	inner := e.lbl("inner")
+	innerDone := e.lbl("innerdone")
+	b.Label(outer)
+	b.MovRR(isa.RCX, isa.RBX)
+	b.Label(inner)
+	b.AluRI(isa.CMP, isa.RCX, 0)
+	b.Jcc(isa.JE, innerDone)
+	b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.RCX, isa.RegNone, 1, 8), 8)
+	b.LoadM(isa.RCX, asm.MemBID(isa.RCX, isa.RegNone, 1, 0), 8)
+	b.Jmp(inner)
+	b.Label(innerDone)
+	b.AluRI(isa.SUB, isa.R13, 1)
+	b.AluRI(isa.CMP, isa.R13, 0)
+	b.Jcc(isa.JG, outer)
+
+	// Free the list.
+	freeL := e.lbl("free")
+	freeDone := e.lbl("freedone")
+	b.Label(freeL)
+	b.AluRI(isa.CMP, isa.RBX, 0)
+	b.Jcc(isa.JE, freeDone)
+	b.Load(isa.R13, isa.RBX, 0, 8) // next
+	e.callFree(isa.RBX)
+	b.MovRR(isa.RBX, isa.R13)
+	b.Jmp(freeL)
+	b.Label(freeDone)
+	e.epilogue()
+}
+
+// hash: scattered in-bounds read-modify-writes through an LCG index —
+// non-incremental access patterns that only the LowFat check understands.
+func (e *emitter) hash() {
+	b := e.b
+	e.prologue()
+	e.malloc(isa.RBX, 4096*8)
+	b.MovRR(isa.RDI, isa.RBX)
+	b.MovRI(isa.RSI, 0)
+	b.MovRI(isa.RDX, 4096*8)
+	b.CallImport("memset")
+	b.MovRI(isa.RSI, 12345) // LCG state
+	b.MovRI(isa.R13, 0)     // saved multiplier
+	b.Emit(isa.Inst{Op: isa.MOVABS, Form: isa.FRI, Reg: isa.R13, Imm: 6364136223846793005})
+	b.MovRI(isa.R14, 0)
+	b.Emit(isa.Inst{Op: isa.MOVABS, Form: isa.FRI, Reg: isa.R14, Imm: 1442695040888963407})
+	b.MovRI(isa.RCX, 0)
+	loop := e.lbl("loop")
+	b.Label(loop)
+	b.Store(isa.RSP, -24, isa.RCX, 8) // spill (eliminable)
+	b.Emit(isa.Inst{Op: isa.IMUL, Form: isa.FRR, Reg: isa.RSI, Reg2: isa.R13, Size: 8})
+	b.AluRR(isa.ADD, isa.RSI, isa.R14)
+	b.MovRR(isa.RDX, isa.RSI)
+	b.Shift(isa.SHR, isa.RDX, 33)
+	b.AluRI(isa.AND, isa.RDX, 4095)
+	b.Load(isa.RCX, isa.RSP, -24, 8) // reload (eliminable)
+	b.AluMR(isa.ADD, asm.MemBID(isa.RBX, isa.RDX, 8, 0), isa.RCX, 8)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRR(isa.CMP, isa.RCX, isa.R12)
+	b.Jcc(isa.JL, loop)
+
+	b.MovRI(isa.RAX, 0)
+	b.MovRI(isa.RCX, 0)
+	sum := e.lbl("sum")
+	b.Label(sum)
+	b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.RBX, isa.RCX, 8, 0), 8)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, 4096)
+	b.Jcc(isa.JL, sum)
+	e.callFree(isa.RBX)
+	e.epilogue()
+}
+
+// stencil: b[i] = a[i-1]+a[i]+a[i+1] — three same-base/index loads with
+// different displacements, prime material for check merging.
+func (e *emitter) stencil() {
+	b := e.b
+	e.prologue()
+	const grid = 2048
+	e.malloc(isa.RBX, grid*8)
+	e.malloc(isa.R13, grid*8)
+	// Fill a.
+	b.MovRI(isa.RCX, 0)
+	fill := e.lbl("fill")
+	b.Label(fill)
+	b.MovRR(isa.RDX, isa.RCX)
+	b.Emit(isa.Inst{Op: isa.IMUL, Form: isa.FRI, Reg: isa.RDX, Imm: 3, Size: 8})
+	b.AluRI(isa.AND, isa.RDX, 0x3FF)
+	b.StoreM(asm.MemBID(isa.RBX, isa.RCX, 8, 0), isa.RDX, 8)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, grid)
+	b.Jcc(isa.JL, fill)
+
+	// Sweep the stencil n>>9 + 1 times.
+	b.MovRR(isa.R14, isa.R12)
+	b.Shift(isa.SHR, isa.R14, 9)
+	b.AluRI(isa.ADD, isa.R14, 1)
+	outer := e.lbl("outer")
+	row := e.lbl("row")
+	b.Label(outer)
+	b.MovRI(isa.RCX, 1)
+	b.Label(row)
+	b.Store(isa.RSP, -16, isa.RCX, 8) // spill (eliminable)
+	b.LoadM(isa.RDX, asm.MemBID(isa.RBX, isa.RCX, 8, -8), 8)
+	b.AluRM(isa.ADD, isa.RDX, asm.MemBID(isa.RBX, isa.RCX, 8, 0), 8)
+	b.AluRM(isa.ADD, isa.RDX, asm.MemBID(isa.RBX, isa.RCX, 8, 8), 8)
+	b.Shift(isa.SHR, isa.RDX, 1)
+	b.StoreM(asm.MemBID(isa.R13, isa.RCX, 8, 0), isa.RDX, 8)
+	b.Load(isa.RCX, isa.RSP, -16, 8) // reload (eliminable)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, grid-1)
+	b.Jcc(isa.JL, row)
+	b.AluRI(isa.SUB, isa.R14, 1)
+	b.AluRI(isa.CMP, isa.R14, 0)
+	b.Jcc(isa.JG, outer)
+
+	// Checksum b.
+	b.MovRI(isa.RAX, 0)
+	b.MovRI(isa.RCX, 1)
+	sum := e.lbl("sum")
+	b.Label(sum)
+	b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.R13, isa.RCX, 8, 0), 8)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, grid-1)
+	b.Jcc(isa.JL, sum)
+	e.callFree(isa.RBX)
+	e.callFree(isa.R13)
+	e.epilogue()
+}
+
+// strScan: fill a byte buffer with a repeating pattern and count
+// occurrences of one byte — sub-word loads and stores.
+func (e *emitter) strScan() {
+	b := e.b
+	e.prologue()
+	const blen = 8192
+	e.malloc(isa.RBX, blen)
+	b.MovRI(isa.RCX, 0)
+	fill := e.lbl("fill")
+	b.Label(fill)
+	b.MovRR(isa.RDX, isa.RCX)
+	b.AluRI(isa.AND, isa.RDX, 0x3F)
+	b.AluRI(isa.ADD, isa.RDX, 0x20)
+	b.StoreM(asm.MemBID(isa.RBX, isa.RCX, 1, 0), isa.RDX, 1)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, blen)
+	b.Jcc(isa.JL, fill)
+
+	// Scan n>>3 + blen bytes (wrapping) counting 0x41.
+	b.MovRR(isa.R13, isa.R12)
+	b.Shift(isa.SHR, isa.R13, 3)
+	b.AluRI(isa.ADD, isa.R13, blen)
+	b.MovRI(isa.RAX, 0)
+	b.MovRI(isa.RCX, 0)
+	scan := e.lbl("scan")
+	skip := e.lbl("skip")
+	b.Label(scan)
+	b.Store(isa.RSP, -32, isa.RAX, 8) // spill (eliminable)
+	b.MovRR(isa.RDX, isa.RCX)
+	b.AluRI(isa.AND, isa.RDX, blen-1)
+	b.Load(isa.RAX, isa.RSP, -32, 8) // reload (eliminable)
+	b.Emit(isa.Inst{Op: isa.MOVZX, Form: isa.FRM, Reg: isa.RSI, Size: 1,
+		Mem: asm.MemBID(isa.RBX, isa.RDX, 1, 0)})
+	b.AluRI(isa.CMP, isa.RSI, 0x41)
+	b.Jcc(isa.JNE, skip)
+	b.AluRI(isa.ADD, isa.RAX, 1)
+	b.Label(skip)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRR(isa.CMP, isa.RCX, isa.R13)
+	b.Jcc(isa.JL, scan)
+	e.callFree(isa.RBX)
+	e.epilogue()
+}
+
+// matrix: 16×16 integer matrix multiply, repeated n>>10 + 1 times.
+func (e *emitter) matrix() {
+	b := e.b
+	e.prologue()
+	const dim = 16
+	const bytes = dim * dim * 8
+	e.malloc(isa.RBX, bytes) // a
+	e.malloc(isa.R13, bytes) // b
+	e.malloc(isa.R14, bytes) // c
+	b.MovRI(isa.RCX, 0)
+	fill := e.lbl("fill")
+	b.Label(fill)
+	b.MovRR(isa.RDX, isa.RCX)
+	b.AluRI(isa.AND, isa.RDX, 7)
+	b.StoreM(asm.MemBID(isa.RBX, isa.RCX, 8, 0), isa.RDX, 8)
+	b.MovRR(isa.RDX, isa.RCX)
+	b.AluRI(isa.AND, isa.RDX, 5)
+	b.StoreM(asm.MemBID(isa.R13, isa.RCX, 8, 0), isa.RDX, 8)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, dim*dim)
+	b.Jcc(isa.JL, fill)
+
+	b.MovRR(isa.RDI, isa.R12)
+	b.Shift(isa.SHR, isa.RDI, 10)
+	b.AluRI(isa.ADD, isa.RDI, 1)
+	rep := e.lbl("rep")
+	iL := e.lbl("i")
+	jL := e.lbl("j")
+	kL := e.lbl("k")
+	b.Label(rep)
+	b.MovRI(isa.RCX, 0) // i
+	b.Label(iL)
+	b.MovRI(isa.RDX, 0) // j
+	b.Label(jL)
+	b.MovRI(isa.RAX, 0) // acc
+	b.MovRI(isa.RSI, 0) // k
+	b.Label(kL)
+	b.Store(isa.RSP, -40, isa.RDX, 8) // spill j (eliminable)
+	// r8 = a[i*dim+k]
+	b.MovRR(isa.R8, isa.RCX)
+	b.Shift(isa.SHL, isa.R8, 4)
+	b.AluRR(isa.ADD, isa.R8, isa.RSI)
+	b.LoadM(isa.R8, asm.MemBID(isa.RBX, isa.R8, 8, 0), 8)
+	// r9 = b[k*dim+j]
+	b.MovRR(isa.R9, isa.RSI)
+	b.Shift(isa.SHL, isa.R9, 4)
+	b.AluRR(isa.ADD, isa.R9, isa.RDX)
+	b.LoadM(isa.R9, asm.MemBID(isa.R13, isa.R9, 8, 0), 8)
+	b.Emit(isa.Inst{Op: isa.IMUL, Form: isa.FRR, Reg: isa.R8, Reg2: isa.R9, Size: 8})
+	b.AluRR(isa.ADD, isa.RAX, isa.R8)
+	b.Load(isa.RDX, isa.RSP, -40, 8) // reload j (eliminable)
+	b.AluRI(isa.ADD, isa.RSI, 1)
+	b.AluRI(isa.CMP, isa.RSI, dim)
+	b.Jcc(isa.JL, kL)
+	// c[i*dim+j] = acc
+	b.MovRR(isa.R8, isa.RCX)
+	b.Shift(isa.SHL, isa.R8, 4)
+	b.AluRR(isa.ADD, isa.R8, isa.RDX)
+	b.StoreM(asm.MemBID(isa.R14, isa.R8, 8, 0), isa.RAX, 8)
+	b.AluRI(isa.ADD, isa.RDX, 1)
+	b.AluRI(isa.CMP, isa.RDX, dim)
+	b.Jcc(isa.JL, jL)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, dim)
+	b.Jcc(isa.JL, iL)
+	b.AluRI(isa.SUB, isa.RDI, 1)
+	b.AluRI(isa.CMP, isa.RDI, 0)
+	b.Jcc(isa.JG, rep)
+
+	// Checksum c.
+	b.MovRI(isa.RAX, 0)
+	b.MovRI(isa.RCX, 0)
+	sum := e.lbl("sum")
+	b.Label(sum)
+	b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.R14, isa.RCX, 8, 0), 8)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, dim*dim)
+	b.Jcc(isa.JL, sum)
+	e.callFree(isa.RBX)
+	e.callFree(isa.R13)
+	e.callFree(isa.R14)
+	e.epilogue()
+}
+
+// tree: binary searches over a sorted array — branchy loads.
+func (e *emitter) tree() {
+	b := e.b
+	e.prologue()
+	const elems = 1024
+	e.malloc(isa.RBX, elems*8)
+	b.MovRI(isa.RCX, 0)
+	fill := e.lbl("fill")
+	b.Label(fill)
+	b.MovRR(isa.RDX, isa.RCX)
+	b.Shift(isa.SHL, isa.RDX, 1)
+	b.StoreM(asm.MemBID(isa.RBX, isa.RCX, 8, 0), isa.RDX, 8)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, elems)
+	b.Jcc(isa.JL, fill)
+
+	b.MovRI(isa.RSI, 99991) // LCG-ish state
+	b.MovRI(isa.RAX, 0)     // found counter
+	b.MovRI(isa.R13, 0)     // search index
+	search := e.lbl("search")
+	loop := e.lbl("bsloop")
+	done := e.lbl("bsdone")
+	found := e.lbl("found")
+	next := e.lbl("next")
+	b.Label(search)
+	// target = (state := state*25214903917+11) >> 20 & 2047
+	b.MovRI(isa.R14, 0)
+	b.Emit(isa.Inst{Op: isa.MOVABS, Form: isa.FRI, Reg: isa.R14, Imm: 25214903917})
+	b.Emit(isa.Inst{Op: isa.IMUL, Form: isa.FRR, Reg: isa.RSI, Reg2: isa.R14, Size: 8})
+	b.AluRI(isa.ADD, isa.RSI, 11)
+	b.MovRR(isa.RDX, isa.RSI)
+	b.Shift(isa.SHR, isa.RDX, 20)
+	b.AluRI(isa.AND, isa.RDX, 2047)
+	// lo=RCX, hi=R8
+	b.MovRI(isa.RCX, 0)
+	b.MovRI(isa.R8, elems-1)
+	b.Label(loop)
+	b.AluRR(isa.CMP, isa.RCX, isa.R8)
+	b.Jcc(isa.JG, done)
+	b.MovRR(isa.R9, isa.RCX)
+	b.AluRR(isa.ADD, isa.R9, isa.R8)
+	b.Shift(isa.SHR, isa.R9, 1)
+	b.LoadM(isa.R10, asm.MemBID(isa.RBX, isa.R9, 8, 0), 8)
+	b.AluRR(isa.CMP, isa.R10, isa.RDX)
+	b.Jcc(isa.JE, found)
+	b.Jcc(isa.JL, next) // mid < target → lo = mid+1
+	b.MovRR(isa.R8, isa.R9)
+	b.AluRI(isa.SUB, isa.R8, 1)
+	b.Jmp(loop)
+	b.Label(next)
+	b.MovRR(isa.RCX, isa.R9)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.Jmp(loop)
+	b.Label(found)
+	b.AluRI(isa.ADD, isa.RAX, 1)
+	b.Label(done)
+	b.AluRI(isa.ADD, isa.R13, 1)
+	b.AluRR(isa.CMP, isa.R13, isa.R12)
+	b.Jcc(isa.JL, search)
+	e.callFree(isa.RBX)
+	e.epilogue()
+}
+
+// structs: stores to four fields of a struct through one base register —
+// the exact shape of the paper's Example 2 (batching + merging).
+func (e *emitter) structs() {
+	b := e.b
+	e.prologue()
+	const count = 64
+	const ssize = 40
+	e.malloc(isa.RBX, count*ssize)
+	b.MovRI(isa.RAX, 0)
+	b.MovRI(isa.RCX, 0)
+	loop := e.lbl("loop")
+	b.Label(loop)
+	// rdx = &arr[(i & 63) * 40]
+	b.MovRR(isa.RDX, isa.RCX)
+	b.AluRI(isa.AND, isa.RDX, count-1)
+	b.Emit(isa.Inst{Op: isa.IMUL, Form: isa.FRI, Reg: isa.RDX, Imm: ssize, Size: 8})
+	b.AluRR(isa.ADD, isa.RDX, isa.RBX)
+	// Four same-base stores at disp 0,8,16,24 and a load at 0.
+	b.Store(isa.RDX, 0, isa.RCX, 8)
+	b.StoreI(isa.RDX, 8, 1, 8)
+	b.StoreI(isa.RDX, 16, 2, 8)
+	b.StoreI(isa.RDX, 24, 3, 8)
+	b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.RDX, isa.RegNone, 1, 0), 8)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRR(isa.CMP, isa.RCX, isa.R12)
+	b.Jcc(isa.JL, loop)
+	e.callFree(isa.RBX)
+	e.epilogue()
+}
+
+// churn: allocation-heavy loop with short-lived objects of varying size.
+func (e *emitter) churn() {
+	b := e.b
+	e.prologue()
+	b.MovRI(isa.R13, 0) // checksum
+	b.MovRI(isa.R14, 0) // i
+	// Iterations: n>>4 + 1 (allocator calls are expensive).
+	b.Shift(isa.SHR, isa.R12, 4)
+	b.AluRI(isa.ADD, isa.R12, 1)
+	loop := e.lbl("loop")
+	b.Label(loop)
+	b.MovRR(isa.RDI, isa.R14)
+	b.AluRI(isa.AND, isa.RDI, 0xF8)
+	b.AluRI(isa.ADD, isa.RDI, 16)
+	b.CallImport("malloc")
+	b.MovRR(isa.RBX, isa.RAX)
+	b.Store(isa.RBX, 0, isa.R14, 8)
+	b.Store(isa.RBX, 8, isa.R14, 4)
+	b.AluRM(isa.ADD, isa.R13, asm.MemBID(isa.RBX, isa.RegNone, 1, 0), 8)
+	b.MovRR(isa.RDI, isa.RBX)
+	b.CallImport("free")
+	b.AluRI(isa.ADD, isa.R14, 1)
+	b.AluRR(isa.CMP, isa.R14, isa.R12)
+	b.Jcc(isa.JL, loop)
+	b.MovRR(isa.RAX, isa.R13)
+	e.epilogue()
+}
+
+// anti: the (array−K)[i] anti-idiom (paper §2.1 snippet (c) / §7.1):
+// param = number of distinct anti-idiom access instructions to plant.
+// Every access is valid (lands inside the object); only the intermediate
+// pointer is out of bounds, so the LowFat check false-positives on each
+// planted instruction while redzones stay silent.
+func (e *emitter) anti(count int64) {
+	if count < 1 {
+		count = 1
+	}
+	b := e.b
+	e.prologue()
+	const K = 128
+	const size = 512
+	e.malloc(isa.RBX, size)
+	b.MovRR(isa.RDI, isa.RBX)
+	b.MovRI(isa.RSI, 0)
+	b.MovRI(isa.RDX, size)
+	b.CallImport("memset") // deterministic contents before mixed R/W
+	// r13 = array − K: the intentional out-of-bounds pointer (as the
+	// Fortran compiler materializes fqy−K for non-zero lower bounds).
+	b.MovRR(isa.R13, isa.RBX)
+	b.AluRI(isa.SUB, isa.R13, K)
+	b.MovRI(isa.RAX, 0)
+	b.MovRI(isa.RCX, 0)
+	loop := e.lbl("loop")
+	b.Label(loop)
+	// rdx = K + (i % (size − 8·count)) — always a valid index.
+	b.MovRR(isa.RDX, isa.RCX)
+	b.AluRI(isa.AND, isa.RDX, 0xFF)
+	b.AluRI(isa.ADD, isa.RDX, K)
+	// count distinct access instructions through the OOB base pointer.
+	for c := int64(0); c < count; c++ {
+		if c%2 == 0 {
+			b.StoreM(asm.MemBID(isa.R13, isa.RDX, 1, int32(c*8)), isa.RCX, 8)
+		} else {
+			b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.R13, isa.RDX, 1, int32(c*8)), 8)
+		}
+	}
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRR(isa.CMP, isa.RCX, isa.R12)
+	b.Jcc(isa.JL, loop)
+	e.callFree(isa.RBX)
+	e.epilogue()
+}
+
+// bugUnder: plants `count` distinct array[-1] read-underflow instructions
+// (the calculix bugs, paper §7.1 "Detected errors"). The read value is
+// discarded so the program's checksum stays allocator-independent.
+func (e *emitter) bugUnder(count int) {
+	if count < 1 {
+		count = 1
+	}
+	b := e.b
+	e.prologue()
+	e.malloc(isa.RBX, 256)
+	b.StoreI(isa.RBX, 0, 1, 8)
+	for c := 0; c < count; c++ {
+		// Each a distinct instruction in its own basic block (the real
+		// CalculiX occurrences are separate statements): reads the word
+		// before the object (metadata/header: mapped memory).
+		b.LoadM(isa.RDX, asm.MemBID(isa.RBX, isa.RegNone, 1, -8), 8)
+		b.Emit(isa.Inst{Op: isa.TEST, Form: isa.FRR, Reg: isa.RDX, Reg2: isa.RDX, Size: 8})
+		next := e.lbl("next")
+		b.Jcc(isa.JS, next) // block boundary between the planted sites
+		b.Nop()
+		b.Label(next)
+	}
+	b.MovRI(isa.RAX, 0)
+	e.callFree(isa.RBX)
+	e.epilogue()
+}
+
+// bugOver: plants one read overflow past the end of an object (the wrf
+// interp_fcn bug). A neighbouring allocation keeps the target mapped.
+func (e *emitter) bugOver() {
+	b := e.b
+	e.prologue()
+	e.malloc(isa.RBX, 240)
+	e.malloc(isa.R13, 240) // neighbour keeps the page/slot area mapped
+	b.StoreI(isa.RBX, 0, 1, 8)
+	b.StoreI(isa.R13, 0, 1, 8)
+	// Read a[240]: one element past the object, into padding/redzone.
+	b.LoadM(isa.RDX, asm.MemBID(isa.RBX, isa.RegNone, 1, 240), 8)
+	b.Emit(isa.Inst{Op: isa.TEST, Form: isa.FRR, Reg: isa.RDX, Reg2: isa.RDX, Size: 8})
+	b.MovRI(isa.RAX, 0)
+	e.callFree(isa.RBX)
+	e.callFree(isa.R13)
+	e.epilogue()
+}

@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"fmt"
+
+	"redfat/internal/asm"
+	"redfat/internal/isa"
+	"redfat/internal/relf"
+)
+
+// Lang records the source language of the SPEC benchmark being mimicked
+// (display only; the paper stresses that RedFat is language-agnostic).
+type Lang string
+
+// Source languages.
+const (
+	C       Lang = "C"
+	CPP     Lang = "C++"
+	Fortran Lang = "Fortran"
+)
+
+// Benchmark describes one synthetic SPEC CPU2006-like program.
+type Benchmark struct {
+	Name string
+	Lang Lang
+
+	// Kerns are the composed kernels; kernel i is enabled by bit i of
+	// the flags input word.
+	Kerns []Kern
+
+	// RefOnly[i] marks kernels the train workload does not exercise
+	// (lowering allow-list coverage, paper Table 1 coverage column).
+	RefOnly []bool
+
+	// TrainScale and RefScale are the iteration budgets of the two
+	// workloads (paper: SPEC train vs ref inputs).
+	TrainScale uint64
+	RefScale   uint64
+
+	// PlantedFPs is the number of anti-idiom access instructions
+	// (expected false positives under naive full hardening, §7.1).
+	PlantedFPs int
+	// PlantedBugs is the number of genuine OOB-read instructions
+	// (§7.1 "Detected errors": calculix 4, wrf 1).
+	PlantedBugs int
+}
+
+// flags returns the train/ref flag masks.
+func (bm *Benchmark) flags() (train, ref uint64) {
+	for i := range bm.Kerns {
+		ref |= 1 << i
+		if !bm.RefOnly[i] {
+			train |= 1 << i
+		}
+	}
+	return train, ref
+}
+
+// TrainInput returns the input vector for the train workload.
+func (bm *Benchmark) TrainInput() []uint64 {
+	t, _ := bm.flags()
+	return []uint64{bm.TrainScale, t}
+}
+
+// RefInput returns the input vector for the ref workload.
+func (bm *Benchmark) RefInput() []uint64 {
+	_, r := bm.flags()
+	return []uint64{bm.RefScale, r}
+}
+
+// Build assembles the benchmark into a position-dependent RELF binary.
+// The binary is stripped, as COTS binaries are (paper §1).
+func (bm *Benchmark) Build() (*relf.Binary, error) {
+	b := asm.NewBuilder(asm.Options{FuncAlign: 16})
+	b.Func("main")
+	b.Push(isa.RBX)
+	b.Push(isa.R13)
+	b.Push(isa.R14)
+	b.Push(isa.R15)
+	b.CallImport("rf_input")
+	b.MovRR(isa.R13, isa.RAX) // scale
+	b.CallImport("rf_input")
+	b.MovRR(isa.R14, isa.RAX) // kernel-enable flags
+	b.MovRI(isa.R15, 0)       // checksum
+	for j, k := range bm.Kerns {
+		skip := fmt.Sprintf("main_skip_%d", j)
+		b.MovRR(isa.RAX, isa.R14)
+		b.AluRI(isa.AND, isa.RAX, int64(1)<<j)
+		b.AluRI(isa.CMP, isa.RAX, 0)
+		b.Jcc(isa.JE, skip)
+		b.MovRR(isa.RDI, isa.R13)
+		if k.ScaleShift > 0 {
+			b.Shift(isa.SHR, isa.RDI, int64(k.ScaleShift))
+		}
+		b.AluRI(isa.ADD, isa.RDI, 1)
+		b.Call(kernName(bm.Name, j))
+		b.AluRR(isa.ADD, isa.R15, isa.RAX)
+		b.Label(skip)
+	}
+	b.MovRR(isa.RAX, isa.R15)
+	b.Pop(isa.R15)
+	b.Pop(isa.R14)
+	b.Pop(isa.R13)
+	b.Pop(isa.RBX)
+	b.Ret()
+	for j, k := range bm.Kerns {
+		EmitKernel(b, kernName(bm.Name, j), k)
+	}
+	bin, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", bm.Name, err)
+	}
+	bin.Strip()
+	return bin, nil
+}
+
+func kernName(bench string, j int) string { return fmt.Sprintf("%s_k%d", bench, j) }
+
+// bench constructs a Benchmark; kerns and refOnly are parallel.
+func bench(name string, lang Lang, refScale uint64, kerns []Kern, refOnly []bool) *Benchmark {
+	if len(refOnly) != len(kerns) {
+		panic("workload: kerns/refOnly length mismatch for " + name)
+	}
+	fps, bugs := 0, 0
+	for _, k := range kerns {
+		switch k.Kind {
+		case KAnti:
+			fps += int(k.Param)
+		case KBugUnder:
+			bugs += int(k.Param)
+		case KBugOver:
+			bugs++
+		}
+	}
+	return &Benchmark{
+		Name: name, Lang: lang, Kerns: kerns, RefOnly: refOnly,
+		TrainScale: refScale / 8, RefScale: refScale,
+		PlantedFPs: fps, PlantedBugs: bugs,
+	}
+}
+
+// All returns the 29 SPEC CPU2006-like benchmarks, in the paper's Table 1
+// order. The kernel mixes mimic each benchmark's memory behaviour; the
+// RefOnly gating and planted anti-idioms/bugs reproduce the coverage,
+// false-positive and detected-error structure of §7.1.
+func All() []*Benchmark {
+	k := func(kind KernKind, shift uint, param ...int64) Kern {
+		kk := Kern{Kind: kind, ScaleShift: shift}
+		if len(param) > 0 {
+			kk.Param = param[0]
+		}
+		return kk
+	}
+	return []*Benchmark{
+		// --- C benchmarks ---
+		bench("perlbench", C, 60000,
+			[]Kern{k(KString, 0), k(KHash, 1), k(KChurn, 2), k(KChase, 3), k(KAnti, 4, 1)},
+			[]bool{false, false, false, true, false}),
+		bench("bzip2", C, 80000,
+			[]Kern{k(KSweep, 0), k(KString, 0), k(KStencil, 1), k(KTree, 5)},
+			[]bool{false, false, false, true}),
+		bench("gcc", C, 50000,
+			[]Kern{k(KHash, 0), k(KChurn, 1), k(KString, 1), k(KTree, 1), k(KStruct, 1), k(KAnti, 4, 14)},
+			[]bool{false, false, false, true, true, false}),
+		bench("mcf", C, 60000,
+			[]Kern{k(KChase, 0), k(KSweep, 1), k(KTree, 6)},
+			[]bool{false, false, true}),
+		bench("gobmk", C, 70000,
+			[]Kern{k(KTree, 0), k(KString, 0), k(KHash, 1), k(KStruct, 4), k(KAnti, 5, 1)},
+			[]bool{false, false, false, true, false}),
+		bench("hmmer", C, 60000,
+			[]Kern{k(KMatrix, 0), k(KString, 1), k(KSweep, 1), k(KHash, 2)},
+			[]bool{false, true, true, false}),
+		bench("sjeng", C, 80000,
+			[]Kern{k(KTree, 0), k(KHash, 0), k(KString, 1), k(KStruct, 7)},
+			[]bool{false, false, false, true}),
+		bench("libquantum", C, 70000,
+			[]Kern{k(KSweep, 0), k(KStencil, 0)},
+			[]bool{false, false}),
+		bench("h264ref", C, 70000,
+			[]Kern{k(KTree, 1), k(KSweep, 0), k(KStruct, 0), k(KStencil, 1)},
+			[]bool{false, true, true, true}),
+		// --- C++ benchmarks ---
+		bench("omnetpp", CPP, 50000,
+			[]Kern{k(KChase, 0), k(KChurn, 1), k(KStruct, 1), k(KHash, 1)},
+			[]bool{false, false, true, true}),
+		bench("astar", CPP, 70000,
+			[]Kern{k(KTree, 0), k(KChase, 0), k(KSweep, 1)},
+			[]bool{false, false, false}),
+		bench("xalancbmk", CPP, 50000,
+			[]Kern{k(KChase, 0), k(KChurn, 1), k(KString, 1), k(KHash, 2)},
+			[]bool{false, false, true, false}),
+		bench("milc", C, 65000,
+			[]Kern{k(KStencil, 0), k(KSweep, 1), k(KMatrix, 2)},
+			[]bool{false, false, false}),
+		bench("lbm", C, 80000,
+			[]Kern{k(KStencil, 0), k(KSweep, 1)},
+			[]bool{false, false}),
+		bench("sphinx3", C, 70000,
+			[]Kern{k(KMatrix, 0), k(KSweep, 0), k(KString, 1)},
+			[]bool{false, false, false}),
+		bench("namd", CPP, 60000,
+			[]Kern{k(KMatrix, 0), k(KStencil, 0)},
+			[]bool{false, false}),
+		bench("dealII", CPP, 50000,
+			[]Kern{k(KMatrix, 0), k(KStruct, 0), k(KTree, 1), k(KChase, 2)},
+			[]bool{false, false, true, true}),
+		bench("soplex", CPP, 50000,
+			[]Kern{k(KMatrix, 0), k(KSweep, 0), k(KStruct, 1), k(KTree, 6)},
+			[]bool{false, false, false, true}),
+		bench("povray", CPP, 40000,
+			[]Kern{k(KStruct, 0), k(KMatrix, 0), k(KSweep, 1), k(KAnti, 5, 1)},
+			[]bool{false, false, false, false}),
+		// --- Fortran (and mixed) benchmarks ---
+		bench("bwaves", Fortran, 70000,
+			[]Kern{k(KStencil, 0), k(KMatrix, 0), k(KAnti, 3, 5), k(KSweep, 1)},
+			[]bool{false, false, false, true}),
+		bench("gamess", Fortran, 80000,
+			[]Kern{k(KMatrix, 0), k(KString, 1), k(KStencil, 1), k(KHash, 1)},
+			[]bool{false, true, true, true}),
+		bench("zeusmp", Fortran, 60000,
+			[]Kern{k(KStencil, 0), k(KMatrix, 1), k(KSweep, 1), k(KStruct, 1)},
+			[]bool{false, true, true, true}),
+		bench("gromacs", Fortran, 60000,
+			[]Kern{k(KStencil, 0), k(KMatrix, 0), k(KAnti, 4, 3), k(KTree, 2)},
+			[]bool{false, false, false, true}),
+		bench("cactusADM", Fortran, 70000,
+			[]Kern{k(KStencil, 0), k(KStruct, 0)},
+			[]bool{false, false}),
+		bench("leslie3d", Fortran, 70000,
+			[]Kern{k(KStencil, 0), k(KMatrix, 0)},
+			[]bool{false, false}),
+		bench("calculix", Fortran, 80000,
+			[]Kern{k(KMatrix, 0), k(KStencil, 1), k(KSweep, 1), k(KStruct, 1),
+				k(KAnti, 5, 2), k(KBugUnder, 6, 4)},
+			[]bool{false, true, true, true, false, false}),
+		bench("GemsFDTD", Fortran, 60000,
+			[]Kern{k(KStencil, 0), k(KSweep, 0), k(KAnti, 3, 32)},
+			[]bool{false, false, false}),
+		bench("tonto", Fortran, 70000,
+			[]Kern{k(KMatrix, 0), k(KStruct, 0), k(KString, 0), k(KTree, 6)},
+			[]bool{false, false, false, true}),
+		bench("wrf", Fortran, 60000,
+			[]Kern{k(KSweep, 0), k(KStencil, 1), k(KMatrix, 1), k(KStruct, 1),
+				k(KAnti, 3, 26), k(KBugOver, 6)},
+			[]bool{false, true, true, true, false, false}),
+	}
+}
+
+// ByName returns the named benchmark, or nil.
+func ByName(name string) *Benchmark {
+	for _, bm := range All() {
+		if bm.Name == name {
+			return bm
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package redfat is the public API of RedFat-Go: a reproduction of
+// "Hardening Binaries against More Memory Errors" (Duck, Zhang, Yap —
+// EuroSys 2022) as a Go library.
+//
+// RedFat hardens binaries against memory errors by combining two
+// complementary detection methodologies — poisoned redzones and low-fat
+// pointers — injected through E9Patch-style static trampoline rewriting,
+// with a profile-based allow-list that suppresses low-fat false positives.
+//
+// This package operates on RELF binaries for the RF64 architecture (an
+// x86-64 subset; see internal/isa), which the library can assemble, run
+// on a deterministic virtual machine, instrument, and measure. The
+// substitution of substrate (RF64 VM instead of native x86-64) is
+// documented in DESIGN.md; every mechanism of the paper — the allocator
+// layout, the combined check, the rewriting tactics, the optimizations,
+// the two-phase workflow — is implemented faithfully on top of it.
+//
+// Basic use:
+//
+//	bin, _ := redfat.Assemble(src)            // or LoadBinary(path)
+//	hard, rep, _ := redfat.Harden(bin, redfat.Defaults())
+//	res, _ := redfat.Run(hard, redfat.RunOptions{Hardened: true})
+package redfat
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"redfat/internal/asm"
+	"redfat/internal/memcheck"
+	"redfat/internal/profile"
+	core "redfat/internal/redfat"
+	"redfat/internal/relf"
+	"redfat/internal/rtlib"
+	"redfat/internal/vm"
+)
+
+// Binary is a RELF binary image (see internal/relf for the format).
+type Binary = relf.Binary
+
+// Options selects the instrumentation configuration (see
+// internal/redfat.Options for field documentation).
+type Options = core.Options
+
+// Report summarizes an instrumentation run.
+type Report = core.Report
+
+// AllowList is a set of instruction addresses approved for full
+// (Redzone)+(LowFat) checking.
+type AllowList = profile.AllowList
+
+// MemError is a detected memory error.
+type MemError = vm.MemError
+
+// Defaults returns the fully optimized production configuration.
+func Defaults() Options { return core.Defaults() }
+
+// Assemble builds a RELF binary from RF64 assembly text.
+func Assemble(src string) (*Binary, error) { return asm.Assemble(src) }
+
+// LoadBinary reads a serialized RELF binary from a file.
+func LoadBinary(path string) (*Binary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return relf.Unmarshal(data)
+}
+
+// SaveBinary writes a RELF binary to a file.
+func SaveBinary(bin *Binary, path string) error {
+	data, err := bin.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o755)
+}
+
+// Harden instruments a binary with the RedFat protection. The input is
+// not modified; the returned binary is a drop-in replacement that must be
+// run with the RedFat runtime (Run with Hardened: true, which models the
+// LD_PRELOADed libredfat.so).
+func Harden(bin *Binary, opt Options) (*Binary, *Report, error) {
+	return core.Harden(bin, opt)
+}
+
+// ProfileAndHarden runs the two-phase workflow of paper Fig. 5: profile
+// the binary against the test-suite inputs, generate the allow-list, and
+// produce the production binary.
+func ProfileAndHarden(bin *Binary, testSuite [][]uint64, opt Options) (*Binary, AllowList, *Report, error) {
+	suite := make([]rtlib.RunConfig, len(testSuite))
+	for i, in := range testSuite {
+		suite[i] = rtlib.RunConfig{Input: in}
+	}
+	return profile.Run(bin, suite, opt)
+}
+
+// RunOptions configures an execution.
+type RunOptions struct {
+	// Input is the program's input vector (consumed by rf_input).
+	Input []uint64
+	// MaxCycles bounds execution (0 = a large default).
+	MaxCycles uint64
+	// Hardened selects the RedFat runtime: the low-fat/redzone allocator
+	// and the check routine (required for binaries produced by Harden).
+	Hardened bool
+	// Memcheck runs the binary under the Valgrind-Memcheck model
+	// instead (redzone-only DBI; for comparisons).
+	Memcheck bool
+	// AbortOnError stops at the first detected memory error (hardening
+	// deployments); otherwise errors are recorded and execution
+	// continues (testing/profiling).
+	AbortOnError bool
+	// RandomizeHeap enables low-fat allocator placement randomization.
+	RandomizeHeap bool
+	// Trace, when set, receives an execution trace (one disassembled
+	// instruction per line), capped at TraceLimit lines (0 = 10000).
+	Trace      io.Writer
+	TraceLimit int
+}
+
+// CheckStat reports one instrumentation site's runtime behaviour.
+type CheckStat struct {
+	PC      uint64 // original instruction address
+	Operand string // the checked memory operand (AT&T syntax)
+	Mode    string // "full", "redzone" or "profile"
+	Merged  int    // original operands covered by this check
+	Execs   uint64 // times the check executed
+}
+
+// Result reports an execution.
+type Result struct {
+	ExitCode uint64
+	Cycles   uint64
+	Insts    uint64
+	Output   []byte
+	// Errors are the detected memory errors (also returned as the run
+	// error when AbortOnError is set).
+	Errors []MemError
+	// Coverage is the fraction of executed checks running in full
+	// (Redzone)+(LowFat) mode; only set for hardened runs.
+	Coverage float64
+	// Checks holds per-site statistics, sorted by execution count
+	// (hardened runs only).
+	Checks []CheckStat
+}
+
+// Run executes a binary on the RF64 VM.
+func Run(bin *Binary, opt RunOptions) (*Result, error) {
+	cfg := rtlib.RunConfig{
+		Input:         opt.Input,
+		MaxCycles:     opt.MaxCycles,
+		Abort:         opt.AbortOnError,
+		RandomizeHeap: opt.RandomizeHeap,
+		TraceWriter:   opt.Trace,
+		TraceLimit:    opt.TraceLimit,
+	}
+	var (
+		v   *vm.VM
+		rt  *rtlib.Runtime
+		err error
+	)
+	switch {
+	case opt.Memcheck && opt.Hardened:
+		return nil, fmt.Errorf("redfat: Memcheck and Hardened are mutually exclusive")
+	case opt.Memcheck:
+		v, err = memcheck.Run(bin, cfg)
+	case opt.Hardened:
+		v, rt, err = rtlib.RunHardened(bin, cfg)
+	default:
+		v, err = rtlib.RunBaseline(bin, cfg)
+	}
+	res := &Result{}
+	if v != nil {
+		res.ExitCode = v.ExitCode
+		res.Cycles = v.Cycles
+		res.Insts = v.Insts
+		res.Output = v.Output
+		res.Errors = v.Errors
+	}
+	if rt != nil {
+		res.Coverage = rt.Coverage()
+		for i := range rt.Checks {
+			c := &rt.Checks[i]
+			res.Checks = append(res.Checks, CheckStat{
+				PC:      c.PC,
+				Operand: c.Operand.String(),
+				Mode:    c.Mode.String(),
+				Merged:  int(c.Merged),
+				Execs:   rt.Stats[i].Execs,
+			})
+		}
+		sort.Slice(res.Checks, func(i, j int) bool {
+			return res.Checks[i].Execs > res.Checks[j].Execs
+		})
+	}
+	return res, err
+}
+
+// RunLinked executes a dynamically linked program: the main executable
+// plus shared-object dependencies (paper §7.4). Each module may be
+// hardened independently; only instrumented modules are protected.
+// Libraries must be built (or rebased) at non-overlapping addresses
+// before hardening. Memcheck mode is not supported for linked programs.
+func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
+	if opt.Memcheck {
+		return nil, fmt.Errorf("redfat: Memcheck does not support linked programs")
+	}
+	cfg := rtlib.RunConfig{
+		Input:         opt.Input,
+		MaxCycles:     opt.MaxCycles,
+		Abort:         opt.AbortOnError,
+		RandomizeHeap: opt.RandomizeHeap,
+		TraceWriter:   opt.Trace,
+		TraceLimit:    opt.TraceLimit,
+	}
+	v, rts, err := rtlib.RunLinked(main, libs, cfg)
+	res := &Result{}
+	if v != nil {
+		res.ExitCode = v.ExitCode
+		res.Cycles = v.Cycles
+		res.Insts = v.Insts
+		res.Output = v.Output
+		res.Errors = v.Errors
+	}
+	var full, total int
+	for _, rt := range rts {
+		for i := range rt.Checks {
+			if rt.Stats[i].Execs == 0 {
+				continue
+			}
+			total += int(rt.Checks[i].Merged)
+			if rt.Checks[i].Mode.String() == "full" {
+				full += int(rt.Checks[i].Merged)
+			}
+		}
+	}
+	if total > 0 {
+		res.Coverage = float64(full) / float64(total)
+	}
+	return res, err
+}
+
+// SaveAllowList writes an allow-list to a file.
+func SaveAllowList(a AllowList, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return a.Save(f)
+}
+
+// LoadAllowList reads an allow-list from a file.
+func LoadAllowList(path string) (AllowList, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return profile.Load(f)
+}
