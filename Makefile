@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench-smoke clean
+
+# check is the tier-1 gate: formatting, static analysis, build, tests.
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: files need formatting:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench-smoke regenerates a down-scaled Table 1 with JSON export, as a
+# fast end-to-end exercise of the experiment harness.
+bench-smoke:
+	$(GO) run ./cmd/rfbench -table1 -scale 0.02 -json results/bench.json
+
+clean:
+	rm -rf results

@@ -90,6 +90,42 @@ func TestCLIPipeline(t *testing.T) {
 		t.Errorf("trace output missing: %s", out)
 	}
 
+	// -stats prints the telemetry report with nonzero VM, check and
+	// allocator counters; -events prints the trailing event window.
+	out, code = runTool(t, bin, "rfvm", "-hardened", "-stats", "-events", "8",
+		"-input", "2", hardPath)
+	if code != 0 {
+		t.Fatalf("rfvm -stats: %d %s", code, out)
+	}
+	for _, want := range []string{
+		"vm.retired.total", "check.execs", "lowfat.allocs",
+		"hottest checks", "execution events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rfvm -stats output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "vm.retired.total                            0") {
+		t.Errorf("retired counter is zero: %s", out)
+	}
+
+	// Abnormal exits summarize the recorded errors.
+	out, _ = runTool(t, bin, "rfvm", "-hardened", "-abort", "-input", "40", hardPath)
+	if !strings.Contains(out, "1 memory error(s) at 1 distinct site(s)") {
+		t.Errorf("error summary missing: %s", out)
+	}
+
+	// -metrics on the hardening tool writes instrumentation-time counters.
+	metricsPath := filepath.Join(work, "harden.json")
+	out, code = runTool(t, bin, "redfat", "-o", hardPath, "-metrics", metricsPath, relfPath)
+	if code != 0 {
+		t.Fatalf("redfat -metrics: %d %s", code, out)
+	}
+	if data, err := os.ReadFile(metricsPath); err != nil ||
+		!strings.Contains(string(data), `"harden.checks": 1`) {
+		t.Errorf("harden metrics file: %v %s", err, data)
+	}
+
 	// Disassembly shows the patch artifacts.
 	out, code = runTool(t, bin, "rfdis", hardPath)
 	if code != 0 || !strings.Contains(out, ".tramp") || !strings.Contains(out, "rtcall") {

@@ -38,6 +38,7 @@ func main() {
 	allowPath := flag.String("allowlist", "", "allow-list file from the profiling phase")
 	maxBatch := flag.Int("maxbatch", 8, "maximum accesses per trampoline")
 	verbose := flag.Bool("v", false, "print the instrumentation report")
+	metricsPath := flag.String("metrics", "", "write the instrumentation metrics as JSON to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: redfat [flags] -o out.relf in.relf\n")
 		flag.PrintDefaults()
@@ -78,6 +79,20 @@ func main() {
 	}
 	if *verbose {
 		fmt.Println("redfat:", rep)
+	}
+	if *metricsPath != "" {
+		reg := redfat.NewMetrics()
+		rep.Publish(reg)
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("%s: %d checks in %d trampolines\n", *out, rep.Checks, rep.Batches)
 }

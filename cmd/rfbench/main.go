@@ -8,6 +8,10 @@
 //	rfbench -figure8               Chrome/Kraken overhead (Figure 8)
 //	rfbench -ablation              patch tactics and batch-width ablations
 //	rfbench -all                   everything
+//
+// -json path additionally writes every experiment that ran as a single
+// structured JSON document (see internal/bench.Results), so downstream
+// tooling can consume the numbers without scraping the text tables.
 package main
 
 import (
@@ -28,72 +32,114 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale for table1/falsepos (1.0 = full ref)")
 	fillers := flag.Int("fillers", 20000, "filler functions in the Chrome-scale image")
 	kscale := flag.Uint64("kscale", 5000, "Kraken workload scale")
+	jsonPath := flag.String("json", "", "write the results of every experiment run as JSON to this file")
 	flag.Parse()
 
 	ran := false
 	w := os.Stdout
+	results := &bench.Results{Scale: *scale}
+	// Open the JSON sink up front so a bad path fails before hours of
+	// experiments, not after.
+	var jsonFile *os.File
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		jsonFile = f
+	}
 	if *all || *table1 {
 		ran = true
 		fmt.Fprintf(w, "=== Table 1: SPEC CPU2006 (scale %.2f) ===\n", *scale)
 		fmt.Fprintf(w, "%-12s %7s %12s %9s %9s %9s %9s %9s %9s %9s\n",
 			"benchmark", "cover", "baseline", "unopt", "+elim", "+batch",
 			"+merge", "-size", "-reads", "memcheck")
-		if _, err := bench.Table1(*scale, w); err != nil {
+		rows, err := bench.Table1(*scale, w)
+		if err != nil {
 			fatal(err)
 		}
+		summary := bench.Summarize(rows)
+		results.Table1, results.Table1Summary = rows, &summary
 		fmt.Fprintln(w)
 	}
 	if *all || *falsepos {
 		ran = true
 		fmt.Fprintln(w, "=== §7.1 False positives (full checking, no allow-list) ===")
-		if _, err := bench.FalsePositives(*scale, w); err != nil {
+		rows, err := bench.FalsePositives(*scale, w)
+		if err != nil {
 			fatal(err)
 		}
+		results.FalsePositives = rows
 		fmt.Fprintln(w)
 	}
 	if *all || *table2 {
 		ran = true
 		fmt.Fprintln(w, "=== Table 2: non-incremental bounds errors ===")
-		if _, err := bench.Table2(w); err != nil {
+		rows, err := bench.Table2(w)
+		if err != nil {
 			fatal(err)
 		}
+		results.Table2 = rows
 		fmt.Fprintln(w, "--- extension: temporal errors (ours) ---")
-		if _, err := bench.Table2Extended(w); err != nil {
+		ext, err := bench.Table2Extended(w)
+		if err != nil {
 			fatal(err)
 		}
+		results.Table2Extended = ext
 		fmt.Fprintln(w)
 	}
 	if *all || *figure8 {
 		ran = true
 		fmt.Fprintf(w, "=== Figure 8: Chrome/Kraken, write protection (%d fillers) ===\n", *fillers)
-		if _, _, err := bench.Figure8(*fillers, *kscale, w); err != nil {
+		rows, gm, err := bench.Figure8(*fillers, *kscale, w)
+		if err != nil {
 			fatal(err)
 		}
+		results.Figure8 = &bench.Figure8Result{Rows: rows, GeoMean: gm}
 		fmt.Fprintln(w)
 	}
 	if *all || *ablation {
 		ran = true
+		abl := &bench.Ablations{}
 		fmt.Fprintln(w, "=== Ablation: patch tactics ===")
-		if _, err := bench.Tactics(*fillers, w); err != nil {
+		tactics, err := bench.Tactics(*fillers, w)
+		if err != nil {
 			fatal(err)
 		}
+		abl.Tactics = tactics
 		fmt.Fprintln(w, "\n=== Ablation: batch width (povray) ===")
-		if _, err := bench.BatchSweep("povray", *scale, w); err != nil {
+		batches, err := bench.BatchSweep("povray", *scale, w)
+		if err != nil {
 			fatal(err)
 		}
+		abl.Batch = batches
 		fmt.Fprintln(w, "\n=== Ablation: clobber specialization (sjeng) ===")
-		if _, err := bench.ClobberSweep("sjeng", *scale, w); err != nil {
+		clobber, err := bench.ClobberSweep("sjeng", *scale, w)
+		if err != nil {
 			fatal(err)
 		}
+		abl.Clobber = clobber
 		fmt.Fprintln(w, "\n=== Ablation: coverage-guided profiling boost (h264ref) ===")
-		if _, err := bench.FuzzBoostStudy("h264ref", []int{1, 50, 200}, w); err != nil {
+		fz, err := bench.FuzzBoostStudy("h264ref", []int{1, 50, 200}, w)
+		if err != nil {
 			fatal(err)
 		}
+		abl.Fuzz = fz
+		results.Ablation = abl
 		fmt.Fprintln(w)
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if jsonFile != nil {
+		if err := results.WriteJSON(jsonFile); err != nil {
+			fatal(err)
+		}
+		if err := jsonFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "results written to %s\n", *jsonPath)
 	}
 }
 

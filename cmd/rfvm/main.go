@@ -8,6 +8,12 @@
 // RedFat runtime (the LD_PRELOAD model) and is required for binaries
 // produced by the redfat tool. -memcheck runs under the Valgrind Memcheck
 // model instead.
+//
+// Observability: -stats collects telemetry during the run and prints a
+// report (retired instructions per opcode, allocator activity, check
+// outcomes, RTCALL cost); -top bounds the hottest-site listing; -events N
+// keeps and prints the last N execution events (alloc/free, trampoline
+// dispatch, check verdicts). Telemetry never alters cycle accounting.
 package main
 
 import (
@@ -27,7 +33,9 @@ func main() {
 	abort := flag.Bool("abort", false, "abort on the first detected memory error")
 	max := flag.Uint64("max", 0, "cycle budget (0 = default)")
 	trace := flag.Int("trace", 0, "print an execution trace of up to N instructions")
-	stats := flag.Int("stats", 0, "print the N hottest instrumentation sites after the run")
+	stats := flag.Bool("stats", false, "collect telemetry and print a run report")
+	top := flag.Int("top", 10, "with -stats, hottest instrumentation sites to list")
+	events := flag.Int("events", 0, "record and print the last N execution events")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rfvm [flags] prog.relf\n")
 		flag.PrintDefaults()
@@ -62,6 +70,16 @@ func main() {
 		ro.Trace = os.Stderr
 		ro.TraceLimit = *trace
 	}
+	var reg *redfat.Metrics
+	if *stats {
+		reg = redfat.NewMetrics()
+		ro.Metrics = reg
+	}
+	var tracer *redfat.EventTracer
+	if *events > 0 {
+		tracer = redfat.NewEventTracer(*events)
+		ro.EventTrace = tracer
+	}
 	res, err := redfat.Run(bin, ro)
 	if res != nil {
 		if len(res.Output) > 0 {
@@ -74,16 +92,29 @@ func main() {
 				fmt.Fprintf(os.Stderr, "      %s\n", e.Note)
 			}
 		}
+		if n := len(res.Errors); n > 0 {
+			fmt.Fprintf(os.Stderr, "rfvm: %d memory error(s) at %d distinct site(s)\n",
+				n, redfat.DistinctErrorSites(res.Errors))
+		}
 		fmt.Printf("exit=%d cycles=%d instructions=%d\n", res.ExitCode, res.Cycles, res.Insts)
-		if *stats > 0 && len(res.Checks) > 0 {
+		if *stats && *top > 0 && len(res.Checks) > 0 {
 			fmt.Printf("coverage %.1f%%; hottest checks:\n", res.Coverage*100)
 			for i, c := range res.Checks {
-				if i >= *stats {
+				if i >= *top {
 					break
 				}
 				fmt.Printf("  %#x %-8s ×%-3d %12d execs  %s\n",
 					c.PC, c.Mode, c.Merged, c.Execs, c.Operand)
 			}
+		}
+		if tracer != nil {
+			fmt.Printf("--- last %d of %d execution events ---\n",
+				len(tracer.Events()), tracer.Total())
+			tracer.WriteText(os.Stdout)
+		}
+		if reg != nil {
+			fmt.Println("--- telemetry ---")
+			reg.WriteText(os.Stdout)
 		}
 	}
 	if err != nil {

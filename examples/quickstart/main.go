@@ -48,14 +48,21 @@ func main() {
 	}
 	fmt.Printf("hardened: %s\n", rep)
 
-	// Step 3: benign request — same behaviour, modest overhead.
+	// Step 3: benign request — same behaviour, modest overhead. Telemetry
+	// rides along: counters from the VM, allocator and check runtime.
+	metrics := redfat.NewMetrics()
 	res, err = redfat.Run(hard, redfat.RunOptions{
 		Input: []uint64{2}, Hardened: true, AbortOnError: true,
+		Metrics: metrics,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("hardened binary, index 2 (in bounds): exit=%d, no alarms\n", res.ExitCode)
+	fmt.Printf("telemetry: %d instructions retired, %d checks run, %d heap allocs\n",
+		metrics.CounterValue("vm.retired.total"),
+		metrics.CounterValue("check.execs"),
+		metrics.CounterValue("lowfat.allocs"))
 
 	// Step 4: the attack.
 	_, err = redfat.Run(hard, redfat.RunOptions{

@@ -15,11 +15,13 @@ import (
 // the ablation DESIGN.md calls out for the rewriting substrate (how often
 // the direct jmp32, byte-stealing and trap tactics fire).
 type TacticRow struct {
-	Name       string
-	TextBytes  int
-	Checks     int
-	T1, T2, T3 int
-	TrampBytes int
+	Name       string `json:"name"`
+	TextBytes  int    `json:"text_bytes"`
+	Checks     int    `json:"checks"`
+	T1         int    `json:"t1"`
+	T2         int    `json:"t2"`
+	T3         int    `json:"t3"`
+	TrampBytes int    `json:"tramp_bytes"`
 }
 
 // Tactics instruments every SPEC-like benchmark plus the Chrome-scale
@@ -69,8 +71,8 @@ func Tactics(fillerFuncs int, w io.Writer) ([]TacticRow, error) {
 
 // BatchRow reports the overhead at one maximum batch width.
 type BatchRow struct {
-	MaxBatch int
-	Slowdown float64
+	MaxBatch int     `json:"max_batch"`
+	Slowdown float64 `json:"slowdown"`
 }
 
 // BatchSweep measures the benefit of check batching as a function of the
@@ -119,8 +121,8 @@ func BatchSweep(benchName string, scale float64, w io.Writer) ([]BatchRow, error
 // ClobberRow compares trampoline save/restore cost with and without the
 // dead-register specialization (paper §6, low-level optimizations).
 type ClobberRow struct {
-	Specialized bool
-	Slowdown    float64
+	Specialized bool    `json:"specialized"`
+	Slowdown    float64 `json:"slowdown"`
 }
 
 // ClobberSweep measures the benefit of the dead-register trampoline
@@ -165,8 +167,8 @@ func ClobberSweep(benchName string, scale float64, w io.Writer) ([]ClobberRow, e
 // FuzzRow compares allow-list coverage with and without the
 // coverage-guided profiling boost (paper §5 / E9AFL).
 type FuzzRow struct {
-	Runs     int
-	Coverage float64
+	Runs     int     `json:"runs"`
+	Coverage float64 `json:"coverage"`
 }
 
 // FuzzBoostStudy measures production coverage on a train-gated benchmark

@@ -47,17 +47,23 @@ func GeoMean(xs []float64) float64 {
 
 // Table1Row holds one benchmark's results in paper Table 1 layout.
 type Table1Row struct {
-	Name     string
-	Lang     workload.Lang
-	Coverage float64 // fraction of executed checks that are full-mode
+	Name     string        `json:"name"`
+	Lang     workload.Lang `json:"lang"`
+	Coverage float64       `json:"coverage"` // fraction of executed checks that are full-mode
 
-	BaselineCycles uint64
+	BaselineCycles uint64 `json:"baseline_cycles"`
 
 	// Slow-down factors vs baseline.
-	Unopt, Elim, Batch, Merge, NoSize, NoReads, Memcheck float64
+	Unopt    float64 `json:"unopt"`
+	Elim     float64 `json:"elim"`
+	Batch    float64 `json:"batch"`
+	Merge    float64 `json:"merge"`
+	NoSize   float64 `json:"nosize"`
+	NoReads  float64 `json:"noreads"`
+	Memcheck float64 `json:"memcheck"`
 
-	DetectedErrors int // distinct genuine error sites found during ref
-	ChecksumOK     bool
+	DetectedErrors int  `json:"detected_errors"` // distinct genuine error sites found during ref
+	ChecksumOK     bool `json:"checksum_ok"`
 }
 
 // table1Configs returns the instrumentation ladder of Table 1's columns.
@@ -116,7 +122,7 @@ func Table1Bench(bm *workload.Benchmark, scale float64) (*Table1Row, error) {
 		slows[i] = float64(v.Cycles) / float64(base.Cycles)
 		if i == 3 { // +merge: the fully-optimized full-check configuration
 			row.Coverage = rt.Coverage()
-			row.DetectedErrors = distinctErrorSites(v.Errors)
+			row.DetectedErrors = vm.DistinctErrorSites(v.Errors)
 		}
 	}
 	row.Unopt, row.Elim, row.Batch = slows[0], slows[1], slows[2]
@@ -148,14 +154,6 @@ func allowListFor(bin *relf.Binary, bm *workload.Benchmark) (profile.AllowList, 
 	}
 	p.Accumulate(rt)
 	return p.AllowList(), nil
-}
-
-func distinctErrorSites(errs []vm.MemError) int {
-	pcs := map[uint64]bool{}
-	for _, e := range errs {
-		pcs[e.PC] = true
-	}
-	return len(pcs)
 }
 
 func scaled(bm *workload.Benchmark, scale float64) *workload.Benchmark {
@@ -227,9 +225,9 @@ func mean(rows []*Table1Row, f func(*Table1Row) float64) float64 {
 
 // FPRow is one benchmark's false-positive count (allow-list disabled).
 type FPRow struct {
-	Name    string
-	Count   int // distinct false-positive sites
-	Planted int
+	Name    string `json:"name"`
+	Count   int    `json:"count"` // distinct false-positive sites
+	Planted int    `json:"planted"`
 }
 
 // FalsePositives reruns benchmarks with full (Redzone)+(LowFat) on all
@@ -283,19 +281,15 @@ func errorPCs(bin *relf.Binary, bm *workload.Benchmark, lowfat bool) (map[uint64
 	if err != nil {
 		return nil, err
 	}
-	pcs := map[uint64]bool{}
-	for _, e := range v.Errors {
-		pcs[e.PC] = true
-	}
-	return pcs, nil
+	return vm.ErrorSites(v.Errors), nil
 }
 
 // Table2Row is one line of paper Table 2.
 type Table2Row struct {
-	ID       string
-	Total    int
-	Memcheck int // detected by Memcheck
-	RedFat   int // detected by RedFat
+	ID       string `json:"id"`
+	Total    int    `json:"total"`
+	Memcheck int    `json:"memcheck"` // detected by Memcheck
+	RedFat   int    `json:"redfat"`   // detected by RedFat
 }
 
 // Table2 runs the CVE models and the Juliet CWE-122 suite under both
@@ -413,8 +407,8 @@ func Table2Extended(w io.Writer) ([]Table2Row, error) {
 
 // Fig8Row is one Kraken sub-benchmark's overhead.
 type Fig8Row struct {
-	Name     string
-	Slowdown float64
+	Name     string  `json:"name"`
+	Slowdown float64 `json:"slowdown"`
 }
 
 // Figure8 builds the Chrome-scale binary, hardens all writes with

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Table1Summary aggregates Table 1 across benchmarks: mean coverage and
+// the geometric-mean slow-down of every optimization column.
+type Table1Summary struct {
+	MeanCoverage float64 `json:"mean_coverage"`
+	Unopt        float64 `json:"unopt"`
+	Elim         float64 `json:"elim"`
+	Batch        float64 `json:"batch"`
+	Merge        float64 `json:"merge"`
+	NoSize       float64 `json:"nosize"`
+	NoReads      float64 `json:"noreads"`
+	Memcheck     float64 `json:"memcheck"`
+}
+
+// Summarize computes the geometric-mean summary row of Table 1.
+func Summarize(rows []*Table1Row) Table1Summary {
+	return Table1Summary{
+		MeanCoverage: mean(rows, func(r *Table1Row) float64 { return r.Coverage }),
+		Unopt:        geo(rows, func(r *Table1Row) float64 { return r.Unopt }),
+		Elim:         geo(rows, func(r *Table1Row) float64 { return r.Elim }),
+		Batch:        geo(rows, func(r *Table1Row) float64 { return r.Batch }),
+		Merge:        geo(rows, func(r *Table1Row) float64 { return r.Merge }),
+		NoSize:       geo(rows, func(r *Table1Row) float64 { return r.NoSize }),
+		NoReads:      geo(rows, func(r *Table1Row) float64 { return r.NoReads }),
+		Memcheck:     geo(rows, func(r *Table1Row) float64 { return r.Memcheck }),
+	}
+}
+
+// Figure8Result bundles the per-benchmark Kraken rows with their
+// geometric mean.
+type Figure8Result struct {
+	Rows    []Fig8Row `json:"rows"`
+	GeoMean float64   `json:"geomean"`
+}
+
+// Ablations bundles the ablation-study result sets.
+type Ablations struct {
+	Tactics []TacticRow  `json:"tactics,omitempty"`
+	Batch   []BatchRow   `json:"batch,omitempty"`
+	Clobber []ClobberRow `json:"clobber,omitempty"`
+	Fuzz    []FuzzRow    `json:"fuzz,omitempty"`
+}
+
+// Results is the machine-readable aggregate of an rfbench invocation:
+// every experiment that ran contributes its section; the rest are omitted.
+type Results struct {
+	Scale          float64        `json:"scale,omitempty"`
+	Table1         []*Table1Row   `json:"table1,omitempty"`
+	Table1Summary  *Table1Summary `json:"table1_summary,omitempty"`
+	FalsePositives []FPRow        `json:"false_positives,omitempty"`
+	Table2         []Table2Row    `json:"table2,omitempty"`
+	Table2Extended []Table2Row    `json:"table2_extended,omitempty"`
+	Figure8        *Figure8Result `json:"figure8,omitempty"`
+	Ablation       *Ablations     `json:"ablation,omitempty"`
+}
+
+// WriteJSON serializes the results, indented, to w.
+func (r *Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	rows := []*Table1Row{
+		{Coverage: 0.5, Unopt: 2, Elim: 2, Batch: 2, Merge: 2, NoSize: 2, NoReads: 2, Memcheck: 2},
+		{Coverage: 1.0, Unopt: 8, Elim: 8, Batch: 8, Merge: 8, NoSize: 8, NoReads: 8, Memcheck: 8},
+	}
+	s := Summarize(rows)
+	if math.Abs(s.MeanCoverage-0.75) > 1e-9 {
+		t.Errorf("mean coverage = %v, want 0.75", s.MeanCoverage)
+	}
+	if math.Abs(s.Merge-4) > 1e-9 { // geomean(2, 8) = 4
+		t.Errorf("merge geomean = %v, want 4", s.Merge)
+	}
+}
+
+func TestResultsWriteJSON(t *testing.T) {
+	summary := Summarize(nil)
+	r := &Results{
+		Scale: 0.5,
+		Table1: []*Table1Row{{
+			Name: "mcf", Coverage: 0.9, BaselineCycles: 1000,
+			Unopt: 9.5, Merge: 2.5, ChecksumOK: true,
+		}},
+		Table1Summary: &summary,
+		Table2:        []Table2Row{{ID: "CVE-2012-4295 (wireshark)", Total: 1, RedFat: 1}},
+		Figure8:       &Figure8Result{Rows: []Fig8Row{{Name: "astar", Slowdown: 1.3}}, GeoMean: 1.3},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(back.Table1) != 1 || back.Table1[0].Name != "mcf" || back.Table1[0].Merge != 2.5 {
+		t.Errorf("table1 round-trip: %+v", back.Table1)
+	}
+	if back.Table2[0].RedFat != 1 || back.Figure8.GeoMean != 1.3 {
+		t.Errorf("round-trip lost values: %+v", back)
+	}
+	if back.FalsePositives != nil || back.Ablation != nil {
+		t.Error("sections that did not run must be omitted")
+	}
+	// The snake_case key contract for downstream consumers.
+	for _, key := range []string{`"baseline_cycles"`, `"checksum_ok"`, `"table1_summary"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(key)) {
+			t.Errorf("JSON missing key %s:\n%s", key, buf.String())
+		}
+	}
+}

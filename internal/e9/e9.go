@@ -32,6 +32,7 @@ import (
 	"redfat/internal/cfg"
 	"redfat/internal/isa"
 	"redfat/internal/relf"
+	"redfat/internal/telemetry"
 )
 
 // Tactic identifies which patch tactic a site used.
@@ -68,6 +69,21 @@ type Stats struct {
 	T1, T2, T3 int
 	TrampBytes int
 	Stolen     int // instructions displaced beyond the patch site itself
+}
+
+// Publish exports the rewriting statistics as counters in reg (no-op when
+// reg is nil), so tooling reads patch-tactic mix and trampoline footprint
+// through the same interface as the runtime metrics.
+func (s Stats) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("e9.patched").Add(uint64(s.Patched))
+	reg.Counter("e9.tactic.t1").Add(uint64(s.T1))
+	reg.Counter("e9.tactic.t2").Add(uint64(s.T2))
+	reg.Counter("e9.tactic.t3").Add(uint64(s.T3))
+	reg.Counter("e9.tramp.bytes").Add(uint64(s.TrampBytes))
+	reg.Counter("e9.stolen").Add(uint64(s.Stolen))
 }
 
 // Rewriter rewrites one binary. Create with New, call Instrument for each

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"redfat/internal/mem"
+	"redfat/internal/telemetry"
 )
 
 // Arena placement: a classic brk heap placed above the data segment and
@@ -36,9 +37,36 @@ type Heap struct {
 	mappedTo uint64
 	bins     map[uint64][]uint64 // chunk size → free chunk addresses
 
-	allocs uint64
-	frees  uint64
-	errors uint64
+	allocs    uint64
+	frees     uint64
+	errors    uint64
+	liveBytes uint64 // chunk bytes currently handed out
+
+	tel *heapMetrics
+}
+
+// heapMetrics holds the allocator's registry handles (nil when telemetry
+// is off; every handle method is nil-safe anyway).
+type heapMetrics struct {
+	allocs    *telemetry.Counter
+	frees     *telemetry.Counter
+	errors    *telemetry.Counter
+	liveBytes *telemetry.Gauge
+	sizes     *telemetry.Histogram
+}
+
+// AttachTelemetry binds the baseline heap's counters to reg.
+func (h *Heap) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	h.tel = &heapMetrics{
+		allocs:    reg.Counter("heap.allocs"),
+		frees:     reg.Counter("heap.frees"),
+		errors:    reg.Counter("heap.errors"),
+		liveBytes: reg.Gauge("heap.live.bytes"),
+		sizes:     reg.Histogram("heap.alloc.size", telemetry.Pow2Bounds(4, 26)),
+	}
 }
 
 // New creates a baseline heap on m.
@@ -76,6 +104,7 @@ func (h *Heap) Malloc(size uint64) (uint64, error) {
 		if err := h.Mem.Store(chunk, 8, c); err != nil {
 			return 0, err
 		}
+		h.noteAlloc(size, c)
 		return chunk + headerSize, nil
 	}
 	if h.next+c > ArenaEnd {
@@ -99,7 +128,37 @@ func (h *Heap) Malloc(size uint64) (uint64, error) {
 		return 0, err
 	}
 	h.allocs++
+	h.noteAlloc(size, c)
 	return chunk + headerSize, nil
+}
+
+// noteAlloc and noteFree keep the live-byte account and mirror it into
+// the attached telemetry registry.
+func (h *Heap) noteAlloc(size, chunk uint64) {
+	h.liveBytes += chunk
+	if h.tel != nil {
+		h.tel.allocs.Inc()
+		h.tel.sizes.Observe(size)
+		h.tel.liveBytes.Set(h.liveBytes)
+	}
+}
+
+func (h *Heap) noteFree(chunk uint64) {
+	if chunk > h.liveBytes {
+		chunk = h.liveBytes
+	}
+	h.liveBytes -= chunk
+	if h.tel != nil {
+		h.tel.frees.Inc()
+		h.tel.liveBytes.Set(h.liveBytes)
+	}
+}
+
+func (h *Heap) noteError() {
+	h.errors++
+	if h.tel != nil {
+		h.tel.errors.Inc()
+	}
 }
 
 // Calloc allocates zeroed memory.
@@ -129,15 +188,16 @@ func (h *Heap) Free(ptr uint64) error {
 	chunk := ptr - headerSize
 	c, err := h.Mem.Load(chunk, 8)
 	if err != nil {
-		h.errors++
+		h.noteError()
 		return fmt.Errorf("heap: free of unmapped pointer %#x", ptr)
 	}
 	if c < headerSize || c > ArenaEnd-ArenaBase || c%16 != 0 {
-		h.errors++
+		h.noteError()
 		return fmt.Errorf("heap: free(%#x): invalid chunk size %#x", ptr, c)
 	}
 	h.bins[c] = append(h.bins[c], chunk)
 	h.frees++
+	h.noteFree(c)
 	return nil
 }
 

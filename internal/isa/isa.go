@@ -228,6 +228,10 @@ const (
 	opMax
 )
 
+// NumOps is the number of defined operations (including BAD); Op values
+// are always < NumOps, so it sizes per-opcode lookup tables.
+const NumOps = int(opMax)
+
 var opNames = [...]string{
 	BAD: "(bad)", NOP: "nop", TRAP: "trap", HLT: "hlt", RET: "ret",
 	PUSHF: "pushf", POPF: "popf", CQO: "cqo",

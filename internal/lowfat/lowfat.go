@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"redfat/internal/mem"
+	"redfat/internal/telemetry"
 )
 
 // Region geometry.
@@ -162,6 +163,45 @@ type Allocator struct {
 	// that RedFat incorporates basic heap randomization).
 	rngState  uint64
 	Randomize bool
+
+	tel *allocMetrics
+}
+
+// allocMetrics holds the low-fat allocator's registry handles.
+type allocMetrics struct {
+	allocs    *telemetry.Counter
+	frees     *telemetry.Counter
+	legacy    *telemetry.Counter
+	reuses    *telemetry.Counter // allocations served from a free list
+	mapped    *telemetry.Counter // bytes of fresh pages mapped
+	liveBytes *telemetry.Gauge
+	peakBytes *telemetry.Gauge
+	classes   *telemetry.Histogram // size-class occupancy by slot size
+}
+
+// AttachTelemetry binds the allocator's counters to reg.
+func (a *Allocator) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	a.tel = &allocMetrics{
+		allocs:    reg.Counter("lowfat.allocs"),
+		frees:     reg.Counter("lowfat.frees"),
+		legacy:    reg.Counter("lowfat.legacy.allocs"),
+		reuses:    reg.Counter("lowfat.freelist.reuses"),
+		mapped:    reg.Counter("lowfat.mapped.bytes"),
+		liveBytes: reg.Gauge("lowfat.live.bytes"),
+		peakBytes: reg.Gauge("lowfat.peak.bytes"),
+		classes:   reg.Histogram("lowfat.class.size", telemetry.Pow2Bounds(4, 26)),
+	}
+}
+
+// noteLive mirrors the BytesInUse/PeakInUse account into the registry.
+func (a *Allocator) noteLive() {
+	if a.tel != nil {
+		a.tel.liveBytes.Set(a.stats.BytesInUse)
+		a.tel.peakBytes.Set(a.stats.PeakInUse)
+	}
 }
 
 // legacyHeap is the fallback bump allocator for oversized requests; it
@@ -235,6 +275,9 @@ func (a *Allocator) Alloc(size uint64) (uint64, error) {
 		ptr = h.freeSlots[i]
 		h.freeSlots[i] = h.freeSlots[n-1]
 		h.freeSlots = h.freeSlots[:n-1]
+		if a.tel != nil {
+			a.tel.reuses.Inc()
+		}
 	} else {
 		if h.next+h.size > h.end {
 			return 0, fmt.Errorf("lowfat: region #%d (size class %d) exhausted", c, h.size)
@@ -253,6 +296,9 @@ func (a *Allocator) Alloc(size uint64) (uint64, error) {
 				mapEnd = h.end
 			}
 			a.mem.Map(h.mappedTo, mapEnd-h.mappedTo, mem.PermRW)
+			if a.tel != nil {
+				a.tel.mapped.Add(mapEnd - h.mappedTo)
+			}
 			h.mappedTo = mapEnd
 		}
 	}
@@ -261,6 +307,11 @@ func (a *Allocator) Alloc(size uint64) (uint64, error) {
 	a.stats.BytesInUse += h.size
 	if a.stats.BytesInUse > a.stats.PeakInUse {
 		a.stats.PeakInUse = a.stats.BytesInUse
+	}
+	if a.tel != nil {
+		a.tel.allocs.Inc()
+		a.tel.classes.Observe(h.size)
+		a.noteLive()
 	}
 	return ptr, nil
 }
@@ -281,6 +332,13 @@ func (a *Allocator) allocLegacy(size uint64) (uint64, error) {
 	if a.stats.BytesInUse > a.stats.PeakInUse {
 		a.stats.PeakInUse = a.stats.BytesInUse
 	}
+	if a.tel != nil {
+		a.tel.allocs.Inc()
+		a.tel.legacy.Inc()
+		a.tel.mapped.Add(mapped)
+		a.tel.classes.Observe(mapped)
+		a.noteLive()
+	}
 	return ptr, nil
 }
 
@@ -293,16 +351,21 @@ func (a *Allocator) Free(ptr uint64) error {
 	}
 	delete(a.live, ptr)
 	a.stats.Frees++
+	if a.tel != nil {
+		a.tel.frees.Inc()
+	}
 	if IsLowFat(ptr) {
 		c := RegionIndex(ptr)
 		h := &a.heaps[c]
 		h.freeSlots = append(h.freeSlots, ptr)
 		a.stats.BytesInUse -= h.size
+		a.noteLive()
 		return nil
 	}
 	mapped := a.legacy.live[ptr]
 	delete(a.legacy.live, ptr)
 	a.stats.BytesInUse -= mapped
+	a.noteLive()
 	// Keep legacy pages mapped (like MADV_FREE); contents remain until
 	// reuse, matching use-after-free exploitability on real systems.
 	return nil

@@ -18,6 +18,7 @@ import (
 	"redfat/internal/lowfat"
 	"redfat/internal/relf"
 	"redfat/internal/rtlib"
+	"redfat/internal/telemetry"
 	"redfat/internal/vm"
 )
 
@@ -87,6 +88,24 @@ type Report struct {
 	FullChecks   int // checks with the combined lowfat+redzone mode
 	Rewrite      e9.Stats
 	FailedSites  int // operands whose patch failed (left unprotected)
+}
+
+// Publish exports the instrumentation report as counters in reg (no-op
+// when reg is nil), including the embedded rewriting statistics.
+func (r *Report) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("harden.operands").Add(uint64(r.Operands))
+	reg.Counter("harden.eliminated").Add(uint64(r.Eliminated))
+	reg.Counter("harden.reads.skipped").Add(uint64(r.SkippedReads))
+	reg.Counter("harden.instrumented").Add(uint64(r.Instrumented))
+	reg.Counter("harden.checks").Add(uint64(r.Checks))
+	reg.Counter("harden.batches").Add(uint64(r.Batches))
+	reg.Counter("harden.merged.away").Add(uint64(r.MergedAway))
+	reg.Counter("harden.checks.full").Add(uint64(r.FullChecks))
+	reg.Counter("harden.sites.failed").Add(uint64(r.FailedSites))
+	r.Rewrite.Publish(reg)
 }
 
 // String renders a human-readable summary.

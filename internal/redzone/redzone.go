@@ -30,6 +30,7 @@ import (
 
 	"redfat/internal/lowfat"
 	"redfat/internal/mem"
+	"redfat/internal/telemetry"
 )
 
 // Size is the redzone size in bytes (which is also the metadata size).
@@ -85,6 +86,38 @@ type Heap struct {
 	// counter stored in the second metadata word of the redzone.
 	allocPC map[uint64]allocSite
 	notedPC uint64
+
+	tel *rzMetrics
+}
+
+// rzMetrics holds the redzone wrapper's registry handles.
+type rzMetrics struct {
+	poisonOps       *telemetry.Counter // redzone metadata writes (arm on malloc, poison on free)
+	mallocErrors    *telemetry.Counter
+	quarantineBytes *telemetry.Gauge
+	quarantineObjs  *telemetry.Gauge
+}
+
+// AttachTelemetry binds the redzone wrapper's counters to reg and
+// propagates the registry to the underlying low-fat allocator.
+func (h *Heap) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	h.tel = &rzMetrics{
+		poisonOps:       reg.Counter("redzone.poison.ops"),
+		mallocErrors:    reg.Counter("redzone.malloc.errors"),
+		quarantineBytes: reg.Gauge("redzone.quarantine.bytes"),
+		quarantineObjs:  reg.Gauge("redzone.quarantine.objects"),
+	}
+	h.LF.AttachTelemetry(reg)
+}
+
+func (h *Heap) noteMallocError() {
+	h.MallocErrors++
+	if h.tel != nil {
+		h.tel.mallocErrors.Inc()
+	}
 }
 
 // allocSite records where and how large an allocation was.
@@ -125,6 +158,9 @@ func (h *Heap) Malloc(size uint64) (uint64, error) {
 		return 0, err
 	}
 	h.allocPC[h.nextID] = allocSite{pc: h.notedPC, size: size}
+	if h.tel != nil {
+		h.tel.poisonOps.Inc() // armed the redzone metadata for this object
+	}
 	return slot + Size, nil
 }
 
@@ -153,23 +189,26 @@ func (h *Heap) Free(ptr uint64) error {
 	base := ptr - Size
 	if lowfat.IsLowFat(ptr) {
 		if lowfat.Base(base) != base || lowfat.Base(ptr) != base {
-			h.MallocErrors++
+			h.noteMallocError()
 			return fmt.Errorf("redzone: free of non-object pointer %#x", ptr)
 		}
 	}
 	size, err := h.Mem.Load(base, 8)
 	if err != nil {
-		h.MallocErrors++
+		h.noteMallocError()
 		return fmt.Errorf("redzone: free of unmapped pointer %#x", ptr)
 	}
 	if size == 0 {
-		h.MallocErrors++
+		h.noteMallocError()
 		return fmt.Errorf("redzone: double free of %#x", ptr)
 	}
 	// Mark Free: SIZE=0 merges the free state into the bounds check
 	// (paper §4.2, "Mergeable code").
 	if err := h.Mem.Store(base, 8, 0); err != nil {
 		return err
+	}
+	if h.tel != nil {
+		h.tel.poisonOps.Inc() // poisoned the slot's Free state
 	}
 	if id, err := h.Mem.Load(base+8, 8); err == nil {
 		if s, ok := h.allocPC[id]; ok {
@@ -190,6 +229,10 @@ func (h *Heap) Free(ptr uint64) error {
 			return err
 		}
 	}
+	if h.tel != nil {
+		h.tel.quarantineBytes.Set(h.quarantineUsage)
+		h.tel.quarantineObjs.Set(uint64(len(h.quarantine)))
+	}
 	return nil
 }
 
@@ -203,7 +246,7 @@ func (h *Heap) Realloc(ptr, size uint64) (uint64, error) {
 	}
 	oldSize, err := h.Mem.Load(ptr-Size, 8)
 	if err != nil || oldSize == 0 {
-		h.MallocErrors++
+		h.noteMallocError()
 		return 0, fmt.Errorf("redzone: realloc of invalid pointer %#x", ptr)
 	}
 	np, err := h.Malloc(size)

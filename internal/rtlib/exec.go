@@ -10,6 +10,7 @@ import (
 	"redfat/internal/mem"
 	"redfat/internal/redzone"
 	"redfat/internal/relf"
+	"redfat/internal/telemetry"
 	"redfat/internal/vm"
 )
 
@@ -31,6 +32,23 @@ type RunConfig struct {
 	// (address and disassembly), up to TraceLimit lines (0 = 10000).
 	TraceWriter io.Writer
 	TraceLimit  int
+
+	// Metrics, when set, receives counters/gauges/histograms from every
+	// instrumented layer (VM dispatch, allocators, checks). Telemetry is
+	// host-side only: it never alters guest cycle accounting.
+	Metrics *telemetry.Registry
+
+	// EventTrace, when set, records execution events (instruction
+	// retirement, trampoline dispatch, check outcomes, alloc/free) into
+	// the bounded ring buffer.
+	EventTrace *telemetry.Tracer
+}
+
+// attachTelemetry wires the configured registry and tracer into a VM.
+func (c *RunConfig) attachTelemetry(v *vm.VM) {
+	if c.Metrics != nil || c.EventTrace != nil {
+		v.AttachTelemetry(c.Metrics, c.EventTrace)
+	}
 }
 
 // AttachTrace installs the execution tracer on v if configured.
@@ -63,6 +81,7 @@ func (c *RunConfig) newHeap(m *mem.Memory) *redzone.Heap {
 	case c.QuarantineBytes > 0:
 		h.QuarantineBytes = uint64(c.QuarantineBytes)
 	}
+	h.AttachTelemetry(c.Metrics)
 	return h
 }
 
@@ -82,7 +101,10 @@ func RunBaseline(bin *relf.Binary, cfg RunConfig) (*vm.VM, error) {
 	v.Input = cfg.Input
 	v.MaxCycles = cfg.maxCycles()
 	cfg.AttachTrace(v)
-	env := LibC(heap.New(m), m)
+	cfg.attachTelemetry(v)
+	h := heap.New(m)
+	h.AttachTelemetry(cfg.Metrics)
+	env := LibC(h, m)
 	if err := v.Load(bin, env); err != nil {
 		return v, err
 	}
@@ -100,11 +122,13 @@ func RunHardened(bin *relf.Binary, cfg RunConfig) (*vm.VM, *Runtime, error) {
 	v.MaxCycles = cfg.maxCycles()
 	v.AbortOnError = cfg.Abort
 	cfg.AttachTrace(v)
+	cfg.attachTelemetry(v)
 	h := cfg.newHeap(m)
 	rt, err := NewRuntime(bin, h)
 	if err != nil {
 		return v, nil, err
 	}
+	rt.AttachTelemetry(cfg.Metrics, cfg.EventTrace)
 	env := Merge(LibC(h, m), rt.Bindings())
 	if err := v.Load(bin, env); err != nil {
 		return v, rt, err
@@ -129,6 +153,7 @@ func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, [
 	v.MaxCycles = cfg.maxCycles()
 	v.AbortOnError = cfg.Abort
 	cfg.AttachTrace(v)
+	cfg.attachTelemetry(v)
 	h := cfg.newHeap(m)
 	libc := LibC(h, m)
 
@@ -141,6 +166,7 @@ func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, [
 		if err != nil {
 			return nil, err
 		}
+		rt.AttachTelemetry(cfg.Metrics, cfg.EventTrace)
 		rts = append(rts, rt)
 		return Merge(libc, rt.Bindings()), nil
 	}

@@ -15,6 +15,7 @@ import (
 
 	"redfat/internal/isa"
 	"redfat/internal/mem"
+	"redfat/internal/telemetry"
 	"redfat/internal/vm"
 )
 
@@ -62,6 +63,7 @@ func LibC(a Allocator, m *mem.Memory) vm.Bindings {
 			v.Regs[isa.RAX] = 0
 			return nil
 		}
+		v.Tracer.Record(telemetry.EvAlloc, v.RIP, p, v.Regs[isa.RDI])
 		v.Regs[isa.RAX] = p
 		return nil
 	}
@@ -74,12 +76,14 @@ func LibC(a Allocator, m *mem.Memory) vm.Bindings {
 			v.Regs[isa.RAX] = 0
 			return nil
 		}
+		v.Tracer.Record(telemetry.EvAlloc, v.RIP, p, n*size)
 		v.Regs[isa.RAX] = p
 		return nil
 	}
 	b["free"] = func(v *vm.VM, _ uint32) error {
 		notePC(v)
 		v.Cycles += costFreeCall
+		v.Tracer.Record(telemetry.EvFree, v.RIP, v.Regs[isa.RDI], 0)
 		if err := a.Free(v.Regs[isa.RDI]); err != nil {
 			return v.Report(vm.MemError{
 				Kind: vm.ErrInvalidFree,

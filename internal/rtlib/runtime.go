@@ -2,19 +2,31 @@ package rtlib
 
 import (
 	"fmt"
+	"sort"
 
 	"redfat/internal/isa"
 	"redfat/internal/lowfat"
 	"redfat/internal/redzone"
 	"redfat/internal/relf"
+	"redfat/internal/telemetry"
 	"redfat/internal/vm"
 )
 
-// SiteStat accumulates per-site profiling counters (paper Fig. 5, step 1).
+// SiteStat accumulates per-site check counters (paper Fig. 5, step 1):
+// how often the site executed, and the pass/fail verdicts attributed to
+// the LowFat (base(ptr)) vs Redzone (base(LB) fallback) component.
 type SiteStat struct {
-	Execs       uint64
-	LowFatFails uint64 // executions where the LowFat component flagged the access
+	Execs        uint64
+	LowFatFails  uint64 // flagged via the base(ptr) LowFat path
+	RedzoneFails uint64 // flagged via the base(LB) redzone fallback
+	NonFat       uint64 // executions that early-exited (both paths non-fat)
 }
+
+// Fails returns the total number of flagged executions at the site.
+func (s SiteStat) Fails() uint64 { return s.LowFatFails + s.RedzoneFails }
+
+// Passes returns the number of executions that ran the check cleanly.
+func (s SiteStat) Passes() uint64 { return s.Execs - s.Fails() }
 
 // Runtime is the libredfat runtime instance bound to one hardened binary:
 // it holds the site table, the RedFat heap, and the profiling counters.
@@ -22,6 +34,73 @@ type Runtime struct {
 	Checks []Check
 	Heap   *redzone.Heap
 	Stats  []SiteStat
+
+	tel    *checkMetrics
+	tracer *telemetry.Tracer
+}
+
+// checkMetrics holds the check runtime's aggregate registry handles; the
+// per-site resolution stays in Stats and is exported on demand.
+type checkMetrics struct {
+	execs       *telemetry.Counter
+	passes      *telemetry.Counter
+	lowfatFail  *telemetry.Counter
+	redzoneFail *telemetry.Counter
+	nonfat      *telemetry.Counter
+}
+
+// AttachTelemetry binds the runtime's aggregate check counters to reg and
+// its check-outcome events to tr (either may be nil).
+func (rt *Runtime) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	rt.tracer = tr
+	if reg == nil {
+		return
+	}
+	rt.tel = &checkMetrics{
+		execs:       reg.Counter("check.execs"),
+		passes:      reg.Counter("check.pass"),
+		lowfatFail:  reg.Counter("check.fail.lowfat"),
+		redzoneFail: reg.Counter("check.fail.redzone"),
+		nonfat:      reg.Counter("check.nonfat"),
+	}
+}
+
+// PublishSiteStats exports the per-site pass/fail counters into reg under
+// stable names keyed by the site's original instruction address, so
+// machine consumers see the same resolution rfvm -stats prints.
+func (rt *Runtime) PublishSiteStats(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for i := range rt.Checks {
+		st := rt.Stats[i]
+		if st.Execs == 0 {
+			continue
+		}
+		prefix := fmt.Sprintf("site.%#x.", rt.Checks[i].PC)
+		reg.Counter(prefix + "execs").Add(st.Execs)
+		reg.Counter(prefix + "pass").Add(st.Passes())
+		if st.LowFatFails > 0 {
+			reg.Counter(prefix + "fail.lowfat").Add(st.LowFatFails)
+		}
+		if st.RedzoneFails > 0 {
+			reg.Counter(prefix + "fail.redzone").Add(st.RedzoneFails)
+		}
+	}
+}
+
+// ErrorSites returns the distinct original instruction addresses whose
+// checks flagged at least one execution, sorted — the telemetry-backed
+// twin of vm.ErrorSites for consumers that have a Runtime.
+func (rt *Runtime) ErrorSites() []uint64 {
+	var pcs []uint64
+	for i := range rt.Checks {
+		if rt.Stats[i].Fails() > 0 {
+			pcs = append(pcs, rt.Checks[i].PC)
+		}
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
 }
 
 // NewRuntime parses the site table of a hardened binary.
@@ -51,6 +130,9 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 	}
 	c := &rt.Checks[arg]
 	rt.Stats[arg].Execs++
+	if rt.tel != nil {
+		rt.tel.execs.Inc()
+	}
 
 	// Reconstruct (ptr, i) from the operand (paper §4.1): ptr is the
 	// base register, i = disp + index*scale (+ segment base).
@@ -93,6 +175,10 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 	}
 	v.Cycles += checkCost(c, fat, fallbackFat)
 	if base == 0 {
+		rt.Stats[arg].NonFat++
+		if rt.tel != nil {
+			rt.tel.nonfat.Inc()
+		}
 		return nil // non-fat pointer and non-fat access: nothing to check
 	}
 
@@ -134,14 +220,36 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 		bad = true
 	}
 
-	if c.Mode == ModeProfile {
-		// Profiling records LowFat-component verdicts and never aborts.
-		// The LowFat component is the base(ptr) path only: a violation
-		// found via the fallback base(LB) is redzone business and does
-		// not disqualify the site from the allow-list.
-		if bad && fat && !fallback {
+	// Attribute the verdict: a violation found via base(ptr) is the
+	// LowFat component's, one found via the fallback base(LB) is the
+	// redzone component's. The split feeds both the allow-list (only
+	// LowFat failures disqualify a site) and the exported site stats.
+	if bad {
+		if fat && !fallback {
 			rt.Stats[arg].LowFatFails++
+			if rt.tel != nil {
+				rt.tel.lowfatFail.Inc()
+			}
+		} else {
+			rt.Stats[arg].RedzoneFails++
+			if rt.tel != nil {
+				rt.tel.redzoneFail.Inc()
+			}
 		}
+		if rt.tracer != nil {
+			rt.tracer.Record(telemetry.EvCheckFail, c.PC, lb, uint64(arg))
+		}
+	} else {
+		if rt.tel != nil {
+			rt.tel.passes.Inc()
+		}
+		if rt.tracer != nil {
+			rt.tracer.Record(telemetry.EvCheckPass, c.PC, lb, uint64(arg))
+		}
+	}
+
+	if c.Mode == ModeProfile {
+		// Profiling records verdicts and never aborts.
 		return nil
 	}
 	if !bad {

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// HistogramSnapshot is the exported form of one histogram. Counts has one
+// entry per bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    uint64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON export.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]uint64            `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]uint64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.v
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = HistogramSnapshot{
+			Bounds: append([]uint64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Count:  h.count,
+			Sum:    h.sum,
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry as one indented JSON object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// promName maps a dotted metric name to the Prometheus exposition charset
+// with the redfat namespace prefix: "vm.retired.mov" → "redfat_vm_retired_mov".
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("redfat_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (histograms as cumulative _bucket/_sum/_count series).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(r.counters) {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, r.counters[name].v)
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", pn, pn, r.gauges[name].v)
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", pn, b, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.count)
+		fmt.Fprintf(bw, "%s_sum %d\n", pn, h.sum)
+		fmt.Fprintf(bw, "%s_count %d\n", pn, h.count)
+	}
+	return bw.Flush()
+}
+
+// WriteText writes a compact human-readable report: non-zero counters,
+// all gauges, and histogram summaries, sorted by name.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(r.counters) {
+		if v := r.counters[name].v; v != 0 {
+			fmt.Fprintf(bw, "%-32s %12d\n", name, v)
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		fmt.Fprintf(bw, "%-32s %12d\n", name, r.gauges[name].v)
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		if h.count == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "%-32s %12d observations, mean %.1f\n",
+			name, h.count, float64(h.sum)/float64(h.count))
+		for i, b := range h.bounds {
+			if h.counts[i] != 0 {
+				fmt.Fprintf(bw, "    ≤ %-12d %12d\n", b, h.counts[i])
+			}
+		}
+		if n := len(h.bounds); n > 0 && h.counts[n] != 0 {
+			fmt.Fprintf(bw, "    > %-12d %12d\n", h.bounds[n-1], h.counts[n])
+		}
+	}
+	return bw.Flush()
+}

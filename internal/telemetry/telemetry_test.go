@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", Pow2Bounds(1, 4))
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.Add(2)
+	g.Sub(9)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must be inert")
+	}
+	if r.CounterValue("x") != 0 || r.GaugeValue("y") != 0 {
+		t.Error("nil registry reads must be zero")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+	var tr *Tracer
+	tr.Record(EvInst, 1, 2, 3)
+	if tr.Total() != 0 || tr.Events() != nil {
+		t.Error("nil tracer must be inert")
+	}
+}
+
+func TestRegistryIdentityAndValues(t *testing.T) {
+	r := New()
+	c := r.Counter("heap.allocs")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("heap.allocs") != c {
+		t.Error("same name must return the same counter handle")
+	}
+	if got := r.CounterValue("heap.allocs"); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("heap.live.bytes")
+	g.Set(100)
+	g.Sub(250) // saturates
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge after saturating Sub = %d, want 0", got)
+	}
+	if r.CounterValue("missing") != 0 {
+		t.Error("reading a missing counter must not create or fail")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("sizes", Pow2Bounds(2, 4)) // bounds 4, 8, 16
+	for _, v := range []uint64{1, 4, 5, 16, 17, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1+4+5+16+17+1000 {
+		t.Errorf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot().Histograms["sizes"]
+	want := []uint64{2, 1, 1, 2} // ≤4: {1,4}; ≤8: {5}; ≤16: {16}; over: {17,1000}
+	if len(snap.Counts) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(snap.Counts), len(want))
+	}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, snap.Counts[i], w)
+		}
+	}
+}
+
+func TestJSONExportRoundTrips(t *testing.T) {
+	r := New()
+	r.Counter("check.execs").Add(12)
+	r.Gauge("vm.cycles").Set(987)
+	r.Histogram("cost", []uint64{10, 100}).Observe(50)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if s.Counters["check.execs"] != 12 || s.Gauges["vm.cycles"] != 987 {
+		t.Errorf("round-trip lost values: %+v", s)
+	}
+	if h := s.Histograms["cost"]; h.Count != 1 || h.Sum != 50 {
+		t.Errorf("histogram round-trip: %+v", h)
+	}
+}
+
+func TestPrometheusExport(t *testing.T) {
+	r := New()
+	r.Counter("vm.retired.total").Add(3)
+	r.Histogram("vm.rtcall.dispatch.cycles", []uint64{4, 8}).Observe(6)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE redfat_vm_retired_total counter",
+		"redfat_vm_retired_total 3",
+		"# TYPE redfat_vm_rtcall_dispatch_cycles histogram",
+		`redfat_vm_rtcall_dispatch_cycles_bucket{le="4"} 0`,
+		`redfat_vm_rtcall_dispatch_cycles_bucket{le="8"} 1`,
+		`redfat_vm_rtcall_dispatch_cycles_bucket{le="+Inf"} 1`,
+		"redfat_vm_rtcall_dispatch_cycles_sum 6",
+		"redfat_vm_rtcall_dispatch_cycles_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerRingBuffer(t *testing.T) {
+	tr := NewTracer(4)
+	for i := uint64(0); i < 10; i++ {
+		tr.Record(EvInst, i, 0, 0)
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d, want 10", tr.Total())
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("kept %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		wantPC := uint64(6 + i) // oldest-first: PCs 6,7,8,9
+		if e.PC != wantPC {
+			t.Errorf("event[%d].PC = %d, want %d", i, e.PC, wantPC)
+		}
+		if e.Seq != wantPC { // Seq is 0-based and tracks PC in this test
+			t.Errorf("event[%d].Seq = %d, want %d", i, e.Seq, wantPC)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "6 earlier events evicted") {
+		t.Errorf("eviction note missing:\n%s", buf.String())
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvInst, EvTramp, EvTrampExit, EvRTCall,
+		EvCheckPass, EvCheckFail, EvAlloc, EvFree}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// EventKind classifies a traced execution event.
+type EventKind uint8
+
+// Event kinds recorded by the instrumented layers.
+const (
+	EvInst      EventKind = iota // instruction retired (Aux = opcode)
+	EvTramp                      // trampoline entry via patch dispatch (Addr = target)
+	EvTrampExit                  // trampoline exit back into original code
+	EvRTCall                     // host runtime call (Aux = cycle cost)
+	EvCheckPass                  // instrumented check passed (Aux = site)
+	EvCheckFail                  // instrumented check flagged an error (Aux = site)
+	EvAlloc                      // heap allocation (Addr = ptr, Aux = size)
+	EvFree                       // heap free (Addr = ptr)
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvInst:
+		return "inst"
+	case EvTramp:
+		return "tramp-enter"
+	case EvTrampExit:
+		return "tramp-exit"
+	case EvRTCall:
+		return "rtcall"
+	case EvCheckPass:
+		return "check-pass"
+	case EvCheckFail:
+		return "check-fail"
+	case EvAlloc:
+		return "alloc"
+	case EvFree:
+		return "free"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one traced execution event. The meaning of Addr and Aux
+// depends on Kind (see the kind constants).
+type Event struct {
+	Seq  uint64    `json:"seq"` // global event sequence number
+	Kind EventKind `json:"kind"`
+	PC   uint64    `json:"pc"`             // guest program counter
+	Addr uint64    `json:"addr,omitempty"` // access/object/target address
+	Aux  uint64    `json:"aux,omitempty"`  // kind-specific payload
+}
+
+// Tracer is a fixed-capacity ring buffer of execution events: recording
+// never allocates after construction, and when the buffer is full the
+// oldest events are overwritten. A nil Tracer is a valid disabled tracer.
+type Tracer struct {
+	buf []Event
+	pos int // next overwrite position once the buffer is full
+	seq uint64
+}
+
+// NewTracer creates a tracer holding the last capacity events (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full. Nil-safe.
+func (t *Tracer) Record(kind EventKind, pc, addr, aux uint64) {
+	if t == nil {
+		return
+	}
+	e := Event{Seq: t.seq, Kind: kind, PC: pc, Addr: addr, Aux: aux}
+	t.seq++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		return
+	}
+	t.buf[t.pos] = e
+	t.pos++
+	if t.pos == cap(t.buf) {
+		t.pos = 0
+	}
+}
+
+// Total returns how many events were recorded over the tracer's lifetime
+// (including evicted ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if len(t.buf) < cap(t.buf) {
+		return append([]Event(nil), t.buf...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.pos:]...)
+	out = append(out, t.buf[:t.pos]...)
+	return out
+}
+
+// WriteText writes the retained events, one per line.
+func (t *Tracer) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	evs := t.Events()
+	if dropped := t.seq - uint64(len(evs)); dropped > 0 {
+		fmt.Fprintf(bw, "... %d earlier events evicted ...\n", dropped)
+	}
+	for _, e := range evs {
+		fmt.Fprintf(bw, "%8d %-12s pc=%#x", e.Seq, e.Kind, e.PC)
+		if e.Addr != 0 {
+			fmt.Fprintf(bw, " addr=%#x", e.Addr)
+		}
+		if e.Aux != 0 {
+			fmt.Fprintf(bw, " aux=%d", e.Aux)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

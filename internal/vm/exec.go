@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"redfat/internal/isa"
+	"redfat/internal/telemetry"
 )
 
 func widthMask(w uint16) uint64 {
@@ -89,6 +90,9 @@ func (v *VM) load(addr uint64, w uint16) (uint64, error) {
 			return 0, err
 		}
 	}
+	if v.tel != nil {
+		v.tel.loads.Inc()
+	}
 	v.Cycles += CostMem
 	return v.Mem.Load(addr, w)
 }
@@ -99,6 +103,9 @@ func (v *VM) store(addr uint64, w uint16, val uint64) error {
 			return err
 		}
 	}
+	if v.tel != nil {
+		v.tel.stores.Inc()
+	}
 	v.Cycles += CostMem
 	return v.Mem.Store(addr, w, val)
 }
@@ -106,6 +113,9 @@ func (v *VM) store(addr uint64, w uint16, val uint64) error {
 func (v *VM) branchTo(target uint64) {
 	v.RIP = target
 	v.Cycles += CostBranch
+	if v.tel != nil {
+		v.tel.branches.Inc()
+	}
 	if v.BlockHook != nil {
 		v.BlockHook(v, target)
 	}
@@ -164,6 +174,13 @@ func (v *VM) Step() error {
 	if v.TraceHook != nil {
 		v.TraceHook(v, pc, in)
 	}
+	if v.tel != nil {
+		v.tel.retiredAll.Inc()
+		v.tel.retired[in.Op].Inc()
+	}
+	if v.Tracer != nil {
+		v.Tracer.Record(telemetry.EvInst, pc, 0, uint64(in.Op))
+	}
 	v.Insts++
 	v.Cycles += CostInst + v.PerInstOverhead
 
@@ -177,6 +194,12 @@ func (v *VM) Step() error {
 			return fmt.Errorf("vm: trap at %#x with no patch-table entry", pc)
 		}
 		v.Cycles += CostTrap
+		if v.tel != nil {
+			v.tel.patchHits.Inc()
+		}
+		if v.Tracer != nil {
+			v.Tracer.Record(telemetry.EvTramp, pc, target, 0)
+		}
 		v.RIP = target // trap dispatch is not a guest branch; no hook
 
 	case isa.HLT:
@@ -360,7 +383,20 @@ func (v *VM) Step() error {
 			return fmt.Errorf("vm: rtcall to unbound import %d at %#x", idx, pc)
 		}
 		v.RIP = next // handlers may inspect/modify RIP (e.g. longjmp-style)
-		if err := host[idx](v, arg); err != nil {
+		before := v.Cycles
+		err := host[idx](v, arg)
+		if v.tel != nil {
+			// Attribute the cycles the handler charged to RTCALL dispatch
+			// (the paper's per-stage overhead breakdown needs this split).
+			cost := v.Cycles - before
+			v.tel.rtcalls.Inc()
+			v.tel.rtcallCost.Add(cost)
+			v.tel.rtcallHist.Observe(cost)
+		}
+		if v.Tracer != nil {
+			v.Tracer.Record(telemetry.EvRTCall, pc, 0, v.Cycles-before)
+		}
+		if err != nil {
 			return err
 		}
 

@@ -19,6 +19,7 @@ import (
 	"redfat/internal/isa"
 	"redfat/internal/mem"
 	"redfat/internal/relf"
+	"redfat/internal/telemetry"
 )
 
 // Flags is the RF64 condition-code state (an EFLAGS subset).
@@ -132,6 +133,20 @@ func (e *MemError) Error() string {
 	return fmt.Sprintf("%s at address %#x (pc %#x)", e.Kind, e.Addr, e.PC)
 }
 
+// ErrorSites returns the set of distinct program counters among the given
+// error reports — the unit the paper counts detections and false
+// positives in (one site, many dynamic occurrences).
+func ErrorSites(errs []MemError) map[uint64]bool {
+	pcs := make(map[uint64]bool, len(errs))
+	for i := range errs {
+		pcs[errs[i].PC] = true
+	}
+	return pcs
+}
+
+// DistinctErrorSites counts the distinct program counters among errs.
+func DistinctErrorSites(errs []MemError) int { return len(ErrorSites(errs)) }
+
 // VM is an RF64 machine instance.
 type VM struct {
 	Mem   *mem.Memory
@@ -199,6 +214,81 @@ type VM struct {
 	// TraceHook, if set, is invoked before every instruction retires
 	// (single-step debugging / execution tracing).
 	TraceHook func(v *VM, pc uint64, in *isa.Inst)
+
+	// Tracer, if set, records dispatch events (instruction retirement,
+	// patch dispatch, runtime calls) into a bounded ring buffer. Other
+	// layers (checks, allocators) append their events to the same tracer.
+	Tracer *telemetry.Tracer
+
+	// tel holds pre-resolved metric handles when telemetry is attached;
+	// nil (the default) means every instrumentation point is a single
+	// predictable branch and the cycle accounting is untouched.
+	tel *vmMetrics
+}
+
+// vmMetrics is the VM's set of registry handles, resolved once at attach
+// time so the dispatch loop never performs a map lookup.
+type vmMetrics struct {
+	retired     [isa.NumOps]*telemetry.Counter // per-opcode retirement
+	retiredAll  *telemetry.Counter
+	loads       *telemetry.Counter
+	stores      *telemetry.Counter
+	branches    *telemetry.Counter
+	patchHits   *telemetry.Counter // TRAP dispatches through the patch table
+	rtcalls     *telemetry.Counter
+	rtcallCost  *telemetry.Counter   // guest cycles attributed to RTCALL handlers
+	rtcallHist  *telemetry.Histogram // cycles-per-dispatch distribution
+	memErrors   *telemetry.Counter
+	cycles      *telemetry.Gauge
+	insts       *telemetry.Gauge
+	icacheSize  *telemetry.Gauge
+	icacheMiss  *telemetry.Counter
+	exitCode    *telemetry.Gauge
+	cycleAborts *telemetry.Counter
+}
+
+// AttachTelemetry binds the VM's dispatch-level metrics to reg and its
+// event stream to tr (either may be nil). Must be called before Run;
+// attaching costs nothing on the guest cycle count.
+func (v *VM) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	v.Tracer = tr
+	if reg == nil {
+		return
+	}
+	t := &vmMetrics{
+		retiredAll:  reg.Counter("vm.retired.total"),
+		loads:       reg.Counter("vm.mem.loads"),
+		stores:      reg.Counter("vm.mem.stores"),
+		branches:    reg.Counter("vm.branches.taken"),
+		patchHits:   reg.Counter("vm.patch.hits"),
+		rtcalls:     reg.Counter("vm.rtcall.count"),
+		rtcallCost:  reg.Counter("vm.rtcall.cycles"),
+		rtcallHist:  reg.Histogram("vm.rtcall.dispatch.cycles", telemetry.Pow2Bounds(2, 12)),
+		memErrors:   reg.Counter("vm.mem.errors"),
+		cycles:      reg.Gauge("vm.cycles"),
+		insts:       reg.Gauge("vm.insts"),
+		icacheSize:  reg.Gauge("vm.icache.entries"),
+		icacheMiss:  reg.Counter("vm.icache.misses"),
+		exitCode:    reg.Gauge("vm.exit.code"),
+		cycleAborts: reg.Counter("vm.cycle.limit.aborts"),
+	}
+	for op := 0; op < isa.NumOps; op++ {
+		t.retired[op] = reg.Counter("vm.retired." + isa.Op(op).String())
+	}
+	v.tel = t
+}
+
+// FlushTelemetry publishes the VM's end-of-run totals (cycles, retired
+// instructions, exit code) into the attached registry. Safe to call any
+// number of times, including after an aborted run.
+func (v *VM) FlushTelemetry() {
+	if v.tel == nil {
+		return
+	}
+	v.tel.cycles.Set(v.Cycles)
+	v.tel.insts.Set(v.Insts)
+	v.tel.icacheSize.Set(uint64(len(v.icache)))
+	v.tel.exitCode.Set(v.ExitCode)
 }
 
 // New creates a VM over the given memory.
@@ -247,6 +337,9 @@ func (v *VM) Load(bin *relf.Binary, env Bindings) error {
 // Report records a detected memory error, honouring AbortOnError.
 func (v *VM) Report(e MemError) error {
 	v.Errors = append(v.Errors, e)
+	if v.tel != nil {
+		v.tel.memErrors.Inc()
+	}
 	if v.AbortOnError {
 		v.Halted = true
 		cp := e
@@ -303,12 +396,18 @@ func (e *CycleLimitError) Error() string {
 func (v *VM) Run() error {
 	for !v.Halted {
 		if err := v.Step(); err != nil {
+			v.FlushTelemetry()
 			return err
 		}
 		if v.MaxCycles != 0 && v.Cycles > v.MaxCycles {
+			if v.tel != nil {
+				v.tel.cycleAborts.Inc()
+			}
+			v.FlushTelemetry()
 			return &CycleLimitError{v.Cycles}
 		}
 	}
+	v.FlushTelemetry()
 	return nil
 }
 
@@ -316,6 +415,9 @@ func (v *VM) Run() error {
 func (v *VM) fetch(addr uint64) (*isa.Inst, error) {
 	if in, ok := v.icache[addr]; ok {
 		return in, nil
+	}
+	if v.tel != nil {
+		v.tel.icacheMiss.Inc()
 	}
 	var buf [isa.MaxInstLen]byte
 	n := v.Mem.Fetch(addr, buf[:])

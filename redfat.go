@@ -34,6 +34,7 @@ import (
 	core "redfat/internal/redfat"
 	"redfat/internal/relf"
 	"redfat/internal/rtlib"
+	"redfat/internal/telemetry"
 	"redfat/internal/vm"
 )
 
@@ -54,8 +55,31 @@ type AllowList = profile.AllowList
 // MemError is a detected memory error.
 type MemError = vm.MemError
 
+// Metrics is a telemetry registry: counters, gauges and histograms filled
+// in by the instrumented layers (VM dispatch, allocators, checks). Create
+// one with NewMetrics, pass it in RunOptions, then export it with its
+// Snapshot/WriteJSON/WritePrometheus/WriteText methods.
+type Metrics = telemetry.Registry
+
+// EventTracer is a bounded ring buffer of execution events (instruction
+// retirement, trampoline dispatch, check outcomes, alloc/free). Create one
+// with NewEventTracer and pass it in RunOptions.
+type EventTracer = telemetry.Tracer
+
+// NewMetrics creates an empty telemetry registry.
+func NewMetrics() *Metrics { return telemetry.New() }
+
+// NewEventTracer creates an event tracer keeping the last capacity events.
+func NewEventTracer(capacity int) *EventTracer { return telemetry.NewTracer(capacity) }
+
 // Defaults returns the fully optimized production configuration.
 func Defaults() Options { return core.Defaults() }
+
+// ErrorSites returns the set of distinct fault PCs among the errors.
+func ErrorSites(errs []MemError) map[uint64]bool { return vm.ErrorSites(errs) }
+
+// DistinctErrorSites counts the distinct fault PCs among the errors.
+func DistinctErrorSites(errs []MemError) int { return vm.DistinctErrorSites(errs) }
 
 // Assemble builds a RELF binary from RF64 assembly text.
 func Assemble(src string) (*Binary, error) { return asm.Assemble(src) }
@@ -119,15 +143,23 @@ type RunOptions struct {
 	// instruction per line), capped at TraceLimit lines (0 = 10000).
 	Trace      io.Writer
 	TraceLimit int
+	// Metrics, when set, collects counters/gauges/histograms from every
+	// instrumented layer. Telemetry is host-side only and never perturbs
+	// guest cycle accounting.
+	Metrics *Metrics
+	// EventTrace, when set, records execution events into its ring buffer.
+	EventTrace *EventTracer
 }
 
 // CheckStat reports one instrumentation site's runtime behaviour.
 type CheckStat struct {
-	PC      uint64 // original instruction address
-	Operand string // the checked memory operand (AT&T syntax)
-	Mode    string // "full", "redzone" or "profile"
-	Merged  int    // original operands covered by this check
-	Execs   uint64 // times the check executed
+	PC           uint64 // original instruction address
+	Operand      string // the checked memory operand (AT&T syntax)
+	Mode         string // "full", "redzone" or "profile"
+	Merged       int    // original operands covered by this check
+	Execs        uint64 // times the check executed
+	LowFatFails  uint64 // violations flagged via the base(ptr) LowFat path
+	RedzoneFails uint64 // violations flagged via the base(LB) fallback
 }
 
 // Result reports an execution.
@@ -156,6 +188,8 @@ func Run(bin *Binary, opt RunOptions) (*Result, error) {
 		RandomizeHeap: opt.RandomizeHeap,
 		TraceWriter:   opt.Trace,
 		TraceLimit:    opt.TraceLimit,
+		Metrics:       opt.Metrics,
+		EventTrace:    opt.EventTrace,
 	}
 	var (
 		v   *vm.VM
@@ -182,14 +216,17 @@ func Run(bin *Binary, opt RunOptions) (*Result, error) {
 	}
 	if rt != nil {
 		res.Coverage = rt.Coverage()
+		rt.PublishSiteStats(opt.Metrics)
 		for i := range rt.Checks {
 			c := &rt.Checks[i]
 			res.Checks = append(res.Checks, CheckStat{
-				PC:      c.PC,
-				Operand: c.Operand.String(),
-				Mode:    c.Mode.String(),
-				Merged:  int(c.Merged),
-				Execs:   rt.Stats[i].Execs,
+				PC:           c.PC,
+				Operand:      c.Operand.String(),
+				Mode:         c.Mode.String(),
+				Merged:       int(c.Merged),
+				Execs:        rt.Stats[i].Execs,
+				LowFatFails:  rt.Stats[i].LowFatFails,
+				RedzoneFails: rt.Stats[i].RedzoneFails,
 			})
 		}
 		sort.Slice(res.Checks, func(i, j int) bool {
@@ -215,6 +252,8 @@ func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
 		RandomizeHeap: opt.RandomizeHeap,
 		TraceWriter:   opt.Trace,
 		TraceLimit:    opt.TraceLimit,
+		Metrics:       opt.Metrics,
+		EventTrace:    opt.EventTrace,
 	}
 	v, rts, err := rtlib.RunLinked(main, libs, cfg)
 	res := &Result{}
@@ -227,6 +266,7 @@ func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
 	}
 	var full, total int
 	for _, rt := range rts {
+		rt.PublishSiteStats(opt.Metrics)
 		for i := range rt.Checks {
 			if rt.Stats[i].Execs == 0 {
 				continue
