@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench-smoke clean
+.PHONY: check fmt vet build test race bench-smoke bench-host clean
 
-# check is the tier-1 gate: formatting, static analysis, build, tests.
-check: fmt vet build test
+# check is the tier-1 gate: formatting, static analysis, build, tests,
+# and a race-detector pass over the concurrent harness (short mode).
+check: fmt vet build test race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -20,10 +21,18 @@ build:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race -short ./...
+
 # bench-smoke regenerates a down-scaled Table 1 with JSON export, as a
 # fast end-to-end exercise of the experiment harness.
 bench-smoke:
 	$(GO) run ./cmd/rfbench -table1 -scale 0.02 -json results/bench.json
+
+# bench-host measures host wall-clock performance (VM dispatch strategies,
+# worker-pool scaling) and records it in results/BENCH_host.json.
+bench-host:
+	$(GO) run ./cmd/rfbench -hostbench -progress=false
 
 clean:
 	rm -rf results

@@ -16,6 +16,7 @@
 package redfat_test
 
 import (
+	"fmt"
 	"testing"
 
 	"redfat"
@@ -266,6 +267,63 @@ func BenchmarkVMExecution(b *testing.B) {
 		insts = res.Insts
 	}
 	b.ReportMetric(float64(insts), "guest-insts/op")
+}
+
+// BenchmarkVMDispatch compares the interpreter's two host dispatch
+// strategies on the same workload: the legacy per-instruction map icache
+// vs the decoded basic-block cache. Guest results are identical; only
+// host wall-clock differs.
+func BenchmarkVMDispatch(b *testing.B) {
+	bm := workload.ByName("bzip2")
+	cp := *bm
+	cp.RefScale = 20000
+	bin, err := cp.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := cp.RefInput()
+	for _, mode := range []struct {
+		name    string
+		noBlock bool
+	}{
+		{"map-icache", true},
+		{"block-cache", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var insts uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := redfat.Run(bin, redfat.RunOptions{
+					Input: input, NoBlockCache: mode.noBlock,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = res.Insts
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(insts)*float64(b.N)/secs/1e6, "guest-MIPS")
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Parallel measures the experiment harness's wall-clock
+// scaling over the worker pool: the full Table 1 pipeline serially and at
+// -parallel 4. The rendered rows are byte-identical at any width; only
+// elapsed time moves (and only on multi-core hosts).
+func BenchmarkTable1Parallel(b *testing.B) {
+	for _, width := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", width), func(b *testing.B) {
+			h := &bench.Harness{Parallel: width}
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Table1(table1Scale, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkProfileWorkflow measures the full two-phase Fig. 5 pipeline.

@@ -7,46 +7,109 @@
 //	rfbench -table2                CVE + Juliet detection (Table 2)
 //	rfbench -figure8               Chrome/Kraken overhead (Figure 8)
 //	rfbench -ablation              patch tactics and batch-width ablations
-//	rfbench -all                   everything
+//	rfbench -hostbench             host wall-clock benchmarks (VM dispatch, pool scaling)
+//	rfbench -all                   everything except -hostbench
+//
+// Experiments fan their independent units (benchmark × configuration
+// cells, Juliet cases, Kraken sub-benchmarks) over a worker pool of
+// -parallel goroutines; results are assembled deterministically, so the
+// tables are byte-identical at any -parallel value. -progress=false
+// silences the per-unit progress lines on stderr.
 //
 // -json path additionally writes every experiment that ran as a single
-// structured JSON document (see internal/bench.Results), so downstream
-// tooling can consume the numbers without scraping the text tables.
+// structured JSON document (see internal/bench.Results), including the
+// aggregate telemetry snapshot, so downstream tooling can consume the
+// numbers without scraping the text tables.
+//
+// -cpuprofile / -memprofile write pprof profiles of the harness itself
+// (host-side performance, not guest cycles).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"redfat/internal/bench"
+	"redfat/internal/telemetry"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rfbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	table1 := flag.Bool("table1", false, "run the SPEC CPU2006 performance table")
 	falsepos := flag.Bool("falsepos", false, "run the false-positive experiment")
 	table2 := flag.Bool("table2", false, "run the non-incremental detection table")
 	figure8 := flag.Bool("figure8", false, "run the Chrome/Kraken experiment")
 	ablation := flag.Bool("ablation", false, "run the ablation studies")
-	all := flag.Bool("all", false, "run every experiment")
+	hostbench := flag.Bool("hostbench", false, "run the host wall-clock benchmarks")
+	all := flag.Bool("all", false, "run every experiment (except -hostbench)")
 	scale := flag.Float64("scale", 1.0, "workload scale for table1/falsepos (1.0 = full ref)")
 	fillers := flag.Int("fillers", 20000, "filler functions in the Chrome-scale image")
 	kscale := flag.Uint64("kscale", 5000, "Kraken workload scale")
+	parallel := flag.Int("parallel", bench.DefaultParallel(), "worker-pool width for experiment units")
+	progress := flag.Bool("progress", true, "print per-unit progress lines to stderr")
 	jsonPath := flag.String("json", "", "write the results of every experiment run as JSON to this file")
+	hostbenchOut := flag.String("hostbenchout", filepath.Join("results", "BENCH_host.json"),
+		"output path for -hostbench results")
+	hostbenchScale := flag.Float64("hostbenchscale", 0.02, "table1 scale for -hostbench")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile of the harness to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rfbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rfbench:", err)
+			}
+		}()
+	}
+
+	h := &bench.Harness{Parallel: *parallel}
+	if *progress {
+		h.Progress = os.Stderr
+	}
 
 	ran := false
 	w := os.Stdout
 	results := &bench.Results{Scale: *scale}
 	// Open the JSON sink up front so a bad path fails before hours of
-	// experiments, not after.
+	// experiments, not after. The JSON document also carries the aggregate
+	// telemetry snapshot, so only collect metrics when it is requested.
 	var jsonFile *os.File
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		jsonFile = f
+		h.Metrics = telemetry.New()
 	}
 	if *all || *table1 {
 		ran = true
@@ -54,9 +117,9 @@ func main() {
 		fmt.Fprintf(w, "%-12s %7s %12s %9s %9s %9s %9s %9s %9s %9s\n",
 			"benchmark", "cover", "baseline", "unopt", "+elim", "+batch",
 			"+merge", "-size", "-reads", "memcheck")
-		rows, err := bench.Table1(*scale, w)
+		rows, err := h.Table1(*scale, w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		summary := bench.Summarize(rows)
 		results.Table1, results.Table1Summary = rows, &summary
@@ -65,9 +128,9 @@ func main() {
 	if *all || *falsepos {
 		ran = true
 		fmt.Fprintln(w, "=== §7.1 False positives (full checking, no allow-list) ===")
-		rows, err := bench.FalsePositives(*scale, w)
+		rows, err := h.FalsePositives(*scale, w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		results.FalsePositives = rows
 		fmt.Fprintln(w)
@@ -75,15 +138,15 @@ func main() {
 	if *all || *table2 {
 		ran = true
 		fmt.Fprintln(w, "=== Table 2: non-incremental bounds errors ===")
-		rows, err := bench.Table2(w)
+		rows, err := h.Table2(w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		results.Table2 = rows
 		fmt.Fprintln(w, "--- extension: temporal errors (ours) ---")
-		ext, err := bench.Table2Extended(w)
+		ext, err := h.Table2Extended(w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		results.Table2Extended = ext
 		fmt.Fprintln(w)
@@ -91,9 +154,9 @@ func main() {
 	if *all || *figure8 {
 		ran = true
 		fmt.Fprintf(w, "=== Figure 8: Chrome/Kraken, write protection (%d fillers) ===\n", *fillers)
-		rows, gm, err := bench.Figure8(*fillers, *kscale, w)
+		rows, gm, err := h.Figure8(*fillers, *kscale, w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		results.Figure8 = &bench.Figure8Result{Rows: rows, GeoMean: gm}
 		fmt.Fprintln(w)
@@ -102,30 +165,56 @@ func main() {
 		ran = true
 		abl := &bench.Ablations{}
 		fmt.Fprintln(w, "=== Ablation: patch tactics ===")
-		tactics, err := bench.Tactics(*fillers, w)
+		tactics, err := h.Tactics(*fillers, w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		abl.Tactics = tactics
 		fmt.Fprintln(w, "\n=== Ablation: batch width (povray) ===")
-		batches, err := bench.BatchSweep("povray", *scale, w)
+		batches, err := h.BatchSweep("povray", *scale, w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		abl.Batch = batches
 		fmt.Fprintln(w, "\n=== Ablation: clobber specialization (sjeng) ===")
-		clobber, err := bench.ClobberSweep("sjeng", *scale, w)
+		clobber, err := h.ClobberSweep("sjeng", *scale, w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		abl.Clobber = clobber
 		fmt.Fprintln(w, "\n=== Ablation: coverage-guided profiling boost (h264ref) ===")
-		fz, err := bench.FuzzBoostStudy("h264ref", []int{1, 50, 200}, w)
+		fz, err := h.FuzzBoostStudy("h264ref", []int{1, 50, 200}, w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		abl.Fuzz = fz
 		results.Ablation = abl
+		fmt.Fprintln(w)
+	}
+	if *hostbench {
+		ran = true
+		fmt.Fprintf(w, "=== Host benchmarks (parallel %d, table1 scale %.2f) ===\n",
+			*parallel, *hostbenchScale)
+		hb, err := bench.RunHostBench(*parallel, *hostbenchScale)
+		if err != nil {
+			return err
+		}
+		hb.Render(w)
+		if err := os.MkdirAll(filepath.Dir(*hostbenchOut), 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(*hostbenchOut)
+		if err != nil {
+			return err
+		}
+		if err := hb.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "host benchmark results written to %s\n", *hostbenchOut)
 		fmt.Fprintln(w)
 	}
 	if !ran {
@@ -133,17 +222,14 @@ func main() {
 		os.Exit(2)
 	}
 	if jsonFile != nil {
+		results.Telemetry = h.Metrics.Snapshot()
 		if err := results.WriteJSON(jsonFile); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := jsonFile.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(w, "results written to %s\n", *jsonPath)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rfbench:", err)
-	os.Exit(1)
+	return nil
 }

@@ -7,7 +7,9 @@ import (
 	"redfat/internal/fuzz"
 	"redfat/internal/kraken"
 	"redfat/internal/redfat"
+	"redfat/internal/relf"
 	"redfat/internal/rtlib"
+	"redfat/internal/telemetry"
 	"redfat/internal/workload"
 )
 
@@ -26,38 +28,43 @@ type TacticRow struct {
 
 // Tactics instruments every SPEC-like benchmark plus the Chrome-scale
 // image with the production configuration and reports tactic statistics.
-func Tactics(fillerFuncs int, w io.Writer) ([]TacticRow, error) {
-	var rows []TacticRow
-	add := func(name string, textLen int) func(*redfat.Report) {
-		return func(rep *redfat.Report) {
-			rows = append(rows, TacticRow{
-				Name: name, TextBytes: textLen, Checks: rep.Checks,
+// Each binary is one pool unit.
+func (h *Harness) Tactics(fillerFuncs int, w io.Writer) ([]TacticRow, error) {
+	bms := workload.All()
+	n := len(bms) + 1 // + the Chrome-scale image
+	name := func(i int) string {
+		if i == len(bms) {
+			return "chrome"
+		}
+		return bms[i].Name
+	}
+	rows, err := fanOut(h, "tactics", n, name,
+		func(i int, _ *telemetry.Registry) (TacticRow, error) {
+			var (
+				bin *relf.Binary
+				err error
+			)
+			if i == len(bms) {
+				bin, err = kraken.Build(fillerFuncs)
+			} else {
+				bin, err = bms[i].Build()
+			}
+			if err != nil {
+				return TacticRow{}, err
+			}
+			_, rep, err := redfat.Harden(bin, redfat.Defaults())
+			if err != nil {
+				return TacticRow{}, err
+			}
+			return TacticRow{
+				Name: name(i), TextBytes: len(bin.Text().Data), Checks: rep.Checks,
 				T1: rep.Rewrite.T1, T2: rep.Rewrite.T2, T3: rep.Rewrite.T3,
 				TrampBytes: rep.Rewrite.TrampBytes,
-			})
-		}
-	}
-	for _, bm := range workload.All() {
-		bin, err := bm.Build()
-		if err != nil {
-			return nil, err
-		}
-		_, rep, err := redfat.Harden(bin, redfat.Defaults())
-		if err != nil {
-			return nil, err
-		}
-		add(bm.Name, len(bin.Text().Data))(rep)
-	}
-	chrome, err := kraken.Build(fillerFuncs)
+			}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	_, rep, err := redfat.Harden(chrome, redfat.Defaults())
-	if err != nil {
-		return nil, err
-	}
-	add("chrome", len(chrome.Text().Data))(rep)
-
 	if w != nil {
 		fmt.Fprintf(w, "%-12s %10s %8s %8s %8s %8s %10s\n",
 			"binary", "text(B)", "checks", "T1", "T2", "T3", "tramp(B)")
@@ -69,6 +76,11 @@ func Tactics(fillerFuncs int, w io.Writer) ([]TacticRow, error) {
 	return rows, nil
 }
 
+// Tactics is the serial form of Harness.Tactics.
+func Tactics(fillerFuncs int, w io.Writer) ([]TacticRow, error) {
+	return (&Harness{}).Tactics(fillerFuncs, w)
+}
+
 // BatchRow reports the overhead at one maximum batch width.
 type BatchRow struct {
 	MaxBatch int     `json:"max_batch"`
@@ -76,8 +88,9 @@ type BatchRow struct {
 }
 
 // BatchSweep measures the benefit of check batching as a function of the
-// maximum trampoline batch width, on a store-dense benchmark.
-func BatchSweep(benchName string, scale float64, w io.Writer) ([]BatchRow, error) {
+// maximum trampoline batch width, on a store-dense benchmark. The build
+// and baseline run once, serially; the widths fan out as pool units.
+func (h *Harness) BatchSweep(benchName string, scale float64, w io.Writer) ([]BatchRow, error) {
 	bm := workload.ByName(benchName)
 	if bm == nil {
 		return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
@@ -87,28 +100,34 @@ func BatchSweep(benchName string, scale float64, w io.Writer) ([]BatchRow, error
 	if err != nil {
 		return nil, err
 	}
-	base, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: bm.RefInput()})
+	base, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: bm.RefInput(), Metrics: h.Metrics})
 	if err != nil {
 		return nil, err
 	}
-	var rows []BatchRow
-	for _, width := range []int{1, 2, 4, 8, 16} {
-		opt := redfat.Defaults()
-		opt.MaxBatch = width
-		if width == 1 {
-			opt.Batch = false
-			opt.Merge = false
-		}
-		hard, _, err := redfat.Harden(bin, opt)
-		if err != nil {
-			return nil, err
-		}
-		v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: bm.RefInput()})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, BatchRow{MaxBatch: width,
-			Slowdown: float64(v.Cycles) / float64(base.Cycles)})
+	widths := []int{1, 2, 4, 8, 16}
+	rows, err := fanOut(h, "batch", len(widths),
+		func(i int) string { return fmt.Sprintf("width-%d", widths[i]) },
+		func(i int, reg *telemetry.Registry) (BatchRow, error) {
+			width := widths[i]
+			opt := redfat.Defaults()
+			opt.MaxBatch = width
+			if width == 1 {
+				opt.Batch = false
+				opt.Merge = false
+			}
+			hard, _, err := redfat.Harden(bin, opt)
+			if err != nil {
+				return BatchRow{}, err
+			}
+			v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: bm.RefInput(), Metrics: reg})
+			if err != nil {
+				return BatchRow{}, err
+			}
+			return BatchRow{MaxBatch: width,
+				Slowdown: float64(v.Cycles) / float64(base.Cycles)}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if w != nil {
 		for _, r := range rows {
@@ -116,6 +135,11 @@ func BatchSweep(benchName string, scale float64, w io.Writer) ([]BatchRow, error
 		}
 	}
 	return rows, nil
+}
+
+// BatchSweep is the serial form of Harness.BatchSweep.
+func BatchSweep(benchName string, scale float64, w io.Writer) ([]BatchRow, error) {
+	return (&Harness{}).BatchSweep(benchName, scale, w)
 }
 
 // ClobberRow compares trampoline save/restore cost with and without the
@@ -126,8 +150,8 @@ type ClobberRow struct {
 }
 
 // ClobberSweep measures the benefit of the dead-register trampoline
-// specialization on one benchmark.
-func ClobberSweep(benchName string, scale float64, w io.Writer) ([]ClobberRow, error) {
+// specialization on one benchmark. The two variants fan out as pool units.
+func (h *Harness) ClobberSweep(benchName string, scale float64, w io.Writer) ([]ClobberRow, error) {
 	bm := workload.ByName(benchName)
 	if bm == nil {
 		return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
@@ -137,24 +161,29 @@ func ClobberSweep(benchName string, scale float64, w io.Writer) ([]ClobberRow, e
 	if err != nil {
 		return nil, err
 	}
-	base, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: bm.RefInput()})
+	base, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: bm.RefInput(), Metrics: h.Metrics})
 	if err != nil {
 		return nil, err
 	}
-	var rows []ClobberRow
-	for _, spec := range []bool{false, true} {
-		opt := redfat.Defaults()
-		opt.NoClobberSpec = !spec
-		hard, _, err := redfat.Harden(bin, opt)
-		if err != nil {
-			return nil, err
-		}
-		v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: bm.RefInput()})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ClobberRow{Specialized: spec,
-			Slowdown: float64(v.Cycles) / float64(base.Cycles)})
+	specs := []bool{false, true}
+	rows, err := fanOut(h, "clobber", len(specs),
+		func(i int) string { return fmt.Sprintf("specialized-%v", specs[i]) },
+		func(i int, reg *telemetry.Registry) (ClobberRow, error) {
+			opt := redfat.Defaults()
+			opt.NoClobberSpec = !specs[i]
+			hard, _, err := redfat.Harden(bin, opt)
+			if err != nil {
+				return ClobberRow{}, err
+			}
+			v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: bm.RefInput(), Metrics: reg})
+			if err != nil {
+				return ClobberRow{}, err
+			}
+			return ClobberRow{Specialized: specs[i],
+				Slowdown: float64(v.Cycles) / float64(base.Cycles)}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if w != nil {
 		for _, r := range rows {
@@ -162,6 +191,11 @@ func ClobberSweep(benchName string, scale float64, w io.Writer) ([]ClobberRow, e
 		}
 	}
 	return rows, nil
+}
+
+// ClobberSweep is the serial form of Harness.ClobberSweep.
+func ClobberSweep(benchName string, scale float64, w io.Writer) ([]ClobberRow, error) {
+	return (&Harness{}).ClobberSweep(benchName, scale, w)
 }
 
 // FuzzRow compares allow-list coverage with and without the
@@ -172,8 +206,9 @@ type FuzzRow struct {
 }
 
 // FuzzBoostStudy measures production coverage on a train-gated benchmark
-// as the fuzzing budget grows.
-func FuzzBoostStudy(benchName string, budgets []int, w io.Writer) ([]FuzzRow, error) {
+// as the fuzzing budget grows. The build and profile rewrite run once,
+// serially; the budgets fan out as pool units.
+func (h *Harness) FuzzBoostStudy(benchName string, budgets []int, w io.Writer) ([]FuzzRow, error) {
 	bm := workload.ByName(benchName)
 	if bm == nil {
 		return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
@@ -190,25 +225,29 @@ func FuzzBoostStudy(benchName string, budgets []int, w io.Writer) ([]FuzzRow, er
 	if err != nil {
 		return nil, err
 	}
-	var rows []FuzzRow
-	for _, budget := range budgets {
-		res, err := fuzz.Boost(profBin, [][]uint64{bm.TrainInput()}, fuzz.Options{
-			MaxRuns: budget, MaxCycles: 50_000_000,
+	rows, err := fanOut(h, "fuzz", len(budgets),
+		func(i int) string { return fmt.Sprintf("budget-%d", budgets[i]) },
+		func(i int, reg *telemetry.Registry) (FuzzRow, error) {
+			res, err := fuzz.Boost(profBin, [][]uint64{bm.TrainInput()}, fuzz.Options{
+				MaxRuns: budgets[i], MaxCycles: 50_000_000,
+			})
+			if err != nil {
+				return FuzzRow{}, err
+			}
+			opt := redfat.Defaults()
+			opt.AllowList = res.Profiler.AllowList()
+			hard, _, err := redfat.Harden(bin, opt)
+			if err != nil {
+				return FuzzRow{}, err
+			}
+			_, rt, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: bm.RefInput(), Metrics: reg})
+			if err != nil {
+				return FuzzRow{}, err
+			}
+			return FuzzRow{Runs: budgets[i], Coverage: rt.Coverage()}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		opt := redfat.Defaults()
-		opt.AllowList = res.Profiler.AllowList()
-		hard, _, err := redfat.Harden(bin, opt)
-		if err != nil {
-			return nil, err
-		}
-		_, rt, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: bm.RefInput()})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, FuzzRow{Runs: budget, Coverage: rt.Coverage()})
+	if err != nil {
+		return nil, err
 	}
 	if w != nil {
 		for _, r := range rows {
@@ -216,4 +255,9 @@ func FuzzBoostStudy(benchName string, budgets []int, w io.Writer) ([]FuzzRow, er
 		}
 	}
 	return rows, nil
+}
+
+// FuzzBoostStudy is the serial form of Harness.FuzzBoostStudy.
+func FuzzBoostStudy(benchName string, budgets []int, w io.Writer) ([]FuzzRow, error) {
+	return (&Harness{}).FuzzBoostStudy(benchName, budgets, w)
 }

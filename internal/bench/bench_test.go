@@ -180,7 +180,11 @@ func TestClobberSweep(t *testing.T) {
 }
 
 func TestFuzzBoostStudy(t *testing.T) {
-	rows, err := bench.FuzzBoostStudy("h264ref", []int{1, 120}, nil)
+	budgets := []int{1, 120}
+	if testing.Short() {
+		budgets = []int{1, 30} // the race-detector run: a smaller budget still shows the trend
+	}
+	rows, err := bench.FuzzBoostStudy("h264ref", budgets, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

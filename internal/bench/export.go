@@ -3,6 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"io"
+
+	"redfat/internal/telemetry"
 )
 
 // Table1Summary aggregates Table 1 across benchmarks: mean coverage and
@@ -58,6 +60,9 @@ type Results struct {
 	Table2Extended []Table2Row    `json:"table2_extended,omitempty"`
 	Figure8        *Figure8Result `json:"figure8,omitempty"`
 	Ablation       *Ablations     `json:"ablation,omitempty"`
+	// Telemetry is the aggregate metrics snapshot across every run,
+	// merged from the per-unit registries of the worker pool.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // WriteJSON serializes the results, indented, to w.

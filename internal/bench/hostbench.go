@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"redfat/internal/rtlib"
+	"redfat/internal/workload"
+)
+
+// Host-side performance benchmarks. Unlike every other experiment in this
+// package — which measures deterministic guest cycles — these measure
+// host wall-clock: how fast the interpreter dispatches and how well the
+// experiment harness scales over the worker pool. Guest results are
+// identical across all of these configurations; only elapsed time moves.
+
+// DispatchHostBench compares the interpreter's two dispatch strategies on
+// an uninstrumented workload: the legacy per-instruction map icache vs the
+// decoded basic-block cache.
+type DispatchHostBench struct {
+	GuestInsts     uint64  `json:"guest_insts"`     // instructions retired per run
+	MapNsPerInst   float64 `json:"map_ns_per_inst"` // legacy map icache
+	BlockNsPerInst float64 `json:"block_ns_per_inst"`
+	MapMIPS        float64 `json:"map_mips"` // guest MIPS (million insts / wall-second)
+	BlockMIPS      float64 `json:"block_mips"`
+	Improvement    float64 `json:"improvement"` // fractional dispatch-time reduction
+}
+
+// Table1HostBench compares serial and parallel wall-clock for the Table 1
+// pipeline at a reduced scale.
+type Table1HostBench struct {
+	Scale      float64 `json:"scale"`
+	Parallel   int     `json:"parallel"`
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// HostBenchResult is the machine-readable output of RunHostBench
+// (exported by rfbench -hostbench to results/BENCH_host.json).
+type HostBenchResult struct {
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	GoVersion string            `json:"go_version"`
+	NumCPU    int               `json:"num_cpu"`
+	Dispatch  DispatchHostBench `json:"vm_dispatch"`
+	Table1    Table1HostBench   `json:"table1_parallel"`
+}
+
+// RunHostBench measures both host-side benchmarks: VM dispatch (map vs
+// block cache) and Table 1 harness scaling (serial vs parallel pool).
+func RunHostBench(parallel int, scale float64) (*HostBenchResult, error) {
+	res := &HostBenchResult{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	if err := res.measureDispatch(); err != nil {
+		return nil, err
+	}
+	if err := res.measureTable1(parallel, scale); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (r *HostBenchResult) measureDispatch() error {
+	bm := workload.ByName("bzip2")
+	cp := *bm
+	cp.RefScale = 20000
+	bin, err := cp.Build()
+	if err != nil {
+		return err
+	}
+	input := cp.RefInput()
+	probe, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: input})
+	if err != nil {
+		return err
+	}
+	insts := probe.Insts
+
+	var runErr error
+	measure := func(noBlock bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rtlib.RunBaseline(bin, rtlib.RunConfig{
+					Input: input, NoBlockCache: noBlock,
+				}); err != nil {
+					runErr = err
+					return
+				}
+			}
+		})
+	}
+	mapRes := measure(true)
+	blockRes := measure(false)
+	if runErr != nil {
+		return runErr
+	}
+
+	r.Dispatch = DispatchHostBench{
+		GuestInsts:     insts,
+		MapNsPerInst:   float64(mapRes.NsPerOp()) / float64(insts),
+		BlockNsPerInst: float64(blockRes.NsPerOp()) / float64(insts),
+		MapMIPS:        mips(insts, mapRes.NsPerOp()),
+		BlockMIPS:      mips(insts, blockRes.NsPerOp()),
+	}
+	if mapRes.NsPerOp() > 0 {
+		r.Dispatch.Improvement = 1 - float64(blockRes.NsPerOp())/float64(mapRes.NsPerOp())
+	}
+	return nil
+}
+
+func (r *HostBenchResult) measureTable1(parallel int, scale float64) error {
+	var runErr error
+	measure := func(width int) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			h := &Harness{Parallel: width}
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Table1(scale, nil); err != nil {
+					runErr = err
+					return
+				}
+			}
+		})
+	}
+	serial := measure(1)
+	par := measure(parallel)
+	if runErr != nil {
+		return runErr
+	}
+	r.Table1 = Table1HostBench{
+		Scale:      scale,
+		Parallel:   parallel,
+		SerialNs:   serial.NsPerOp(),
+		ParallelNs: par.NsPerOp(),
+	}
+	if par.NsPerOp() > 0 {
+		r.Table1.Speedup = float64(serial.NsPerOp()) / float64(par.NsPerOp())
+	}
+	return nil
+}
+
+// mips converts (instructions, ns per run) to guest MIPS.
+func mips(insts uint64, nsPerOp int64) float64 {
+	if nsPerOp <= 0 {
+		return 0
+	}
+	return float64(insts) * 1e3 / float64(nsPerOp)
+}
+
+// WriteJSON serializes the result, indented, to w.
+func (r *HostBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render writes a human-readable summary to w (nil ok).
+func (r *HostBenchResult) Render(w io.Writer) {
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "host: %s/%s, %d CPUs, %s\n", r.GOOS, r.GOARCH, r.NumCPU, r.GoVersion)
+	fmt.Fprintf(w, "vm dispatch (%d guest insts):\n", r.Dispatch.GuestInsts)
+	fmt.Fprintf(w, "  map icache    %7.1f ns/inst  %7.1f guest MIPS\n",
+		r.Dispatch.MapNsPerInst, r.Dispatch.MapMIPS)
+	fmt.Fprintf(w, "  block cache   %7.1f ns/inst  %7.1f guest MIPS  (%.1f%% faster)\n",
+		r.Dispatch.BlockNsPerInst, r.Dispatch.BlockMIPS, 100*r.Dispatch.Improvement)
+	fmt.Fprintf(w, "table1 (scale %.2f):\n", r.Table1.Scale)
+	fmt.Fprintf(w, "  serial        %12d ns\n", r.Table1.SerialNs)
+	fmt.Fprintf(w, "  parallel %-4d %12d ns  (%.2fx speedup)\n",
+		r.Table1.Parallel, r.Table1.ParallelNs, r.Table1.Speedup)
+}

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"redfat/internal/telemetry"
+)
+
+// TestFanOutOrder checks that results come back in unit order regardless
+// of pool width or completion order.
+func TestFanOutOrder(t *testing.T) {
+	for _, width := range []int{1, 3, 8, 64} {
+		h := &Harness{Parallel: width}
+		got, err := fanOut(h, "order", 50,
+			func(i int) string { return fmt.Sprintf("u%d", i) },
+			func(i int, _ *telemetry.Registry) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("width %d: unit %d = %d, want %d", width, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestFanOutFirstErrorCancels checks that a failing unit cancels the
+// un-started remainder and that its error is the one returned.
+func TestFanOutFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran [10]bool
+	h := &Harness{Parallel: 1} // serial: deterministic unit order
+	_, err := fanOut(h, "cancel", len(ran),
+		func(i int) string { return fmt.Sprintf("u%d", i) },
+		func(i int, _ *telemetry.Registry) (int, error) {
+			ran[i] = true
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	for i := 0; i <= 3; i++ {
+		if !ran[i] {
+			t.Errorf("unit %d did not run before the failure", i)
+		}
+	}
+	for i := 4; i < len(ran); i++ {
+		if ran[i] {
+			t.Errorf("unit %d ran after unit 3 failed", i)
+		}
+	}
+}
+
+// TestFanOutProgress checks the per-unit progress lines: one line per
+// unit, the done counter reaching n/n, and the FAIL marker on errors.
+func TestFanOutProgress(t *testing.T) {
+	var buf bytes.Buffer
+	h := &Harness{Parallel: 4, Progress: &buf}
+	if _, err := fanOut(h, "prog", 12,
+		func(i int) string { return fmt.Sprintf("u%d", i) },
+		func(i int, _ *telemetry.Registry) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("progress lines = %d, want 12:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[len(lines)-1], "(12/12)") {
+		t.Errorf("last line %q missing (12/12)", lines[len(lines)-1])
+	}
+
+	buf.Reset()
+	boom := errors.New("boom")
+	_, err := fanOut(&Harness{Parallel: 1, Progress: &buf}, "prog", 3,
+		func(i int) string { return fmt.Sprintf("u%d", i) },
+		func(i int, _ *telemetry.Registry) (int, error) {
+			if i == 1 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	if !strings.Contains(buf.String(), "prog u1: FAIL: boom") {
+		t.Errorf("progress output missing FAIL line:\n%s", buf.String())
+	}
+}
+
+// TestFanOutTelemetryMerge checks single-owner aggregation: each unit
+// writes to its private registry and the aggregate holds the exact sum
+// after the pool quiesces.
+func TestFanOutTelemetryMerge(t *testing.T) {
+	agg := telemetry.New()
+	h := &Harness{Parallel: 8, Metrics: agg}
+	const n = 40
+	if _, err := fanOut(h, "merge", n,
+		func(i int) string { return fmt.Sprintf("u%d", i) },
+		func(i int, reg *telemetry.Registry) (int, error) {
+			reg.Counter("test.units").Inc()
+			reg.Counter("test.weight").Add(uint64(i))
+			reg.Histogram("test.hist", telemetry.Pow2Bounds(0, 4)).Observe(uint64(i))
+			return i, nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.CounterValue("test.units"); got != n {
+		t.Errorf("test.units = %d, want %d", got, n)
+	}
+	want := uint64(n * (n - 1) / 2)
+	if got := agg.CounterValue("test.weight"); got != want {
+		t.Errorf("test.weight = %d, want %d", got, want)
+	}
+	if got := agg.Snapshot().Histograms["test.hist"].Count; got != n {
+		t.Errorf("test.hist count = %d, want %d", got, n)
+	}
+}
+
+// TestFigure8ParallelIdentity checks that the rendered Figure 8 output is
+// byte-identical between the serial harness and a wide pool.
+func TestFigure8ParallelIdentity(t *testing.T) {
+	render := func(width int) (string, []Fig8Row, float64) {
+		var buf bytes.Buffer
+		rows, gm, err := (&Harness{Parallel: width}).Figure8(512, 300, &buf)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		return buf.String(), rows, gm
+	}
+	serialOut, serialRows, serialGM := render(1)
+	parOut, parRows, parGM := render(8)
+	if serialOut != parOut {
+		t.Errorf("rendered output differs between serial and parallel:\n--- serial\n%s--- parallel\n%s",
+			serialOut, parOut)
+	}
+	if !reflect.DeepEqual(serialRows, parRows) || serialGM != parGM {
+		t.Errorf("rows/geomean differ: serial %v (%v), parallel %v (%v)",
+			serialRows, serialGM, parRows, parGM)
+	}
+}
+
+// TestTable2ExtendedParallelIdentity checks serial/parallel identity on
+// the temporal-error suites (per-case fan-out).
+func TestTable2ExtendedParallelIdentity(t *testing.T) {
+	render := func(width int) (string, []Table2Row) {
+		var buf bytes.Buffer
+		rows, err := (&Harness{Parallel: width}).Table2Extended(&buf)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		return buf.String(), rows
+	}
+	serialOut, serialRows := render(1)
+	parOut, parRows := render(8)
+	if serialOut != parOut {
+		t.Errorf("rendered output differs:\n--- serial\n%s--- parallel\n%s", serialOut, parOut)
+	}
+	if !reflect.DeepEqual(serialRows, parRows) {
+		t.Errorf("rows differ: serial %v, parallel %v", serialRows, parRows)
+	}
+}
+
+// TestTable1ParallelIdentity checks that the full Table 1 pipeline —
+// rendered bytes, rows, and aggregate telemetry — is identical between
+// the serial harness and a wide pool.
+func TestTable1ParallelIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 1 comparison skipped in -short mode")
+	}
+	render := func(width int) (string, []*Table1Row, *telemetry.Snapshot) {
+		var buf bytes.Buffer
+		h := &Harness{Parallel: width, Metrics: telemetry.New()}
+		rows, err := h.Table1(0.02, &buf)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		return buf.String(), rows, h.Metrics.Snapshot()
+	}
+	serialOut, serialRows, serialTel := render(1)
+	parOut, parRows, parTel := render(8)
+	if serialOut != parOut {
+		t.Errorf("rendered table differs between serial and parallel:\n--- serial\n%s--- parallel\n%s",
+			serialOut, parOut)
+	}
+	if !reflect.DeepEqual(serialRows, parRows) {
+		t.Errorf("rows differ between serial and parallel")
+	}
+	if !reflect.DeepEqual(serialTel, parTel) {
+		t.Errorf("aggregate telemetry differs between serial and parallel")
+	}
+	if serialTel.Counters["vm.retired.total"] == 0 {
+		t.Errorf("aggregate telemetry has no retired instructions")
+	}
+}

@@ -140,6 +140,7 @@ func Run(bin *relf.Binary, cfg rtlib.RunConfig) (*vm.VM, error) {
 		v.MaxCycles = 20_000_000_000 // Memcheck runs ~10× longer
 	}
 	v.AbortOnError = cfg.Abort
+	v.NoBlockCache = cfg.NoBlockCache
 	cfg.AttachTrace(v)
 
 	w := NewWrapper(heap.New(m))

@@ -1,0 +1,124 @@
+package rtlib_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"redfat/internal/redfat"
+	"redfat/internal/rtlib"
+	"redfat/internal/telemetry"
+	"redfat/internal/vm"
+	"redfat/internal/workload"
+)
+
+// stripHostOnly removes the vm.icache.* metrics from a snapshot: they
+// describe the host-side decode cache, whose accounting legitimately
+// differs between the map icache and the block cache (per-PC entries vs
+// predecoded block instructions). Everything else — retired counts, loads,
+// stores, branches, cycles, check and allocator metrics — is guest-derived
+// and must be bit-identical across the two dispatch strategies.
+func stripHostOnly(s *telemetry.Snapshot) *telemetry.Snapshot {
+	for name := range s.Counters {
+		if strings.HasPrefix(name, "vm.icache.") {
+			delete(s.Counters, name)
+		}
+	}
+	for name := range s.Gauges {
+		if strings.HasPrefix(name, "vm.icache.") {
+			delete(s.Gauges, name)
+		}
+	}
+	return s
+}
+
+// runBoth executes the same binary under both dispatch strategies and
+// fails the test on any guest-visible divergence.
+func runBoth(t *testing.T, name string, run func(cfg rtlib.RunConfig) (*vm.VM, error)) {
+	t.Helper()
+	exec := func(noBlock bool) (*vm.VM, *telemetry.Snapshot, error) {
+		reg := telemetry.New()
+		v, err := run(rtlib.RunConfig{NoBlockCache: noBlock, Metrics: reg})
+		return v, stripHostOnly(reg.Snapshot()), err
+	}
+	blockVM, blockTel, blockErr := exec(false)
+	mapVM, mapTel, mapErr := exec(true)
+
+	if (blockErr == nil) != (mapErr == nil) {
+		t.Fatalf("%s: error divergence: block %v, map %v", name, blockErr, mapErr)
+	}
+	if blockErr != nil && blockErr.Error() != mapErr.Error() {
+		t.Errorf("%s: error text differs: block %q, map %q", name, blockErr, mapErr)
+	}
+	if blockVM.Cycles != mapVM.Cycles {
+		t.Errorf("%s: cycles differ: block %d, map %d", name, blockVM.Cycles, mapVM.Cycles)
+	}
+	if blockVM.Insts != mapVM.Insts {
+		t.Errorf("%s: insts differ: block %d, map %d", name, blockVM.Insts, mapVM.Insts)
+	}
+	if blockVM.ExitCode != mapVM.ExitCode {
+		t.Errorf("%s: exit code differs: block %d, map %d", name, blockVM.ExitCode, mapVM.ExitCode)
+	}
+	if !reflect.DeepEqual(blockVM.Errors, mapVM.Errors) {
+		t.Errorf("%s: detected errors differ: block %v, map %v", name, blockVM.Errors, mapVM.Errors)
+	}
+	if !reflect.DeepEqual(blockVM.Output, mapVM.Output) {
+		t.Errorf("%s: output differs", name)
+	}
+	if !reflect.DeepEqual(blockTel, mapTel) {
+		t.Errorf("%s: guest-derived telemetry differs:\nblock: %+v\nmap:   %+v", name, blockTel, mapTel)
+	}
+}
+
+// TestBlockCacheIdentity runs the whole workload suite — baseline and
+// fully hardened — under both dispatch strategies and requires
+// bit-identical guest results.
+func TestBlockCacheIdentity(t *testing.T) {
+	bms := workload.All()
+	if testing.Short() {
+		bms = bms[:6]
+	}
+	for _, bm := range bms {
+		cp := *bm
+		cp.RefScale = 1500
+		cp.TrainScale = 300
+		bin, err := cp.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", cp.Name, err)
+		}
+		input := cp.RefInput()
+		runBoth(t, cp.Name+"/baseline", func(cfg rtlib.RunConfig) (*vm.VM, error) {
+			cfg.Input = input
+			return rtlib.RunBaseline(bin, cfg)
+		})
+		hard, _, err := redfat.Harden(bin, redfat.Defaults())
+		if err != nil {
+			t.Fatalf("%s: harden: %v", cp.Name, err)
+		}
+		runBoth(t, cp.Name+"/hardened", func(cfg rtlib.RunConfig) (*vm.VM, error) {
+			cfg.Input = input
+			v, _, err := rtlib.RunHardened(hard, cfg)
+			return v, err
+		})
+	}
+}
+
+// TestBlockCacheCycleBudgetIdentity checks that the cycle-budget abort
+// fires at the same cycle count on both paths, including mid-block.
+func TestBlockCacheCycleBudgetIdentity(t *testing.T) {
+	bm := workload.ByName("bzip2")
+	cp := *bm
+	cp.RefScale = 5000
+	bin, err := cp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := cp.RefInput()
+	for _, budget := range []uint64{100, 1001, 54321, 300007} {
+		runBoth(t, "bzip2/budget", func(cfg rtlib.RunConfig) (*vm.VM, error) {
+			cfg.Input = input
+			cfg.MaxCycles = budget
+			return rtlib.RunBaseline(bin, cfg)
+		})
+	}
+}

@@ -42,6 +42,12 @@ type RunConfig struct {
 	// retirement, trampoline dispatch, check outcomes, alloc/free) into
 	// the bounded ring buffer.
 	EventTrace *telemetry.Tracer
+
+	// NoBlockCache runs the VM on its legacy per-instruction decode
+	// cache instead of the basic-block cache. A host-side validation
+	// knob: guest results are identical either way, only wall-clock
+	// differs.
+	NoBlockCache bool
 }
 
 // attachTelemetry wires the configured registry and tracer into a VM.
@@ -100,6 +106,7 @@ func RunBaseline(bin *relf.Binary, cfg RunConfig) (*vm.VM, error) {
 	v := vm.New(m)
 	v.Input = cfg.Input
 	v.MaxCycles = cfg.maxCycles()
+	v.NoBlockCache = cfg.NoBlockCache
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
 	h := heap.New(m)
@@ -121,6 +128,7 @@ func RunHardened(bin *relf.Binary, cfg RunConfig) (*vm.VM, *Runtime, error) {
 	v.Input = cfg.Input
 	v.MaxCycles = cfg.maxCycles()
 	v.AbortOnError = cfg.Abort
+	v.NoBlockCache = cfg.NoBlockCache
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
 	h := cfg.newHeap(m)
@@ -152,6 +160,7 @@ func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, [
 	v.Input = cfg.Input
 	v.MaxCycles = cfg.maxCycles()
 	v.AbortOnError = cfg.Abort
+	v.NoBlockCache = cfg.NoBlockCache
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
 	h := cfg.newHeap(m)

@@ -12,7 +12,13 @@
 // cycles, so enabling it leaves measured slow-down factors bit-identical.
 //
 // The registry is not goroutine-safe; like the VM it serves, it is meant
-// to be owned by a single execution.
+// to be owned by a single execution. Handles are plain memory — no
+// atomics, no locks — so concurrent use of one registry from several
+// goroutines is a data race. The supported pattern for parallel
+// experiments is single-owner aggregation: give every concurrent run its
+// own Registry, wait for the runs to finish, then fold them into one
+// aggregate with Merge from a single goroutine (the experiment harness in
+// internal/bench does exactly this).
 package telemetry
 
 import "sort"
@@ -229,6 +235,55 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Merge folds the metrics of other into r: counters and gauges add their
+// values, histograms add bucket-wise when their bounds agree (same-name
+// histograms created through the same code path always do); observations
+// of a histogram whose bounds differ are folded into the overflow bucket,
+// with count and sum still exact. Metrics that exist only in other are
+// created in r. Merge is the single-owner aggregation step for parallel
+// runs: it must be called after the goroutines owning the source
+// registries have quiesced, from one goroutine. A nil r or other is a
+// no-op.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	for name, c := range other.counters {
+		r.Counter(name).Add(c.v)
+	}
+	for name, g := range other.gauges {
+		r.Gauge(name).Add(g.v)
+	}
+	for name, h := range other.hists {
+		dst := r.Histogram(name, h.bounds)
+		dst.count += h.count
+		dst.sum += h.sum
+		if boundsEqual(dst.bounds, h.bounds) {
+			for i, c := range h.counts {
+				dst.counts[i] += c
+			}
+			continue
+		}
+		var n uint64
+		for _, c := range h.counts {
+			n += c
+		}
+		dst.counts[len(dst.counts)-1] += n
+	}
+}
+
+func boundsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // CounterValue reads a counter by name without creating it.

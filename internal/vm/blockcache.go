@@ -1,0 +1,149 @@
+package vm
+
+// The decoded basic-block cache: the VM's host-side fast path.
+//
+// The seed interpreter paid one map[uint64] lookup per retired guest
+// instruction (the per-PC decode cache). The block cache replaces that
+// with straight-line execution over predecoded runs: code is decoded once
+// into blocks — maximal fall-through sequences ending at the first
+// control transfer, TRAP patch site, or RTCALL — and Run executes a whole
+// block with nothing but a slice index per instruction. Blocks are
+// indexed by flat per-code-page tables (one pointer per page offset), so
+// locating the next block after a branch costs a single-entry page-cache
+// hit plus an array index in the common case.
+//
+// The cache is host-side only: cycle accounting, hook invocation order
+// (TraceHook, MemHook, BlockHook), error reporting and the cycle-budget
+// abort point are bit-identical to the legacy per-instruction path, which
+// remains available behind VM.NoBlockCache for A/B validation.
+
+import (
+	"fmt"
+
+	"redfat/internal/isa"
+	"redfat/internal/mem"
+)
+
+// maxBlockInsts bounds eager decode-ahead so a pathological straight-line
+// run cannot stall the first instruction of a block; longer runs simply
+// chain into the next block.
+const maxBlockInsts = 64
+
+// pageOffMask extracts the page offset of an address.
+const pageOffMask = mem.PageSize - 1
+
+// block is one straight-line run of predecoded instructions.
+type block struct {
+	pcs   []uint64   // program counter of each instruction
+	insts []isa.Inst // predecoded instructions, pcs-parallel
+}
+
+// codePage indexes the blocks that begin on one 4 KiB code page by page
+// offset.
+type codePage struct {
+	blocks [mem.PageSize]*block
+}
+
+// endsBlock reports whether op terminates a straight-line block: control
+// transfers, TRAP (patch-table redirection), and RTCALL (host handlers may
+// rewrite RIP).
+func endsBlock(op isa.Op) bool {
+	return op.IsBranch() || op == isa.TRAP || op == isa.RTCALL
+}
+
+// blockAt returns the block starting at pc, building and caching it on
+// first use.
+func (v *VM) blockAt(pc uint64) (*block, error) {
+	idx := pc >> mem.PageShift
+	cp := v.bcPage
+	if idx != v.bcPageIdx {
+		cp = v.bcache[idx]
+		if cp == nil {
+			cp = &codePage{}
+			v.bcache[idx] = cp
+		}
+		v.bcPageIdx, v.bcPage = idx, cp
+	}
+	b := cp.blocks[pc&pageOffMask]
+	if b == nil {
+		var err error
+		if b, err = v.buildBlock(pc); err != nil {
+			return nil, err
+		}
+		cp.blocks[pc&pageOffMask] = b
+		v.nBlocks++
+		v.nBlockInsts += len(b.insts)
+	}
+	return b, nil
+}
+
+// buildBlock decodes the straight-line run beginning at start. Fetch or
+// decode failures after the first instruction end the block early rather
+// than erroring: execution that actually falls through to the bad address
+// reports the fault there, exactly as the legacy path would.
+func (v *VM) buildBlock(start uint64) (*block, error) {
+	b := &block{}
+	pc := start
+	for len(b.insts) < maxBlockInsts {
+		var buf [isa.MaxInstLen]byte
+		n := v.Mem.Fetch(pc, buf[:])
+		if n == 0 {
+			if len(b.insts) == 0 {
+				return nil, &mem.Fault{Addr: pc, Exec: true}
+			}
+			break
+		}
+		in, err := isa.Decode(buf[:n])
+		if err != nil {
+			if len(b.insts) == 0 {
+				return nil, fmt.Errorf("vm: at %#x: %w", pc, err)
+			}
+			break
+		}
+		if v.tel != nil {
+			v.tel.icacheMiss.Inc()
+		}
+		b.pcs = append(b.pcs, pc)
+		b.insts = append(b.insts, in)
+		if endsBlock(in.Op) {
+			break
+		}
+		pc += uint64(in.Len)
+	}
+	return b, nil
+}
+
+// runBlocks is Run's fast path: execute straight-line through cached
+// blocks, re-entering the cache only at control transfers.
+func (v *VM) runBlocks() error {
+	for !v.Halted {
+		b, err := v.blockAt(v.RIP)
+		if err != nil {
+			v.FlushTelemetry()
+			return err
+		}
+		for i := 0; ; {
+			if err := v.exec(b.pcs[i], &b.insts[i]); err != nil {
+				v.FlushTelemetry()
+				return err
+			}
+			if v.MaxCycles != 0 && v.Cycles > v.MaxCycles {
+				if v.tel != nil {
+					v.tel.cycleAborts.Inc()
+				}
+				v.FlushTelemetry()
+				return &CycleLimitError{v.Cycles}
+			}
+			if v.Halted {
+				v.FlushTelemetry()
+				return nil
+			}
+			i++
+			if i == len(b.insts) || v.RIP != b.pcs[i] {
+				break // block done, or control left the fall-through path
+			}
+		}
+	}
+	v.FlushTelemetry()
+	return nil
+}

@@ -185,8 +185,22 @@ type VM struct {
 	randState uint64
 
 	hostFuncs []HostFunc // import bindings of the main executable
-	icache    map[uint64]*isa.Inst
 	binary    *relf.Binary
+
+	// NoBlockCache makes Run use the legacy per-instruction decode cache
+	// instead of the decoded basic-block cache. Guest-visible behaviour
+	// (cycles, errors, hook order) is identical on both paths; the knob
+	// exists so tests and benchmarks can compare them.
+	NoBlockCache bool
+
+	icache map[uint64]*isa.Inst // legacy per-PC decode cache (Step)
+
+	// Decoded basic-block cache (see blockcache.go).
+	bcache      map[uint64]*codePage
+	bcPageIdx   uint64
+	bcPage      *codePage
+	nBlocks     int // blocks currently cached
+	nBlockInsts int // predecoded instructions currently cached
 
 	// modules supports dynamically-linked RELF shared objects: each
 	// loaded module carries its own import bindings (RTCALL immediates
@@ -229,22 +243,23 @@ type VM struct {
 // vmMetrics is the VM's set of registry handles, resolved once at attach
 // time so the dispatch loop never performs a map lookup.
 type vmMetrics struct {
-	retired     [isa.NumOps]*telemetry.Counter // per-opcode retirement
-	retiredAll  *telemetry.Counter
-	loads       *telemetry.Counter
-	stores      *telemetry.Counter
-	branches    *telemetry.Counter
-	patchHits   *telemetry.Counter // TRAP dispatches through the patch table
-	rtcalls     *telemetry.Counter
-	rtcallCost  *telemetry.Counter   // guest cycles attributed to RTCALL handlers
-	rtcallHist  *telemetry.Histogram // cycles-per-dispatch distribution
-	memErrors   *telemetry.Counter
-	cycles      *telemetry.Gauge
-	insts       *telemetry.Gauge
-	icacheSize  *telemetry.Gauge
-	icacheMiss  *telemetry.Counter
-	exitCode    *telemetry.Gauge
-	cycleAborts *telemetry.Counter
+	retired      [isa.NumOps]*telemetry.Counter // per-opcode retirement
+	retiredAll   *telemetry.Counter
+	loads        *telemetry.Counter
+	stores       *telemetry.Counter
+	branches     *telemetry.Counter
+	patchHits    *telemetry.Counter // TRAP dispatches through the patch table
+	rtcalls      *telemetry.Counter
+	rtcallCost   *telemetry.Counter   // guest cycles attributed to RTCALL handlers
+	rtcallHist   *telemetry.Histogram // cycles-per-dispatch distribution
+	memErrors    *telemetry.Counter
+	cycles       *telemetry.Gauge
+	insts        *telemetry.Gauge
+	icacheSize   *telemetry.Gauge
+	icacheBlocks *telemetry.Gauge
+	icacheMiss   *telemetry.Counter
+	exitCode     *telemetry.Gauge
+	cycleAborts  *telemetry.Counter
 }
 
 // AttachTelemetry binds the VM's dispatch-level metrics to reg and its
@@ -256,21 +271,22 @@ func (v *VM) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		return
 	}
 	t := &vmMetrics{
-		retiredAll:  reg.Counter("vm.retired.total"),
-		loads:       reg.Counter("vm.mem.loads"),
-		stores:      reg.Counter("vm.mem.stores"),
-		branches:    reg.Counter("vm.branches.taken"),
-		patchHits:   reg.Counter("vm.patch.hits"),
-		rtcalls:     reg.Counter("vm.rtcall.count"),
-		rtcallCost:  reg.Counter("vm.rtcall.cycles"),
-		rtcallHist:  reg.Histogram("vm.rtcall.dispatch.cycles", telemetry.Pow2Bounds(2, 12)),
-		memErrors:   reg.Counter("vm.mem.errors"),
-		cycles:      reg.Gauge("vm.cycles"),
-		insts:       reg.Gauge("vm.insts"),
-		icacheSize:  reg.Gauge("vm.icache.entries"),
-		icacheMiss:  reg.Counter("vm.icache.misses"),
-		exitCode:    reg.Gauge("vm.exit.code"),
-		cycleAborts: reg.Counter("vm.cycle.limit.aborts"),
+		retiredAll:   reg.Counter("vm.retired.total"),
+		loads:        reg.Counter("vm.mem.loads"),
+		stores:       reg.Counter("vm.mem.stores"),
+		branches:     reg.Counter("vm.branches.taken"),
+		patchHits:    reg.Counter("vm.patch.hits"),
+		rtcalls:      reg.Counter("vm.rtcall.count"),
+		rtcallCost:   reg.Counter("vm.rtcall.cycles"),
+		rtcallHist:   reg.Histogram("vm.rtcall.dispatch.cycles", telemetry.Pow2Bounds(2, 12)),
+		memErrors:    reg.Counter("vm.mem.errors"),
+		cycles:       reg.Gauge("vm.cycles"),
+		insts:        reg.Gauge("vm.insts"),
+		icacheSize:   reg.Gauge("vm.icache.entries"),
+		icacheBlocks: reg.Gauge("vm.icache.blocks"),
+		icacheMiss:   reg.Counter("vm.icache.misses"),
+		exitCode:     reg.Gauge("vm.exit.code"),
+		cycleAborts:  reg.Counter("vm.cycle.limit.aborts"),
 	}
 	for op := 0; op < isa.NumOps; op++ {
 		t.retired[op] = reg.Counter("vm.retired." + isa.Op(op).String())
@@ -281,21 +297,32 @@ func (v *VM) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 // FlushTelemetry publishes the VM's end-of-run totals (cycles, retired
 // instructions, exit code) into the attached registry. Safe to call any
 // number of times, including after an aborted run.
+//
+// The vm.icache.* gauges describe whichever decode cache is active:
+// per-PC map entries on the legacy path, predecoded instructions and
+// block count on the block-cache path.
 func (v *VM) FlushTelemetry() {
 	if v.tel == nil {
 		return
 	}
 	v.tel.cycles.Set(v.Cycles)
 	v.tel.insts.Set(v.Insts)
-	v.tel.icacheSize.Set(uint64(len(v.icache)))
+	if v.NoBlockCache {
+		v.tel.icacheSize.Set(uint64(len(v.icache)))
+	} else {
+		v.tel.icacheSize.Set(uint64(v.nBlockInsts))
+	}
+	v.tel.icacheBlocks.Set(uint64(v.nBlocks))
 	v.tel.exitCode.Set(v.ExitCode)
 }
 
 // New creates a VM over the given memory.
 func New(m *mem.Memory) *VM {
 	return &VM{
-		Mem:    m,
-		icache: make(map[uint64]*isa.Inst, 4096),
+		Mem:       m,
+		icache:    make(map[uint64]*isa.Inst, 4096),
+		bcache:    make(map[uint64]*codePage),
+		bcPageIdx: ^uint64(0),
 	}
 }
 
@@ -392,8 +419,14 @@ func (e *CycleLimitError) Error() string {
 	return fmt.Sprintf("vm: cycle limit exceeded (%d cycles)", e.Cycles)
 }
 
-// Run executes until the program halts or faults.
+// Run executes until the program halts or faults. Execution proceeds
+// through the decoded basic-block cache unless NoBlockCache selects the
+// legacy per-instruction path; both retire the same instruction stream
+// with identical cycle accounting.
 func (v *VM) Run() error {
+	if !v.NoBlockCache {
+		return v.runBlocks()
+	}
 	for !v.Halted {
 		if err := v.Step(); err != nil {
 			v.FlushTelemetry()
@@ -433,9 +466,16 @@ func (v *VM) fetch(addr uint64) (*isa.Inst, error) {
 	return &cp, nil
 }
 
-// FlushICache drops cached decodes (needed only if code is modified after
-// it has executed; offline rewriting does not require it).
-func (v *VM) FlushICache() { v.icache = make(map[uint64]*isa.Inst, 4096) }
+// FlushICache drops cached decodes — both the legacy per-PC cache and the
+// basic-block cache (needed only if code is modified after it has
+// executed; offline rewriting does not require it).
+func (v *VM) FlushICache() {
+	v.icache = make(map[uint64]*isa.Inst, 4096)
+	v.bcache = make(map[uint64]*codePage)
+	v.bcPageIdx = ^uint64(0)
+	v.bcPage = nil
+	v.nBlocks, v.nBlockInsts = 0, 0
+}
 
 // NextInput returns the next value from the input vector (0 when
 // exhausted, like EOF).

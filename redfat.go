@@ -149,6 +149,11 @@ type RunOptions struct {
 	Metrics *Metrics
 	// EventTrace, when set, records execution events into its ring buffer.
 	EventTrace *EventTracer
+	// NoBlockCache runs the VM on its legacy per-instruction decode cache
+	// instead of the basic-block cache. Guest-visible results (cycles,
+	// errors, output) are identical either way; the knob exists for
+	// host-performance A/B measurement and validation.
+	NoBlockCache bool
 }
 
 // CheckStat reports one instrumentation site's runtime behaviour.
@@ -190,6 +195,7 @@ func Run(bin *Binary, opt RunOptions) (*Result, error) {
 		TraceLimit:    opt.TraceLimit,
 		Metrics:       opt.Metrics,
 		EventTrace:    opt.EventTrace,
+		NoBlockCache:  opt.NoBlockCache,
 	}
 	var (
 		v   *vm.VM
@@ -254,6 +260,7 @@ func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
 		TraceLimit:    opt.TraceLimit,
 		Metrics:       opt.Metrics,
 		EventTrace:    opt.EventTrace,
+		NoBlockCache:  opt.NoBlockCache,
 	}
 	v, rts, err := rtlib.RunLinked(main, libs, cfg)
 	res := &Result{}
