@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke bench-host clean
+.PHONY: check fmt vet build test race trace-smoke bench-smoke bench-host clean
 
 # check is the tier-1 gate: formatting, static analysis, build, tests,
 # and a race-detector pass over the concurrent harness (short mode).
@@ -23,6 +23,12 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+# trace-smoke drives the forensics/profiling CLI flags end to end and
+# validates that the emitted Chrome trace JSON and folded stacks parse.
+# (The same test also runs as part of `make test` / `make check`.)
+trace-smoke:
+	$(GO) test -run TestCLITraceSmoke -v .
 
 # bench-smoke regenerates a down-scaled Table 1 with JSON export, as a
 # fast end-to-end exercise of the experiment harness.

@@ -1,9 +1,11 @@
 package redfat_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -130,6 +132,87 @@ func TestCLIPipeline(t *testing.T) {
 	out, code = runTool(t, bin, "rfdis", hardPath)
 	if code != 0 || !strings.Contains(out, ".tramp") || !strings.Contains(out, "rtcall") {
 		t.Fatalf("rfdis: %d %s", code, out)
+	}
+}
+
+// TestCLITraceSmoke drives the forensics and profiling flags end to end:
+// -forensics must print the symbolized report, -profile-guest the
+// hot-site table, -folded a parseable folded-stack file, and -trace-out
+// a Chrome trace-event JSON that actually parses. `make trace-smoke`
+// runs exactly this test.
+func TestCLITraceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI tools")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	src := filepath.Join(work, "prog.s")
+	if err := os.WriteFile(src, []byte(cliProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	relfPath := filepath.Join(work, "prog.relf")
+	hardPath := filepath.Join(work, "prog.hard.relf")
+	if out, code := runTool(t, bin, "rfasm", "-o", relfPath, src); code != 0 {
+		t.Fatal(out)
+	}
+	if out, code := runTool(t, bin, "redfat", "-o", hardPath, relfPath); code != 0 {
+		t.Fatal(out)
+	}
+
+	// Error path: the forensic report must attribute the fault.
+	out, code := runTool(t, bin, "rfvm", "-hardened", "-abort", "-forensics",
+		"-forensics-json", "-input", "40", hardPath)
+	if code == 0 {
+		t.Fatalf("attack run not detected: %s", out)
+	}
+	for _, want := range []string{
+		"==redfat== ERROR: out-of-bounds write",
+		"280 bytes past the end of a 40-byte object",
+		"allocated at main+",
+		`"relation": "past-end"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("forensic output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Benign path: profile + folded + trace export.
+	foldedPath := filepath.Join(work, "prog.folded")
+	tracePath := filepath.Join(work, "trace.json")
+	out, code = runTool(t, bin, "rfvm", "-hardened", "-profile-guest",
+		"-profile-interval", "16", "-folded", foldedPath, "-trace-out", tracePath,
+		"-input", "2", hardPath)
+	if code != 0 {
+		t.Fatalf("profiled run: %d %s", code, out)
+	}
+	if !strings.Contains(out, "guest profile:") {
+		t.Errorf("hot-site table missing:\n%s", out)
+	}
+	folded, err := os.ReadFile(foldedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(folded)), "\n") {
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed folded line %q", line)
+		}
+		if _, err := strconv.ParseUint(line[i+1:], 10, 64); err != nil {
+			t.Errorf("folded count in %q: %v", line, err)
+		}
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace JSON has no events")
 	}
 }
 

@@ -51,6 +51,9 @@ func run() error {
 	figure8 := flag.Bool("figure8", false, "run the Chrome/Kraken experiment")
 	ablation := flag.Bool("ablation", false, "run the ablation studies")
 	hostbench := flag.Bool("hostbench", false, "run the host wall-clock benchmarks")
+	guestprof := flag.Bool("guestprof", false, "profile guest execution per benchmark (hot sites + folded stacks)")
+	guestprofDir := flag.String("guestprofdir", filepath.Join("results", "guestprof"),
+		"output directory for -guestprof folded-stack files (empty = don't write)")
 	all := flag.Bool("all", false, "run every experiment (except -hostbench)")
 	scale := flag.Float64("scale", 1.0, "workload scale for table1/falsepos (1.0 = full ref)")
 	fillers := flag.Int("fillers", 20000, "filler functions in the Chrome-scale image")
@@ -189,6 +192,20 @@ func run() error {
 		}
 		abl.Fuzz = fz
 		results.Ablation = abl
+		fmt.Fprintln(w)
+	}
+	if *guestprof {
+		ran = true
+		fmt.Fprintf(w, "=== Guest profiles (scale %.2f, production config) ===\n", *scale)
+		rows, err := h.GuestProfiles(*scale, *guestprofDir, w)
+		if err != nil {
+			return err
+		}
+		results.GuestProfiles = rows
+		if *guestprofDir != "" {
+			fmt.Fprintf(w, "folded stacks written to %s%c<benchmark>.folded\n",
+				*guestprofDir, os.PathSeparator)
+		}
 		fmt.Fprintln(w)
 	}
 	if *hostbench {

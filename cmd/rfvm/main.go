@@ -14,6 +14,14 @@
 // outcomes, RTCALL cost); -top bounds the hottest-site listing; -events N
 // keeps and prints the last N execution events (alloc/free, trampoline
 // dispatch, check verdicts). Telemetry never alters cycle accounting.
+//
+// Forensics: -forensics resolves each detected error into a symbolized
+// ASan-style report (owning object, allocation/free backtraces);
+// -profile-guest samples guest execution by cycle budget and prints a
+// hot-site table; -folded FILE writes the profile as folded stacks
+// (flamegraph input); -trace-out FILE writes a Chrome trace-event JSON
+// (execution events plus profile samples) loadable in chrome://tracing.
+// All of it is host-side only: guest cycles are bit-identical either way.
 package main
 
 import (
@@ -36,6 +44,12 @@ func main() {
 	stats := flag.Bool("stats", false, "collect telemetry and print a run report")
 	top := flag.Int("top", 10, "with -stats, hottest instrumentation sites to list")
 	events := flag.Int("events", 0, "record and print the last N execution events")
+	forensic := flag.Bool("forensics", false, "resolve detected errors into symbolized forensic reports")
+	forensicJSON := flag.Bool("forensics-json", false, "with -forensics, also print the reports as JSON")
+	profGuest := flag.Bool("profile-guest", false, "sample guest execution and print a hot-site profile")
+	profInterval := flag.Uint64("profile-interval", 0, "guest cycles between profile samples (0 = default)")
+	folded := flag.String("folded", "", "write the guest profile as folded stacks (flamegraph input) to FILE")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (events + profile samples) to FILE")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rfvm [flags] prog.relf\n")
 		flag.PrintDefaults()
@@ -80,16 +94,35 @@ func main() {
 		tracer = redfat.NewEventTracer(*events)
 		ro.EventTrace = tracer
 	}
+	if *traceOut != "" && tracer == nil {
+		// The trace export needs the event ring even if -events is off.
+		tracer = redfat.NewEventTracer(4096)
+		ro.EventTrace = tracer
+	}
+	ro.Forensics = *forensic
+	var prof *redfat.GuestProfiler
+	if *profGuest || *folded != "" || *traceOut != "" {
+		prof = redfat.NewGuestProfiler(*profInterval)
+		ro.Profiler = prof
+	}
 	res, err := redfat.Run(bin, ro)
 	if res != nil {
+		sym := redfat.NewSymbolizer(bin)
 		if len(res.Output) > 0 {
 			os.Stdout.Write(res.Output)
 			fmt.Println()
 		}
 		for _, e := range res.Errors {
 			fmt.Fprintf(os.Stderr, "rfvm: detected %v\n", &e)
-			if e.Note != "" {
-				fmt.Fprintf(os.Stderr, "      %s\n", e.Note)
+		}
+		for _, r := range res.Reports {
+			if werr := r.WriteText(os.Stderr); werr != nil {
+				fatal(werr)
+			}
+			if *forensicJSON {
+				if werr := r.WriteJSON(os.Stderr); werr != nil {
+					fatal(werr)
+				}
 			}
 		}
 		if n := len(res.Errors); n > 0 {
@@ -107,7 +140,7 @@ func main() {
 					c.PC, c.Mode, c.Merged, c.Execs, c.Operand)
 			}
 		}
-		if tracer != nil {
+		if tracer != nil && *events > 0 {
 			fmt.Printf("--- last %d of %d execution events ---\n",
 				len(tracer.Events()), tracer.Total())
 			tracer.WriteText(os.Stdout)
@@ -116,11 +149,42 @@ func main() {
 			fmt.Println("--- telemetry ---")
 			reg.WriteText(os.Stdout)
 		}
+		if prof != nil && *profGuest {
+			if werr := redfat.WriteHotSites(os.Stdout, prof, sym, *top); werr != nil {
+				fatal(werr)
+			}
+		}
+		if *folded != "" {
+			if werr := writeFile(*folded, func(f *os.File) error {
+				return redfat.WriteFolded(f, prof, sym)
+			}); werr != nil {
+				fatal(werr)
+			}
+		}
+		if *traceOut != "" {
+			if werr := writeFile(*traceOut, func(f *os.File) error {
+				return redfat.WriteChromeTrace(f, tracer, prof, sym)
+			}); werr != nil {
+				fatal(werr)
+			}
+		}
 	}
 	if err != nil {
 		fatal(err)
 	}
 	os.Exit(int(res.ExitCode & 0x7F))
+}
+
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

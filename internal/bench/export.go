@@ -60,6 +60,7 @@ type Results struct {
 	Table2Extended []Table2Row    `json:"table2_extended,omitempty"`
 	Figure8        *Figure8Result `json:"figure8,omitempty"`
 	Ablation       *Ablations     `json:"ablation,omitempty"`
+	GuestProfiles  []GuestProfRow `json:"guest_profiles,omitempty"`
 	// Telemetry is the aggregate metrics snapshot across every run,
 	// merged from the per-unit registries of the worker pool.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`

@@ -96,6 +96,7 @@ type Rewriter struct {
 	trampBase uint64
 	tramp     []byte
 	patches   map[uint64]uint64 // T3 trap address → trampoline
+	origins   map[uint64]uint64 // trampoline → patched origin (all tactics)
 	patched   map[int]Tactic    // instruction index → tactic
 	stolen    map[int]bool      // instruction indices displaced by stealing
 	reserved  map[uint64]bool   // future patch points stealing must avoid
@@ -125,6 +126,7 @@ func New(bin *relf.Binary) (*Rewriter, error) {
 		text:      text,
 		trampBase: base,
 		patches:   make(map[uint64]uint64),
+		origins:   make(map[uint64]uint64),
 		patched:   make(map[int]Tactic),
 		stolen:    make(map[int]bool),
 		reserved:  make(map[uint64]bool),
@@ -233,6 +235,7 @@ func (rw *Rewriter) Instrument(i int, payload []isa.Inst) error {
 
 	// Build the trampoline.
 	trampAddr := rw.trampBase + uint64(len(rw.tramp))
+	rw.origins[trampAddr] = di.Addr
 	buf := rw.tramp
 	var err error
 	for _, p := range payload {
@@ -312,8 +315,9 @@ func (rw *Rewriter) Instrument(i int, payload []isa.Inst) error {
 	return nil
 }
 
-// Finalize appends the trampoline section (and patch table, if any T3
-// patches were needed) and returns the rewritten binary.
+// Finalize appends the trampoline section, the trap patch table (if any
+// T3 patches were needed) and the forensic trampoline-origin table, and
+// returns the rewritten binary.
 func (rw *Rewriter) Finalize() (*relf.Binary, error) {
 	rw.stats.TrampBytes = len(rw.tramp)
 	if len(rw.tramp) > 0 {
@@ -327,6 +331,12 @@ func (rw *Rewriter) Finalize() (*relf.Binary, error) {
 		rw.bin.AddSection(&relf.Section{
 			Name: relf.PatchTableSection, Kind: relf.SecMeta,
 			Data: relf.EncodePatchTable(rw.patches),
+		})
+	}
+	if len(rw.origins) > 0 {
+		rw.bin.AddSection(&relf.Section{
+			Name: relf.OriginTableSection, Kind: relf.SecMeta,
+			Data: relf.EncodePatchTable(rw.origins),
 		})
 	}
 	if err := rw.bin.CheckOverlaps(); err != nil {

@@ -1,0 +1,96 @@
+package forensics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"redfat/internal/vm"
+)
+
+// WriteFolded renders the profiler's aggregated stacks in the folded
+// format flamegraph tooling consumes: one line per unique stack,
+// semicolon-joined frames root-first, then the attributed cycle count.
+// Symbolization folds by function, so stacks distinct at the PC level
+// merge here; line order is deterministic (first appearance in the
+// profiler's hottest-first bucket order).
+func WriteFolded(w io.Writer, p *vm.GuestProfiler, sym *Symbolizer) error {
+	type line struct {
+		key    string
+		cycles uint64
+	}
+	var order []*line
+	index := make(map[string]*line)
+	for _, s := range p.Samples() {
+		names := make([]string, len(s.Stack))
+		for i, pc := range s.Stack {
+			// Folded stacks read root → leaf; the profiler stores leaf
+			// first, so mirror the slice while naming it.
+			names[len(s.Stack)-1-i] = foldedName(sym.Frame(pc))
+		}
+		key := strings.Join(names, ";")
+		if l, ok := index[key]; ok {
+			l.cycles += s.Cycles
+			continue
+		}
+		l := &line{key: key, cycles: s.Cycles}
+		index[key] = l
+		order = append(order, l)
+	}
+	for _, l := range order {
+		if _, err := fmt.Fprintf(w, "%s %d\n", l.key, l.cycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldedName renders one frame for folded output: the bare symbol (a
+// flamegraph aggregates by function, not by offset), or the raw address
+// when no symbol covers the PC. Semicolons cannot appear in either.
+func foldedName(f Frame) string {
+	if f.Symbol != "" {
+		return f.Symbol
+	}
+	pc := f.PC
+	if f.Tramp && f.Origin != 0 {
+		pc = f.Origin
+	}
+	return fmt.Sprintf("0x%x", pc)
+}
+
+// WriteHotSites renders a per-PC hot-site table, hottest first:
+//
+//	 CYCLES      %  SAMPLES  LOCATION
+//	1048576  51.2%      256  store_kernel+0x24 (0x400124)
+//
+// top bounds the printed rows (0 = all).
+func WriteHotSites(w io.Writer, p *vm.GuestProfiler, sym *Symbolizer, top int) error {
+	hot := p.HotPCs()
+	total := p.TotalCycles()
+	if _, err := fmt.Fprintf(w, "guest profile: %d samples, %d cycles attributed\n",
+		p.SampleCount(), total); err != nil {
+		return err
+	}
+	if len(hot) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%12s %6s %8s  %s\n", "CYCLES", "%", "SAMPLES", "LOCATION"); err != nil {
+		return err
+	}
+	for i, s := range hot {
+		if top > 0 && i >= top {
+			break
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(s.Cycles) / float64(total)
+		}
+		pc := s.Stack[0]
+		if _, err := fmt.Fprintf(w, "%12d %5.1f%% %8d  %s (%#x)\n",
+			s.Cycles, pct, s.Count, sym.Format(pc), pc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package forensics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"redfat/internal/heap"
+	"redfat/internal/redzone"
+	"redfat/internal/vm"
+)
+
+// ObjectReport is the forensic view of the heap object owning a faulting
+// address: where the access landed relative to it, and the symbolized
+// allocation/free history.
+type ObjectReport struct {
+	Ptr      uint64 `json:"ptr"`                 // object start address
+	Size     uint64 `json:"size"`                // requested allocation size
+	SlotSize uint64 `json:"slot_size,omitempty"` // low-fat slot size (0 for baseline heap)
+	Offset   int64  `json:"offset"`              // fault addr − Ptr
+
+	// Relation classifies the fault relative to the object: "inside",
+	// "past-end" (offset ≥ size), "before" (underflow into the leading
+	// redzone), or "freed" (the object was dead at access time).
+	Relation string `json:"relation"`
+	Freed    bool   `json:"freed,omitempty"`
+
+	AllocPC    Frame   `json:"alloc_pc"`
+	AllocStack []Frame `json:"alloc_stack,omitempty"`
+	FreePC     *Frame  `json:"free_pc,omitempty"`
+	FreeStack  []Frame `json:"free_stack,omitempty"`
+}
+
+// ErrorReport is one fully resolved memory error: the raw trap state of
+// vm.MemError, symbolized and attributed to its owning heap object.
+type ErrorReport struct {
+	Kind      string  `json:"kind"`
+	Addr      uint64  `json:"addr"`
+	PC        uint64  `json:"pc"`
+	PCFrame   Frame   `json:"pc_frame"`
+	Site      uint32  `json:"site,omitempty"`
+	Component string  `json:"component,omitempty"` // "lowfat" or "redzone"
+	Note      string  `json:"note,omitempty"`
+	Stack     []Frame `json:"stack,omitempty"` // guest stack at the fault
+
+	Object *ObjectReport `json:"object,omitempty"`
+}
+
+// Reporter builds ErrorReports by combining a symbolizer with whichever
+// allocator served the run. Any of the fields may be nil; resolution
+// degrades gracefully (no symbols → raw addresses, no allocator →
+// no object attribution).
+type Reporter struct {
+	Sym  *Symbolizer
+	RZ   *redzone.Heap // hardened runs
+	Base *heap.Heap    // baseline / memcheck runs
+}
+
+// NewReporter builds a reporter over the allocator handle a finished VM
+// parked in vm.VM.Allocator. Unrecognized allocator types simply skip
+// object attribution. (The memcheck wrapper is unwrapped by its caller,
+// which hands in the underlying baseline heap.)
+func NewReporter(sym *Symbolizer, alloc any) *Reporter {
+	r := &Reporter{Sym: sym}
+	switch h := alloc.(type) {
+	case *redzone.Heap:
+		r.RZ = h
+	case *heap.Heap:
+		r.Base = h
+	}
+	return r
+}
+
+// Report resolves one trapped error into a full forensic report.
+func (r *Reporter) Report(e *vm.MemError) *ErrorReport {
+	rep := &ErrorReport{
+		Kind:      e.Kind.String(),
+		Addr:      e.Addr,
+		PC:        e.PC,
+		PCFrame:   r.Sym.Frame(e.PC),
+		Site:      e.Site,
+		Component: e.Component,
+		Note:      e.Note,
+		Stack:     r.Sym.Frames(e.Stack),
+	}
+	rep.Object = r.objectFor(e)
+	return rep
+}
+
+// ReportAll resolves every trapped error of a finished run.
+func (r *Reporter) ReportAll(errs []vm.MemError) []*ErrorReport {
+	if len(errs) == 0 {
+		return nil
+	}
+	out := make([]*ErrorReport, len(errs))
+	for i := range errs {
+		out[i] = r.Report(&errs[i])
+	}
+	return out
+}
+
+// objectFor attributes the faulting address to its owning heap object.
+func (r *Reporter) objectFor(e *vm.MemError) *ObjectReport {
+	switch {
+	case r.RZ != nil:
+		info, ok := r.RZ.ObjectAt(e.Addr)
+		if !ok {
+			return nil
+		}
+		size := info.Size
+		if info.HasRecord {
+			size = info.Record.Size
+		}
+		o := &ObjectReport{
+			Ptr:      info.Ptr,
+			Size:     size,
+			SlotSize: info.SlotSize,
+			Offset:   int64(e.Addr) - int64(info.Ptr),
+			Freed:    info.Freed,
+		}
+		r.fillHistory(o, info.Record, info.HasRecord)
+		o.Relation = relation(o, e.Kind)
+		return o
+	case r.Base != nil:
+		info, ok := r.Base.ObjectAt(e.Addr)
+		if !ok {
+			return nil
+		}
+		size := info.ChunkSize
+		if info.HasRecord {
+			size = info.Record.Size
+		}
+		o := &ObjectReport{
+			Ptr:    info.Ptr,
+			Size:   size,
+			Offset: int64(e.Addr) - int64(info.Ptr),
+			Freed:  info.Freed,
+		}
+		r.fillHistory(o, heapRecord(info.Record), info.HasRecord)
+		o.Relation = relation(o, e.Kind)
+		return o
+	}
+	return nil
+}
+
+// heapRecord converts the baseline heap's record to the redzone shape so
+// fillHistory has a single input type. The two records are structurally
+// identical by design; this is the seam where that is enforced.
+func heapRecord(rec heap.AllocRecord) redzone.AllocRecord {
+	return redzone.AllocRecord{
+		PC: rec.PC, Size: rec.Size, Stack: rec.Stack,
+		FreePC: rec.FreePC, FreeStack: rec.FreeStack,
+	}
+}
+
+func (r *Reporter) fillHistory(o *ObjectReport, rec redzone.AllocRecord, ok bool) {
+	if !ok {
+		return
+	}
+	o.AllocPC = r.Sym.Frame(rec.PC)
+	o.AllocStack = r.Sym.Frames(rec.Stack)
+	if rec.FreePC != 0 {
+		f := r.Sym.Frame(rec.FreePC)
+		o.FreePC = &f
+		o.FreeStack = r.Sym.Frames(rec.FreeStack)
+	}
+}
+
+func relation(o *ObjectReport, kind vm.MemErrorKind) string {
+	switch {
+	case kind == vm.ErrUseAfterFree || o.Freed:
+		return "freed"
+	case o.Offset < 0:
+		return "before"
+	case o.Offset >= int64(o.Size):
+		return "past-end"
+	}
+	return "inside"
+}
+
+// --- Rendering ---
+
+const banner = "==redfat=="
+
+// WriteText renders the report in the ASan-inspired text format:
+//
+//	==redfat== ERROR: out-of-bounds write at 0x8000000130 (pc store_kernel+0x24, site 3, lowfat)
+//	==redfat==   guest stack:
+//	==redfat==     #0 store_kernel+0x24
+//	==redfat==     #1 main+0x10
+//	==redfat== 0x8000000130 is 8 bytes past the end of a 16-byte object at 0x8000000110
+//	==redfat==   allocated at alloc_buf+0x8:
+//	==redfat==     #0 alloc_buf+0x8
+func (rep *ErrorReport) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("%s ERROR: %s at %#x (pc %s", banner, rep.Kind, rep.Addr, rep.PCFrame)
+	if rep.Site != 0 {
+		bw.printf(", site %d", rep.Site)
+	}
+	if rep.Component != "" {
+		bw.printf(", %s", rep.Component)
+	}
+	bw.printf(")\n")
+	if rep.Note != "" {
+		bw.printf("%s   note: %s\n", banner, rep.Note)
+	}
+	if len(rep.Stack) > 0 {
+		bw.printf("%s   guest stack:\n", banner)
+		bw.frames(rep.Stack)
+	}
+	if o := rep.Object; o != nil {
+		bw.printf("%s %#x is %s\n", banner, rep.Addr, o.describe())
+		bw.history("allocated", o.AllocPC, o.AllocStack)
+		if o.FreePC != nil {
+			bw.history("freed", *o.FreePC, o.FreeStack)
+		}
+	}
+	return bw.err
+}
+
+// describe renders the address-vs-object relation as prose.
+func (o *ObjectReport) describe() string {
+	obj := fmt.Sprintf("a %d-byte object at %#x", o.Size, o.Ptr)
+	if o.Freed {
+		obj = fmt.Sprintf("a freed %d-byte object at %#x", o.Size, o.Ptr)
+	}
+	switch o.Relation {
+	case "before":
+		return fmt.Sprintf("%d bytes before %s", -o.Offset, obj)
+	case "past-end":
+		return fmt.Sprintf("%d bytes past the end of %s", o.Offset-int64(o.Size), obj)
+	case "freed":
+		if o.Offset >= 0 && o.Offset < int64(o.Size) {
+			return fmt.Sprintf("%d bytes into %s", o.Offset, obj)
+		}
+		return fmt.Sprintf("at offset %d of %s", o.Offset, obj)
+	}
+	return fmt.Sprintf("%d bytes into %s", o.Offset, obj)
+}
+
+// WriteJSON renders the report as indented, key-stable JSON.
+func (rep *ErrorReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// errWriter accumulates the first write error so the render path stays
+// linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *errWriter) printf(format string, args ...any) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = fmt.Fprintf(b.w, format, args...)
+}
+
+func (b *errWriter) frames(frames []Frame) {
+	for i, f := range frames {
+		b.printf("%s     #%d %s (%#x)\n", banner, i, f, f.PC)
+	}
+}
+
+// history renders an "allocated at" / "freed at" block; the trailing
+// colon only appears when a backtrace follows.
+func (b *errWriter) history(verb string, pc Frame, stack []Frame) {
+	if len(stack) == 0 {
+		b.printf("%s   %s at %s\n", banner, verb, pc)
+		return
+	}
+	b.printf("%s   %s at %s:\n", banner, verb, pc)
+	b.frames(stack)
+}

@@ -1,0 +1,193 @@
+// Package forensics turns raw trap state into human-usable evidence: it
+// symbolizes guest PCs against RELF symbol tables, resolves faulting
+// addresses to their owning heap objects (with allocation/free
+// backtraces), renders ASan-style error reports in text and JSON, and
+// exports guest profiles as folded stacks and Chrome trace events.
+//
+// Everything here runs after (or outside) guest execution and reads only
+// host-side bookkeeping, so enabling forensics never perturbs guest
+// cycle accounting — the bit-identity guarantee the VM's other observers
+// (telemetry, tracing) already uphold.
+package forensics
+
+import (
+	"fmt"
+	"sort"
+
+	"redfat/internal/relf"
+)
+
+// Frame is one symbolized guest PC.
+type Frame struct {
+	PC     uint64 `json:"pc"`
+	Symbol string `json:"symbol,omitempty"` // enclosing function, "" if unknown
+	Offset uint64 `json:"offset,omitempty"` // PC − function start
+	// Tramp marks a PC inside a rewriter-added trampoline; Origin is the
+	// patched original instruction address it dispatches for, and the
+	// Symbol/Offset refer to that origin.
+	Tramp  bool   `json:"tramp,omitempty"`
+	Origin uint64 `json:"origin,omitempty"`
+}
+
+// String renders the frame the way the text reports print it:
+// "name+0x12", a bare "name" at offset 0, or "<0x401234>" when no symbol
+// covers the PC (stripped binaries, JIT-less wilderness). Trampoline
+// frames carry a suffix naming the trampoline address.
+func (f Frame) String() string {
+	s := ""
+	switch {
+	case f.Symbol == "":
+		pc := f.PC
+		if f.Tramp && f.Origin != 0 {
+			pc = f.Origin
+		}
+		s = fmt.Sprintf("<%#x>", pc)
+	case f.Offset == 0:
+		s = f.Symbol
+	default:
+		s = fmt.Sprintf("%s+%#x", f.Symbol, f.Offset)
+	}
+	if f.Tramp {
+		s += fmt.Sprintf(" [tramp %#x]", f.PC)
+	}
+	return s
+}
+
+// trampOrigin is one reversed patch-table entry: the trampoline body at
+// Tramp dispatches for the original instruction at Origin.
+type trampOrigin struct {
+	Tramp  uint64
+	Origin uint64
+}
+
+// Symbolizer resolves guest PCs to function symbols across the modules
+// of a run (main binary plus any libraries). A nil Symbolizer is valid
+// and renders every PC as "<0x...>".
+type Symbolizer struct {
+	funcs    []relf.Symbol // function symbols, sorted by address
+	tramps   []*relf.Section
+	origins  []trampOrigin // reversed patch tables, sorted by Tramp
+	stripped bool          // every module was stripped
+}
+
+// NewSymbolizer builds a symbolizer over the given modules. Stripped
+// modules contribute no symbols but still contribute their origin/patch
+// tables, so trampoline PCs resolve to original addresses either way.
+func NewSymbolizer(bins ...*relf.Binary) *Symbolizer {
+	s := &Symbolizer{stripped: true}
+	for _, b := range bins {
+		if b == nil {
+			continue
+		}
+		if !b.Stripped {
+			s.stripped = false
+		}
+		for _, sym := range b.Symbols {
+			if sym.Func {
+				s.funcs = append(s.funcs, sym)
+			}
+		}
+		for _, sec := range b.Sections {
+			if sec.Kind == relf.SecTramp {
+				s.tramps = append(s.tramps, sec)
+			}
+		}
+		// The origin table covers every trampoline (all patch tactics);
+		// the reversed trap table is the fallback for images rewritten
+		// before the origin table existed.
+		if sec := b.Section(relf.OriginTableSection); sec != nil {
+			if table, err := relf.DecodePatchTable(sec.Data); err == nil {
+				for tramp, origin := range table {
+					s.origins = append(s.origins, trampOrigin{Tramp: tramp, Origin: origin})
+				}
+				continue
+			}
+		}
+		if sec := b.Section(relf.PatchTableSection); sec != nil {
+			if table, err := relf.DecodePatchTable(sec.Data); err == nil {
+				for from, to := range table {
+					s.origins = append(s.origins, trampOrigin{Tramp: to, Origin: from})
+				}
+			}
+		}
+	}
+	sort.Slice(s.funcs, func(i, j int) bool { return s.funcs[i].Addr < s.funcs[j].Addr })
+	sort.Slice(s.origins, func(i, j int) bool { return s.origins[i].Tramp < s.origins[j].Tramp })
+	return s
+}
+
+// Stripped reports whether every module lacked symbols, i.e. frames can
+// only render as raw addresses.
+func (s *Symbolizer) Stripped() bool { return s == nil || s.stripped }
+
+// inTramp reports whether pc lies in a rewriter-added trampoline section.
+func (s *Symbolizer) inTramp(pc uint64) bool {
+	for _, sec := range s.tramps {
+		if pc >= sec.Addr && pc < sec.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// originOf maps a trampoline PC back to the original patched instruction
+// address: the patch entry with the greatest trampoline target ≤ pc owns
+// the trampoline body containing pc.
+func (s *Symbolizer) originOf(pc uint64) (uint64, bool) {
+	i := sort.Search(len(s.origins), func(i int) bool { return s.origins[i].Tramp > pc })
+	if i == 0 {
+		return 0, false
+	}
+	return s.origins[i-1].Origin, true
+}
+
+// funcAt returns the function symbol covering pc, if any.
+func (s *Symbolizer) funcAt(pc uint64) (relf.Symbol, bool) {
+	i := sort.Search(len(s.funcs), func(i int) bool { return s.funcs[i].Addr > pc })
+	if i == 0 {
+		return relf.Symbol{}, false
+	}
+	f := s.funcs[i-1]
+	if pc >= f.Addr+f.Size {
+		return relf.Symbol{}, false
+	}
+	return f, true
+}
+
+// Frame symbolizes one guest PC. Trampoline PCs are first mapped back to
+// the original instruction they were patched over, so the frame names
+// guest code, not rewriter scaffolding.
+func (s *Symbolizer) Frame(pc uint64) Frame {
+	fr := Frame{PC: pc}
+	if s == nil {
+		return fr
+	}
+	lookup := pc
+	if s.inTramp(pc) {
+		fr.Tramp = true
+		if origin, ok := s.originOf(pc); ok {
+			fr.Origin = origin
+			lookup = origin
+		}
+	}
+	if f, ok := s.funcAt(lookup); ok {
+		fr.Symbol = f.Name
+		fr.Offset = lookup - f.Addr
+	}
+	return fr
+}
+
+// Format renders one PC as the text reports print it.
+func (s *Symbolizer) Format(pc uint64) string { return s.Frame(pc).String() }
+
+// Frames symbolizes a PC slice in order.
+func (s *Symbolizer) Frames(pcs []uint64) []Frame {
+	if len(pcs) == 0 {
+		return nil
+	}
+	out := make([]Frame, len(pcs))
+	for i, pc := range pcs {
+		out[i] = s.Frame(pc)
+	}
+	return out
+}

@@ -42,7 +42,30 @@ type Heap struct {
 	errors    uint64
 	liveBytes uint64 // chunk bytes currently handed out
 
+	// TrackSites enables forensic per-chunk allocation records; SiteDepth
+	// is the guest-backtrace depth captured per allocator call (0 = call
+	// site PC only). Both are set by the runtime layer; capture is
+	// host-side only.
+	TrackSites bool
+	SiteDepth  int
+
+	sites      map[uint64]AllocRecord // chunk base → forensic record
+	notedPC    uint64
+	notedStack []uint64
+
 	tel *heapMetrics
+}
+
+// AllocRecord is the forensic bookkeeping of one chunk: where it was
+// allocated (and, once freed, released), by whom. Stacks are guest
+// return-address chains, innermost caller first.
+type AllocRecord struct {
+	PC    uint64   // guest PC of the allocating call site
+	Size  uint64   // requested size
+	Stack []uint64 // guest backtrace at allocation (nil unless SiteDepth > 0)
+
+	FreePC    uint64   // guest PC of the free call, 0 while live
+	FreeStack []uint64 // guest backtrace at free (nil unless captured)
 }
 
 // heapMetrics holds the allocator's registry handles (nil when telemetry
@@ -79,6 +102,43 @@ func New(m *mem.Memory) *Heap {
 	}
 }
 
+// NoteAllocPC records the guest call site of the next Malloc/Free (set by
+// the libc binding, which knows the VM's program counter).
+func (h *Heap) NoteAllocPC(pc uint64) { h.notedPC, h.notedStack = pc, nil }
+
+// NoteAllocStack additionally records the guest backtrace of the next
+// Malloc/Free (captured by the libc binding when SiteDepth asks for it).
+func (h *Heap) NoteAllocStack(stack []uint64) { h.notedStack = stack }
+
+// SiteStackDepth reports the backtrace depth the heap wants captured per
+// allocator call; 0 when site tracking is off.
+func (h *Heap) SiteStackDepth() int {
+	if !h.TrackSites {
+		return 0
+	}
+	return h.SiteDepth
+}
+
+// EnableSiteTracking turns on forensic per-chunk records with backtraces
+// bounded to the given depth.
+func (h *Heap) EnableSiteTracking(depth int) {
+	h.TrackSites = true
+	h.SiteDepth = depth
+}
+
+// noteSite records the forensic allocation record for the chunk at base.
+// Chunk reuse overwrites the previous generation's record, matching what
+// the memory itself can still prove.
+func (h *Heap) noteSite(base, size uint64) {
+	if !h.TrackSites {
+		return
+	}
+	if h.sites == nil {
+		h.sites = make(map[uint64]AllocRecord)
+	}
+	h.sites[base] = AllocRecord{PC: h.notedPC, Size: size, Stack: h.notedStack}
+}
+
 // chunkSize rounds a request up to a binned chunk size: multiples of 16 up
 // to 512 bytes, then powers of two. The padding this introduces is the
 // padding the paper notes redzone tools cannot protect (§2.1).
@@ -105,6 +165,7 @@ func (h *Heap) Malloc(size uint64) (uint64, error) {
 			return 0, err
 		}
 		h.noteAlloc(size, c)
+		h.noteSite(chunk, size)
 		return chunk + headerSize, nil
 	}
 	if h.next+c > ArenaEnd {
@@ -129,6 +190,7 @@ func (h *Heap) Malloc(size uint64) (uint64, error) {
 	}
 	h.allocs++
 	h.noteAlloc(size, c)
+	h.noteSite(chunk, size)
 	return chunk + headerSize, nil
 }
 
@@ -198,6 +260,11 @@ func (h *Heap) Free(ptr uint64) error {
 	h.bins[c] = append(h.bins[c], chunk)
 	h.frees++
 	h.noteFree(c)
+	if s, ok := h.sites[chunk]; ok {
+		s.FreePC = h.notedPC
+		s.FreeStack = h.notedStack
+		h.sites[chunk] = s
+	}
 	return nil
 }
 
@@ -234,6 +301,49 @@ func (h *Heap) UsableSize(ptr uint64) (uint64, error) {
 		return 0, err
 	}
 	return c - headerSize, nil
+}
+
+// ObjectInfo describes the baseline-heap chunk that owns an address,
+// resolved for forensic reports.
+type ObjectInfo struct {
+	Chunk     uint64 // chunk base (boundary-tag header)
+	Ptr       uint64 // user pointer (Chunk + header)
+	ChunkSize uint64 // binned chunk size including header
+	Offset    int64  // addr − Ptr
+	Freed     bool   // chunk had been freed when resolved (per its record)
+
+	Record    AllocRecord
+	HasRecord bool
+}
+
+// ObjectAt resolves addr to its owning chunk by walking the boundary tags
+// from the arena base — O(chunks), acceptable at error-report time. The
+// walk trusts the headers; a corrupted header ends it early (the same
+// blindness real allocator forensics have after a header smash).
+func (h *Heap) ObjectAt(addr uint64) (ObjectInfo, bool) {
+	if addr < ArenaBase || addr >= h.next {
+		return ObjectInfo{}, false
+	}
+	base := uint64(ArenaBase)
+	for base < h.next {
+		c, err := h.Mem.Load(base, 8)
+		if err != nil || c < headerSize || c%16 != 0 || base+c > ArenaEnd {
+			return ObjectInfo{}, false // corrupted or unmapped header
+		}
+		if addr < base+c {
+			info := ObjectInfo{
+				Chunk:     base,
+				Ptr:       base + headerSize,
+				ChunkSize: c,
+				Offset:    int64(addr) - int64(base+headerSize),
+			}
+			info.Record, info.HasRecord = h.sites[base]
+			info.Freed = info.HasRecord && info.Record.FreePC != 0
+			return info, true
+		}
+		base += c
+	}
+	return ObjectInfo{}, false
 }
 
 // Stats returns (allocs, frees, detected errors).

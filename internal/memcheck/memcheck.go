@@ -53,6 +53,21 @@ func NewWrapper(h *heap.Heap) *Wrapper {
 	return &Wrapper{H: h, Shadow: shadow.New(), live: make(map[uint64]uint64)}
 }
 
+// The forensic noter/tracker interfaces forward to the underlying heap,
+// so allocation-site records work under the Memcheck model too.
+
+// NoteAllocPC forwards the guest call site to the underlying heap.
+func (w *Wrapper) NoteAllocPC(pc uint64) { w.H.NoteAllocPC(pc) }
+
+// NoteAllocStack forwards the guest backtrace to the underlying heap.
+func (w *Wrapper) NoteAllocStack(stack []uint64) { w.H.NoteAllocStack(stack) }
+
+// SiteStackDepth reports the underlying heap's capture depth.
+func (w *Wrapper) SiteStackDepth() int { return w.H.SiteStackDepth() }
+
+// EnableSiteTracking turns on forensic records in the underlying heap.
+func (w *Wrapper) EnableSiteTracking(depth int) { w.H.EnableSiteTracking(depth) }
+
 // Malloc allocates with redzones on both sides and poisons them.
 func (w *Wrapper) Malloc(size uint64) (uint64, error) {
 	raw, err := w.H.Malloc(size + 2*RedzoneSize)
@@ -144,6 +159,7 @@ func Run(bin *relf.Binary, cfg rtlib.RunConfig) (*vm.VM, error) {
 	cfg.AttachTrace(v)
 
 	w := NewWrapper(heap.New(m))
+	cfg.AttachForensics(v, w)
 	env := rtlib.LibC(w, m)
 
 	// libc-style bulk operations are checked too (Valgrind intercepts

@@ -81,11 +81,17 @@ type Heap struct {
 	// itself (as opposed to instrumentation-detected errors).
 	MallocErrors uint64
 
+	// SiteDepth is the guest-backtrace depth captured per allocation and
+	// free (0 = call-site PC only). Set by the runtime layer when
+	// forensics is enabled; capture is host-side only.
+	SiteDepth int
+
 	// allocPC maps object id → the call site that allocated it, for
 	// ASAN-style error diagnostics ("allocated at ..."). The id is the
 	// counter stored in the second metadata word of the redzone.
-	allocPC map[uint64]allocSite
-	notedPC uint64
+	allocPC    map[uint64]AllocRecord
+	notedPC    uint64
+	notedStack []uint64
 
 	tel *rzMetrics
 }
@@ -120,28 +126,53 @@ func (h *Heap) noteMallocError() {
 	}
 }
 
-// allocSite records where and how large an allocation was.
-type allocSite struct {
-	pc   uint64
-	size uint64
-	free uint64 // pc of the free call, 0 while live
+// AllocRecord is the forensic bookkeeping of one object: where it was
+// allocated (and, once dead, freed), by whom. Stacks are guest
+// return-address chains, innermost caller first; they are captured only
+// when Heap.SiteDepth is set.
+type AllocRecord struct {
+	PC    uint64   // guest PC of the allocating call site
+	Size  uint64   // requested size
+	Stack []uint64 // guest backtrace at allocation (nil unless SiteDepth > 0)
+
+	FreePC    uint64   // guest PC of the free call, 0 while live
+	FreeStack []uint64 // guest backtrace at free (nil unless captured)
 }
 
 // NewHeap creates a RedFat heap over the given allocator and memory.
 func NewHeap(lf *lowfat.Allocator, m *mem.Memory) *Heap {
 	return &Heap{LF: lf, Mem: m, QuarantineBytes: 1 << 20,
-		allocPC: make(map[uint64]allocSite)}
+		allocPC: make(map[uint64]AllocRecord)}
 }
 
 // NoteAllocPC records the guest call site of the next Malloc/Free (set by
 // the libc binding, which knows the VM's program counter).
-func (h *Heap) NoteAllocPC(pc uint64) { h.notedPC = pc }
+func (h *Heap) NoteAllocPC(pc uint64) { h.notedPC, h.notedStack = pc, nil }
+
+// NoteAllocStack additionally records the guest backtrace of the next
+// Malloc/Free (captured by the libc binding when SiteDepth asks for it).
+func (h *Heap) NoteAllocStack(stack []uint64) { h.notedStack = stack }
+
+// SiteStackDepth reports the backtrace depth the heap wants captured per
+// allocator call (the libc binding consults it before walking frames).
+func (h *Heap) SiteStackDepth() int { return h.SiteDepth }
+
+// EnableSiteTracking turns on backtrace capture at the given depth (the
+// PC-only allocPC bookkeeping is always on for this heap).
+func (h *Heap) EnableSiteTracking(depth int) { h.SiteDepth = depth }
 
 // SiteOf returns the allocation diagnostics for the object with the given
 // id (the second metadata word at the object's redzone base).
 func (h *Heap) SiteOf(id uint64) (allocPC, size, freePC uint64, ok bool) {
 	s, ok := h.allocPC[id]
-	return s.pc, s.size, s.free, ok
+	return s.PC, s.Size, s.FreePC, ok
+}
+
+// RecordOf returns the full forensic record for the object with the given
+// id, including captured backtraces.
+func (h *Heap) RecordOf(id uint64) (AllocRecord, bool) {
+	s, ok := h.allocPC[id]
+	return s, ok
 }
 
 // Malloc allocates size bytes and returns the object pointer (BASE+16).
@@ -157,7 +188,7 @@ func (h *Heap) Malloc(size uint64) (uint64, error) {
 	if err := h.Mem.Store(slot+8, 8, h.nextID); err != nil {
 		return 0, err
 	}
-	h.allocPC[h.nextID] = allocSite{pc: h.notedPC, size: size}
+	h.allocPC[h.nextID] = AllocRecord{PC: h.notedPC, Size: size, Stack: h.notedStack}
 	if h.tel != nil {
 		h.tel.poisonOps.Inc() // armed the redzone metadata for this object
 	}
@@ -212,7 +243,8 @@ func (h *Heap) Free(ptr uint64) error {
 	}
 	if id, err := h.Mem.Load(base+8, 8); err == nil {
 		if s, ok := h.allocPC[id]; ok {
-			s.free = h.notedPC
+			s.FreePC = h.notedPC
+			s.FreeStack = h.notedStack
 			h.allocPC[id] = s
 		}
 	}
@@ -270,6 +302,95 @@ func (h *Heap) Realloc(ptr, size uint64) (uint64, error) {
 // whose redzone base is base.
 func (h *Heap) ObjectSize(base uint64) (uint64, error) {
 	return h.Mem.Load(base, 8)
+}
+
+// ObjectInfo describes the heap object that owns (or is nearest to) a
+// faulting address, resolved for forensic reports.
+type ObjectInfo struct {
+	Base     uint64 // redzone base of the owning slot
+	Ptr      uint64 // object start (Base + redzone Size)
+	Size     uint64 // object SIZE metadata (0 once freed; Record.Size keeps the original)
+	ID       uint64 // allocation counter stored in the metadata
+	SlotSize uint64 // low-fat slot size holding the object
+
+	// Offset is addr − Ptr: negative inside the leading redzone,
+	// ≥ Size past the end of the object.
+	Offset  int64
+	PastEnd bool // addr is beyond the object's last byte
+	Freed   bool // SIZE metadata is 0, i.e. the object was freed
+
+	Record    AllocRecord // forensic alloc/free record, if tracked
+	HasRecord bool
+}
+
+// maxNeighborScan bounds the backward slot scan for far overflows.
+const maxNeighborScan = 64
+
+// ObjectAt resolves addr to its owning heap object. An address inside a
+// slot's leading redzone doubles as the tail redzone of the *previous*
+// adjacent slot (paper §4.1), so when the previous slot holds a tracked
+// object the overflow is attributed to it as a past-the-end access —
+// that is the common off-by-N heap overflow. A far (non-incremental)
+// overflow lands in a slot never handed out; for those the scan walks
+// backwards a bounded number of slots to the nearest tracked object, the
+// ASan "N bytes to the right of" attribution.
+func (h *Heap) ObjectAt(addr uint64) (ObjectInfo, bool) {
+	base := lowfat.Base(addr)
+	if base == 0 {
+		return ObjectInfo{}, false
+	}
+	if addr-base < Size {
+		// In the leading redzone: prefer the adjacent previous object.
+		prev := base - lowfat.Size(base)
+		if lowfat.Base(prev) == prev {
+			if info, ok := h.slotInfo(prev, addr); ok && info.HasRecord {
+				return info, true
+			}
+		}
+	}
+	if info, ok := h.slotInfo(base, addr); ok {
+		return info, true
+	}
+	slot := lowfat.Size(base)
+	for i := uint64(1); i <= maxNeighborScan && i*slot <= base; i++ {
+		cand := base - i*slot
+		if lowfat.Base(cand) != cand {
+			break // left the size-class region
+		}
+		if info, ok := h.slotInfo(cand, addr); ok && info.HasRecord {
+			return info, true
+		}
+	}
+	return ObjectInfo{}, false
+}
+
+// slotInfo builds the ObjectInfo for the slot at base, classifying addr
+// relative to that slot's object.
+func (h *Heap) slotInfo(base, addr uint64) (ObjectInfo, bool) {
+	size, err := h.Mem.Load(base, 8)
+	if err != nil {
+		return ObjectInfo{}, false // slot never handed out
+	}
+	id, err := h.Mem.Load(base+8, 8)
+	if err != nil {
+		return ObjectInfo{}, false
+	}
+	info := ObjectInfo{
+		Base:     base,
+		Ptr:      base + Size,
+		Size:     size,
+		ID:       id,
+		SlotSize: lowfat.Size(base),
+		Offset:   int64(addr) - int64(base+Size),
+		Freed:    size == 0,
+	}
+	info.Record, info.HasRecord = h.allocPC[id]
+	objSize := size
+	if info.Freed && info.HasRecord {
+		objSize = info.Record.Size // SIZE metadata poisoned on free
+	}
+	info.PastEnd = info.Offset >= 0 && uint64(info.Offset) >= objSize
+	return info, info.ID != 0 || !info.Freed
 }
 
 // StateOf classifies ptr exactly as the instrumented check does: via the

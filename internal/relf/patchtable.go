@@ -13,6 +13,14 @@ import (
 // dispatch with its associated cost.
 const PatchTableSection = ".rf.patch"
 
+// OriginTableSection is the metadata section mapping every trampoline
+// start address back to the original instruction it was patched over —
+// all tactics, not just the TRAP fallbacks of PatchTableSection. The VM
+// never reads it; it exists for forensics/symbolization, so profiler
+// samples and error PCs inside trampolines resolve to guest code. Same
+// wire format as the patch table (EncodePatchTable/DecodePatchTable).
+const OriginTableSection = ".rf.origins"
+
 // EncodePatchTable serializes a patch table (trap address → trampoline
 // address) into section data. Entries are sorted by the caller if
 // determinism is needed; the VM loads them into a map.

@@ -48,6 +48,47 @@ type RunConfig struct {
 	// knob: guest results are identical either way, only wall-clock
 	// differs.
 	NoBlockCache bool
+
+	// Forensics enables allocation-site backtrace capture in the bound
+	// allocator and guest-backtrace capture on trapped memory errors,
+	// feeding the forensic report builder. Host-side only: guest cycle
+	// counts are bit-identical with it on or off.
+	Forensics bool
+
+	// ForensicsDepth bounds the captured backtraces (0 = default 8).
+	ForensicsDepth int
+
+	// Profiler, when set, samples guest execution by cycle budget from
+	// the dispatch loop (see vm.GuestProfiler). Host-side only.
+	Profiler *vm.GuestProfiler
+}
+
+// defaultForensicsDepth is the backtrace depth used when Forensics is on
+// and no explicit depth is configured.
+const defaultForensicsDepth = 8
+
+// siteTracker is implemented by allocators that can record forensic
+// allocation sites (both heaps, and wrappers that forward to one).
+type siteTracker interface{ EnableSiteTracking(depth int) }
+
+// AttachForensics wires the profiler and forensic capture into a VM and
+// its allocator. The allocator handle is parked on the VM so report
+// builders can resolve faulting addresses after the run. Exported for
+// runner packages (memcheck) that build their own VM.
+func (c *RunConfig) AttachForensics(v *vm.VM, alloc Allocator) {
+	v.Allocator = alloc
+	v.Profiler = c.Profiler
+	if !c.Forensics {
+		return
+	}
+	depth := c.ForensicsDepth
+	if depth <= 0 {
+		depth = defaultForensicsDepth
+	}
+	v.ErrorStackDepth = depth
+	if t, ok := alloc.(siteTracker); ok {
+		t.EnableSiteTracking(depth)
+	}
 }
 
 // attachTelemetry wires the configured registry and tracer into a VM.
@@ -111,6 +152,7 @@ func RunBaseline(bin *relf.Binary, cfg RunConfig) (*vm.VM, error) {
 	cfg.attachTelemetry(v)
 	h := heap.New(m)
 	h.AttachTelemetry(cfg.Metrics)
+	cfg.AttachForensics(v, h)
 	env := LibC(h, m)
 	if err := v.Load(bin, env); err != nil {
 		return v, err
@@ -132,6 +174,7 @@ func RunHardened(bin *relf.Binary, cfg RunConfig) (*vm.VM, *Runtime, error) {
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
 	h := cfg.newHeap(m)
+	cfg.AttachForensics(v, h)
 	rt, err := NewRuntime(bin, h)
 	if err != nil {
 		return v, nil, err
@@ -164,6 +207,7 @@ func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, [
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
 	h := cfg.newHeap(m)
+	cfg.AttachForensics(v, h)
 	libc := LibC(h, m)
 
 	var rts []*Runtime

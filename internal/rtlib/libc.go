@@ -39,8 +39,16 @@ const (
 )
 
 // pcNoter is implemented by allocators that record guest allocation
-// sites for diagnostics (the RedFat heap).
+// sites for diagnostics (both heaps).
 type pcNoter interface{ NoteAllocPC(pc uint64) }
+
+// stackNoter is additionally implemented by allocators that want a guest
+// backtrace per allocator call when forensics is enabled. SiteStackDepth
+// returns 0 when capture is off, so the frame walk is skipped entirely.
+type stackNoter interface {
+	NoteAllocStack(stack []uint64)
+	SiteStackDepth() int
+}
 
 // LibC builds the libc bindings over the given allocator and memory.
 // The same function serves baseline and hardened runs; only the allocator
@@ -50,6 +58,11 @@ func LibC(a Allocator, m *mem.Memory) vm.Bindings {
 	notePC := func(v *vm.VM) {
 		if n, ok := a.(pcNoter); ok {
 			n.NoteAllocPC(v.RIP)
+		}
+		if n, ok := a.(stackNoter); ok {
+			if depth := n.SiteStackDepth(); depth > 0 {
+				n.NoteAllocStack(v.Backtrace(depth))
+			}
 		}
 	}
 
@@ -63,7 +76,7 @@ func LibC(a Allocator, m *mem.Memory) vm.Bindings {
 			v.Regs[isa.RAX] = 0
 			return nil
 		}
-		v.Tracer.Record(telemetry.EvAlloc, v.RIP, p, v.Regs[isa.RDI])
+		v.Tracer.RecordAt(telemetry.EvAlloc, v.RIP, p, v.Regs[isa.RDI], v.Cycles)
 		v.Regs[isa.RAX] = p
 		return nil
 	}
@@ -76,14 +89,14 @@ func LibC(a Allocator, m *mem.Memory) vm.Bindings {
 			v.Regs[isa.RAX] = 0
 			return nil
 		}
-		v.Tracer.Record(telemetry.EvAlloc, v.RIP, p, n*size)
+		v.Tracer.RecordAt(telemetry.EvAlloc, v.RIP, p, n*size, v.Cycles)
 		v.Regs[isa.RAX] = p
 		return nil
 	}
 	b["free"] = func(v *vm.VM, _ uint32) error {
 		notePC(v)
 		v.Cycles += costFreeCall
-		v.Tracer.Record(telemetry.EvFree, v.RIP, v.Regs[isa.RDI], 0)
+		v.Tracer.RecordAt(telemetry.EvFree, v.RIP, v.Regs[isa.RDI], 0, v.Cycles)
 		if err := a.Free(v.Regs[isa.RDI]); err != nil {
 			return v.Report(vm.MemError{
 				Kind: vm.ErrInvalidFree,

@@ -2,7 +2,6 @@ package rtlib
 
 import (
 	"fmt"
-	"sort"
 
 	"redfat/internal/isa"
 	"redfat/internal/lowfat"
@@ -90,8 +89,10 @@ func (rt *Runtime) PublishSiteStats(reg *telemetry.Registry) {
 }
 
 // ErrorSites returns the distinct original instruction addresses whose
-// checks flagged at least one execution, sorted — the telemetry-backed
-// twin of vm.ErrorSites for consumers that have a Runtime.
+// checks flagged at least one execution — the stats-backed view for
+// consumers that have a Runtime rather than a trapped-error list. The
+// sort-and-dedup itself is vm.SiteList, the one implementation behind
+// every "distinct error sites" view.
 func (rt *Runtime) ErrorSites() []uint64 {
 	var pcs []uint64
 	for i := range rt.Checks {
@@ -99,8 +100,7 @@ func (rt *Runtime) ErrorSites() []uint64 {
 			pcs = append(pcs, rt.Checks[i].PC)
 		}
 	}
-	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
-	return pcs
+	return vm.SiteList(pcs)
 }
 
 // NewRuntime parses the site table of a hardened binary.
@@ -224,27 +224,30 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 	// LowFat component's, one found via the fallback base(LB) is the
 	// redzone component's. The split feeds both the allow-list (only
 	// LowFat failures disqualify a site) and the exported site stats.
+	component := ""
 	if bad {
 		if fat && !fallback {
+			component = "lowfat"
 			rt.Stats[arg].LowFatFails++
 			if rt.tel != nil {
 				rt.tel.lowfatFail.Inc()
 			}
 		} else {
+			component = "redzone"
 			rt.Stats[arg].RedzoneFails++
 			if rt.tel != nil {
 				rt.tel.redzoneFail.Inc()
 			}
 		}
 		if rt.tracer != nil {
-			rt.tracer.Record(telemetry.EvCheckFail, c.PC, lb, uint64(arg))
+			rt.tracer.RecordAt(telemetry.EvCheckFail, c.PC, lb, uint64(arg), v.Cycles)
 		}
 	} else {
 		if rt.tel != nil {
 			rt.tel.passes.Inc()
 		}
 		if rt.tracer != nil {
-			rt.tracer.Record(telemetry.EvCheckPass, c.PC, lb, uint64(arg))
+			rt.tracer.RecordAt(telemetry.EvCheckPass, c.PC, lb, uint64(arg), v.Cycles)
 		}
 	}
 
@@ -256,11 +259,12 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 		return nil
 	}
 	return v.Report(vm.MemError{
-		Kind: kind,
-		Addr: lb,
-		PC:   c.PC,
-		Site: arg,
-		Note: rt.describe(c, base, size, lb),
+		Kind:      kind,
+		Addr:      lb,
+		PC:        c.PC,
+		Site:      arg,
+		Component: component,
+		Note:      rt.describe(c, base, size, lb),
 	})
 }
 

@@ -52,6 +52,11 @@ type Event struct {
 	PC   uint64    `json:"pc"`             // guest program counter
 	Addr uint64    `json:"addr,omitempty"` // access/object/target address
 	Aux  uint64    `json:"aux,omitempty"`  // kind-specific payload
+	// Cycles is the guest cycle counter when the event was recorded
+	// (0 for recorders without cycle context). It gives every event a
+	// position on the guest timeline, which the Chrome trace-event
+	// exporter uses as its timestamp.
+	Cycles uint64 `json:"cycles,omitempty"`
 }
 
 // Tracer is a fixed-capacity ring buffer of execution events: recording
@@ -73,10 +78,17 @@ func NewTracer(capacity int) *Tracer {
 
 // Record appends an event, evicting the oldest when full. Nil-safe.
 func (t *Tracer) Record(kind EventKind, pc, addr, aux uint64) {
+	t.RecordAt(kind, pc, addr, aux, 0)
+}
+
+// RecordAt is Record with an explicit guest-cycle timestamp; recorders
+// that know the cycle counter (the VM dispatch loop, the libc bindings,
+// the check runtime) use it so events can be laid out on a timeline.
+func (t *Tracer) RecordAt(kind EventKind, pc, addr, aux, cycles uint64) {
 	if t == nil {
 		return
 	}
-	e := Event{Seq: t.seq, Kind: kind, PC: pc, Addr: addr, Aux: aux}
+	e := Event{Seq: t.seq, Kind: kind, PC: pc, Addr: addr, Aux: aux, Cycles: cycles}
 	t.seq++
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, e)
@@ -129,6 +141,9 @@ func (t *Tracer) WriteText(w io.Writer) error {
 		}
 		if e.Aux != 0 {
 			fmt.Fprintf(bw, " aux=%d", e.Aux)
+		}
+		if e.Cycles != 0 {
+			fmt.Fprintf(bw, " cyc=%d", e.Cycles)
 		}
 		fmt.Fprintln(bw)
 	}

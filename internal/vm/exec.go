@@ -181,6 +181,9 @@ func (v *VM) Step() error {
 func (v *VM) exec(pc uint64, in *isa.Inst) error {
 	next := pc + uint64(in.Len)
 	var err error
+	if v.Profiler != nil {
+		v.Profiler.maybeSample(v, pc)
+	}
 	if v.TraceHook != nil {
 		v.TraceHook(v, pc, in)
 	}
@@ -189,7 +192,7 @@ func (v *VM) exec(pc uint64, in *isa.Inst) error {
 		v.tel.retired[in.Op].Inc()
 	}
 	if v.Tracer != nil {
-		v.Tracer.Record(telemetry.EvInst, pc, 0, uint64(in.Op))
+		v.Tracer.RecordAt(telemetry.EvInst, pc, 0, uint64(in.Op), v.Cycles)
 	}
 	v.Insts++
 	v.Cycles += CostInst + v.PerInstOverhead
@@ -208,7 +211,7 @@ func (v *VM) exec(pc uint64, in *isa.Inst) error {
 			v.tel.patchHits.Inc()
 		}
 		if v.Tracer != nil {
-			v.Tracer.Record(telemetry.EvTramp, pc, target, 0)
+			v.Tracer.RecordAt(telemetry.EvTramp, pc, target, 0, v.Cycles)
 		}
 		v.RIP = target // trap dispatch is not a guest branch; no hook
 
@@ -404,7 +407,7 @@ func (v *VM) exec(pc uint64, in *isa.Inst) error {
 			v.tel.rtcallHist.Observe(cost)
 		}
 		if v.Tracer != nil {
-			v.Tracer.Record(telemetry.EvRTCall, pc, 0, v.Cycles-before)
+			v.Tracer.RecordAt(telemetry.EvRTCall, pc, 0, v.Cycles-before, v.Cycles)
 		}
 		if err != nil {
 			return err

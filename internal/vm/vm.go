@@ -15,6 +15,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"redfat/internal/isa"
 	"redfat/internal/mem"
@@ -126,22 +127,63 @@ type MemError struct {
 	PC   uint64 // program counter of the access
 	Site uint32 // instrumentation site (0 if not site-based)
 	Note string
+
+	// Component attributes the detection to a methodology when known:
+	// "lowfat" (found via base(ptr)) or "redzone" (found via the
+	// base(LB) fallback). Empty for allocator-detected errors.
+	Component string
+
+	// Stack is the guest return-address chain at the faulting access,
+	// innermost caller first, captured host-side by VM.Backtrace when
+	// VM.ErrorStackDepth is set. Nil otherwise.
+	Stack []uint64
 }
 
-// Error implements the error interface.
+// Error implements the error interface. The message carries every
+// populated diagnostic field: the site index when the error came from an
+// instrumented check, and the free-form Note.
 func (e *MemError) Error() string {
-	return fmt.Sprintf("%s at address %#x (pc %#x)", e.Kind, e.Addr, e.PC)
+	s := fmt.Sprintf("%s at address %#x (pc %#x", e.Kind, e.Addr, e.PC)
+	if e.Site != 0 {
+		s += fmt.Sprintf(", site %d", e.Site)
+	}
+	s += ")"
+	if e.Note != "" {
+		s += ": " + e.Note
+	}
+	return s
+}
+
+// SiteList returns the sorted distinct values of pcs. It is the single
+// dedup/ordering implementation behind every "distinct error sites" view:
+// ErrorSites and DistinctErrorSites here, and rtlib.Runtime.ErrorSites on
+// the check-stat side, all reduce to it.
+func SiteList(pcs []uint64) []uint64 {
+	out := append([]uint64(nil), pcs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for _, pc := range out {
+		if n == 0 || out[n-1] != pc {
+			out[n] = pc
+			n++
+		}
+	}
+	return out[:n]
 }
 
 // ErrorSites returns the set of distinct program counters among the given
 // error reports — the unit the paper counts detections and false
 // positives in (one site, many dynamic occurrences).
 func ErrorSites(errs []MemError) map[uint64]bool {
-	pcs := make(map[uint64]bool, len(errs))
+	pcs := make([]uint64, len(errs))
 	for i := range errs {
-		pcs[errs[i].PC] = true
+		pcs[i] = errs[i].PC
 	}
-	return pcs
+	set := make(map[uint64]bool, len(errs))
+	for _, pc := range SiteList(pcs) {
+		set[pc] = true
+	}
+	return set
 }
 
 // DistinctErrorSites counts the distinct program counters among errs.
@@ -173,6 +215,26 @@ type VM struct {
 	// continues (profiling / bug-finding mode).
 	AbortOnError bool
 	Errors       []MemError
+
+	// ErrorStackDepth, when positive, makes Report capture a guest
+	// backtrace of up to that many frames into MemError.Stack. Capture is
+	// host-side only (a frame-walk over guest memory) and never charges
+	// guest cycles.
+	ErrorStackDepth int
+
+	// Allocator is set by the runtime layer at load time to the guest
+	// allocator instance serving this run (a *heap.Heap, *redzone.Heap,
+	// or Memcheck wrapper). The VM never touches it; it exists so
+	// host-side forensics can resolve faulting addresses to owning
+	// objects without threading the allocator through every return path.
+	Allocator any
+
+	// Profiler, when set, samples the guest PC (with a backtrace) every
+	// Profiler.Interval guest cycles from the shared dispatch body, on
+	// both the block-cache and legacy paths. Sampling is host-side only:
+	// guest cycles, errors and output are bit-identical with and without
+	// a profiler attached.
+	Profiler *GuestProfiler
 
 	// Output collects bytes written by the output host functions.
 	Output []byte
@@ -361,8 +423,13 @@ func (v *VM) Load(bin *relf.Binary, env Bindings) error {
 	return nil
 }
 
-// Report records a detected memory error, honouring AbortOnError.
+// Report records a detected memory error, honouring AbortOnError. When
+// ErrorStackDepth is set and the reporter did not capture a stack itself,
+// the guest backtrace at the point of detection is attached.
 func (v *VM) Report(e MemError) error {
+	if v.ErrorStackDepth > 0 && e.Stack == nil {
+		e.Stack = v.Backtrace(v.ErrorStackDepth)
+	}
 	v.Errors = append(v.Errors, e)
 	if v.tel != nil {
 		v.tel.memErrors.Inc()
@@ -373,6 +440,41 @@ func (v *VM) Report(e MemError) error {
 		return &cp
 	}
 	return nil
+}
+
+// maxBacktraceScan bounds the stack words examined per frame-walk, so a
+// walk over a huge or unusual stack stays cheap and deterministic.
+const maxBacktraceScan = 512
+
+// Backtrace captures the guest return-address chain, innermost caller
+// first, with at most max frames. It is a conservative frame-walk: guest
+// stack words from RSP upward are scanned for values that land in
+// executable memory (the shape CALL leaves behind), stopping at the exit
+// sentinel, the end of mapped stack, or the scan bound. The walk is
+// heuristic — data words that alias code addresses can appear as frames —
+// but it is read-only, host-side, and charges zero guest cycles, so
+// enabling capture never perturbs measured slow-downs.
+func (v *VM) Backtrace(max int) []uint64 {
+	if max <= 0 {
+		max = 8
+	}
+	var pcs []uint64
+	sp := v.Regs[isa.RSP]
+	for scanned := 0; scanned < maxBacktraceScan && len(pcs) < max; scanned++ {
+		w, err := v.Mem.Load(sp, 8)
+		if err != nil {
+			break // walked off the mapped stack
+		}
+		sp += 8
+		if w == ExitSentinel {
+			break // reached the frame below main
+		}
+		if w == 0 || v.Mem.PermAt(w)&mem.PermExec == 0 {
+			continue // not a plausible return address
+		}
+		pcs = append(pcs, w)
+	}
+	return pcs
 }
 
 func (v *VM) push(val uint64) error {

@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"redfat/internal/asm"
+	"redfat/internal/forensics"
 	"redfat/internal/memcheck"
 	"redfat/internal/profile"
 	core "redfat/internal/redfat"
@@ -66,11 +67,56 @@ type Metrics = telemetry.Registry
 // with NewEventTracer and pass it in RunOptions.
 type EventTracer = telemetry.Tracer
 
+// GuestProfiler is a cycle-budget-driven guest PC sampler attached to
+// the VM dispatch loop. Create one with NewGuestProfiler, pass it in
+// RunOptions, then export it with WriteFolded/WriteHotSites.
+type GuestProfiler = vm.GuestProfiler
+
+// ErrorReport is a fully resolved memory error: symbolized PCs, guest
+// stacks, and owning-object attribution (see internal/forensics).
+type ErrorReport = forensics.ErrorReport
+
+// Frame is one symbolized guest PC inside an ErrorReport or profile.
+type Frame = forensics.Frame
+
+// Symbolizer resolves guest PCs to function symbols across the modules
+// of a run.
+type Symbolizer = forensics.Symbolizer
+
 // NewMetrics creates an empty telemetry registry.
 func NewMetrics() *Metrics { return telemetry.New() }
 
 // NewEventTracer creates an event tracer keeping the last capacity events.
 func NewEventTracer(capacity int) *EventTracer { return telemetry.NewTracer(capacity) }
+
+// NewGuestProfiler creates a guest sampling profiler firing every
+// interval guest cycles (0 = the default interval).
+func NewGuestProfiler(interval uint64) *GuestProfiler {
+	return &vm.GuestProfiler{Interval: interval}
+}
+
+// NewSymbolizer builds a symbolizer over the given modules (stripped
+// modules degrade to raw "<0x...>" addresses).
+func NewSymbolizer(bins ...*Binary) *Symbolizer { return forensics.NewSymbolizer(bins...) }
+
+// WriteFolded renders a profiler's aggregated stacks in folded
+// (flamegraph) format, one "frames... cycles" line per unique stack.
+func WriteFolded(w io.Writer, p *GuestProfiler, sym *Symbolizer) error {
+	return forensics.WriteFolded(w, p, sym)
+}
+
+// WriteHotSites renders a profiler's per-PC hot-site table, hottest
+// first; top bounds the rows (0 = all).
+func WriteHotSites(w io.Writer, p *GuestProfiler, sym *Symbolizer, top int) error {
+	return forensics.WriteHotSites(w, p, sym, top)
+}
+
+// WriteChromeTrace serializes an event tracer's retained events and a
+// profiler's sample timeline (either may be nil) as Chrome trace-event
+// JSON, loadable in chrome://tracing and Perfetto.
+func WriteChromeTrace(w io.Writer, tr *EventTracer, p *GuestProfiler, sym *Symbolizer) error {
+	return forensics.WriteChromeTrace(w, tr, p, sym)
+}
 
 // Defaults returns the fully optimized production configuration.
 func Defaults() Options { return core.Defaults() }
@@ -154,6 +200,16 @@ type RunOptions struct {
 	// errors, output) are identical either way; the knob exists for
 	// host-performance A/B measurement and validation.
 	NoBlockCache bool
+	// Forensics enables allocation-site tracking (guest backtraces per
+	// malloc/free) and error backtrace capture, and fills Result.Reports
+	// with fully resolved error reports. Host-side only: guest cycle
+	// counts are bit-identical with it on or off.
+	Forensics bool
+	// ForensicsDepth bounds the captured backtraces (0 = default 8).
+	ForensicsDepth int
+	// Profiler, when set, samples guest execution by cycle budget from
+	// the VM dispatch loop. Host-side only.
+	Profiler *GuestProfiler
 }
 
 // CheckStat reports one instrumentation site's runtime behaviour.
@@ -182,20 +238,26 @@ type Result struct {
 	// Checks holds per-site statistics, sorted by execution count
 	// (hardened runs only).
 	Checks []CheckStat
+	// Reports are the forensic resolutions of Errors, in the same order
+	// (only set when RunOptions.Forensics is on).
+	Reports []*ErrorReport
 }
 
 // Run executes a binary on the RF64 VM.
 func Run(bin *Binary, opt RunOptions) (*Result, error) {
 	cfg := rtlib.RunConfig{
-		Input:         opt.Input,
-		MaxCycles:     opt.MaxCycles,
-		Abort:         opt.AbortOnError,
-		RandomizeHeap: opt.RandomizeHeap,
-		TraceWriter:   opt.Trace,
-		TraceLimit:    opt.TraceLimit,
-		Metrics:       opt.Metrics,
-		EventTrace:    opt.EventTrace,
-		NoBlockCache:  opt.NoBlockCache,
+		Input:          opt.Input,
+		MaxCycles:      opt.MaxCycles,
+		Abort:          opt.AbortOnError,
+		RandomizeHeap:  opt.RandomizeHeap,
+		TraceWriter:    opt.Trace,
+		TraceLimit:     opt.TraceLimit,
+		Metrics:        opt.Metrics,
+		EventTrace:     opt.EventTrace,
+		NoBlockCache:   opt.NoBlockCache,
+		Forensics:      opt.Forensics,
+		ForensicsDepth: opt.ForensicsDepth,
+		Profiler:       opt.Profiler,
 	}
 	var (
 		v   *vm.VM
@@ -219,6 +281,9 @@ func Run(bin *Binary, opt RunOptions) (*Result, error) {
 		res.Insts = v.Insts
 		res.Output = v.Output
 		res.Errors = v.Errors
+		if opt.Forensics {
+			res.Reports = buildReports(v, bin)
+		}
 	}
 	if rt != nil {
 		res.Coverage = rt.Coverage()
@@ -252,15 +317,18 @@ func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
 		return nil, fmt.Errorf("redfat: Memcheck does not support linked programs")
 	}
 	cfg := rtlib.RunConfig{
-		Input:         opt.Input,
-		MaxCycles:     opt.MaxCycles,
-		Abort:         opt.AbortOnError,
-		RandomizeHeap: opt.RandomizeHeap,
-		TraceWriter:   opt.Trace,
-		TraceLimit:    opt.TraceLimit,
-		Metrics:       opt.Metrics,
-		EventTrace:    opt.EventTrace,
-		NoBlockCache:  opt.NoBlockCache,
+		Input:          opt.Input,
+		MaxCycles:      opt.MaxCycles,
+		Abort:          opt.AbortOnError,
+		RandomizeHeap:  opt.RandomizeHeap,
+		TraceWriter:    opt.Trace,
+		TraceLimit:     opt.TraceLimit,
+		Metrics:        opt.Metrics,
+		EventTrace:     opt.EventTrace,
+		NoBlockCache:   opt.NoBlockCache,
+		Forensics:      opt.Forensics,
+		ForensicsDepth: opt.ForensicsDepth,
+		Profiler:       opt.Profiler,
 	}
 	v, rts, err := rtlib.RunLinked(main, libs, cfg)
 	res := &Result{}
@@ -270,6 +338,9 @@ func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
 		res.Insts = v.Insts
 		res.Output = v.Output
 		res.Errors = v.Errors
+		if opt.Forensics {
+			res.Reports = buildReports(v, append([]*Binary{main}, libs...)...)
+		}
 	}
 	var full, total int
 	for _, rt := range rts {
@@ -288,6 +359,21 @@ func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
 		res.Coverage = float64(full) / float64(total)
 	}
 	return res, err
+}
+
+// buildReports resolves a finished VM's trapped errors into forensic
+// reports, symbolizing against the run's modules and attributing faults
+// to the allocator the VM parked in its Allocator field.
+func buildReports(v *vm.VM, bins ...*Binary) []*ErrorReport {
+	if len(v.Errors) == 0 {
+		return nil
+	}
+	alloc := v.Allocator
+	if w, ok := alloc.(*memcheck.Wrapper); ok {
+		alloc = w.H // attribute against the underlying baseline heap
+	}
+	rep := forensics.NewReporter(forensics.NewSymbolizer(bins...), alloc)
+	return rep.ReportAll(v.Errors)
 }
 
 // SaveAllowList writes an allow-list to a file.
