@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race trace-smoke bench-smoke bench-host clean
+.PHONY: check fmt vet build test race perf-smoke trace-smoke bench-smoke bench-host clean
 
-# check is the tier-1 gate: formatting, static analysis, build, tests,
-# and a race-detector pass over the concurrent harness (short mode).
+# check is the tier-1 gate: formatting, static analysis, build, tests
+# (which include the TLB perf smoke, see perf-smoke), and a
+# race-detector pass over the concurrent harness (short mode).
 check: fmt vet build test race
 
 fmt:
@@ -24,6 +25,13 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# perf-smoke runs the guest-memory fast-path guard in isolation: the
+# software-TLB access path must not be slower than the raw page-map walk
+# (relative comparison, so it is stable on loaded CI hosts). The same
+# test runs as part of `make test` / `make check`; `-short` skips it.
+perf-smoke:
+	$(GO) test -run TestPerfSmokeTLB -v ./internal/mem/
+
 # trace-smoke drives the forensics/profiling CLI flags end to end and
 # validates that the emitted Chrome trace JSON and folded stacks parse.
 # (The same test also runs as part of `make test` / `make check`.)
@@ -36,7 +44,8 @@ bench-smoke:
 	$(GO) run ./cmd/rfbench -table1 -scale 0.02 -json results/bench.json
 
 # bench-host measures host wall-clock performance (VM dispatch strategies,
-# worker-pool scaling) and records it in results/BENCH_host.json.
+# guest-memory TLB, block chaining, worker-pool scaling) and records it
+# in results/BENCH_host.json.
 bench-host:
 	$(GO) run ./cmd/rfbench -hostbench -progress=false
 

@@ -309,6 +309,48 @@ func BenchmarkVMDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkBlockChain isolates block chaining on the dispatch workload:
+// the block cache with every exit walking the per-page tables (nochain)
+// vs steady-state exits following cached successor pointers (chain), with
+// the software TLB ablated as a third axis.
+func BenchmarkBlockChain(b *testing.B) {
+	bm := workload.ByName("bzip2")
+	cp := *bm
+	cp.RefScale = 20000
+	bin, err := cp.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := cp.RefInput()
+	for _, mode := range []struct {
+		name    string
+		noChain bool
+		noTLB   bool
+	}{
+		{"chain", false, false},
+		{"nochain", true, false},
+		{"chain-notlb", false, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var insts uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := redfat.Run(bin, redfat.RunOptions{
+					Input: input, NoChain: mode.noChain, NoTLB: mode.noTLB,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = res.Insts
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(insts)*float64(b.N)/secs/1e6, "guest-MIPS")
+			}
+		})
+	}
+}
+
 // BenchmarkTable1Parallel measures the experiment harness's wall-clock
 // scaling over the worker pool: the full Table 1 pipeline serially and at
 // -parallel 4. The rendered rows are byte-identical at any width; only

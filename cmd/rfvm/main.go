@@ -50,6 +50,9 @@ func main() {
 	profInterval := flag.Uint64("profile-interval", 0, "guest cycles between profile samples (0 = default)")
 	folded := flag.String("folded", "", "write the guest profile as folded stacks (flamegraph input) to FILE")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (events + profile samples) to FILE")
+	noBlock := flag.Bool("noblock", false, "disable the VM's basic-block cache (host A/B validation)")
+	noChain := flag.Bool("nochain", false, "disable block chaining (host A/B validation)")
+	noTLB := flag.Bool("notlb", false, "disable the guest-memory software TLB (host A/B validation)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rfvm [flags] prog.relf\n")
 		flag.PrintDefaults()
@@ -79,6 +82,9 @@ func main() {
 		Memcheck:     *mcheck,
 		AbortOnError: *abort,
 		MaxCycles:    *max,
+		NoBlockCache: *noBlock,
+		NoChain:      *noChain,
+		NoTLB:        *noTLB,
 	}
 	if *trace > 0 {
 		ro.Trace = os.Stderr

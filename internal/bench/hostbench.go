@@ -7,7 +7,10 @@ import (
 	"runtime"
 	"testing"
 
+	"redfat/internal/mem"
+	"redfat/internal/relf"
 	"redfat/internal/rtlib"
+	"redfat/internal/telemetry"
 	"redfat/internal/workload"
 )
 
@@ -29,6 +32,28 @@ type DispatchHostBench struct {
 	Improvement    float64 `json:"improvement"` // fractional dispatch-time reduction
 }
 
+// MemTLBHostBench compares guest-memory access latency through the
+// software TLB against the raw page-map lookup, plus the TLB hit rate
+// observed over the dispatch workload.
+type MemTLBHostBench struct {
+	MapNsPerAccess float64 `json:"map_ns_per_access"` // NoTLB: page-map lookup per access
+	TLBNsPerAccess float64 `json:"tlb_ns_per_access"`
+	Speedup        float64 `json:"speedup"`  // map / TLB latency ratio
+	HitRate        float64 `json:"hit_rate"` // TLB hits / probes over the workload run
+}
+
+// BlockChainHostBench isolates the block-chaining layer: the block cache
+// with chaining disabled (every block exit walks the per-page tables) vs
+// chaining enabled (steady-state exits follow cached successor pointers).
+type BlockChainHostBench struct {
+	NoChainNsPerInst float64 `json:"nochain_ns_per_inst"`
+	ChainNsPerInst   float64 `json:"chain_ns_per_inst"`
+	NoChainMIPS      float64 `json:"nochain_mips"`
+	ChainMIPS        float64 `json:"chain_mips"`
+	Improvement      float64 `json:"improvement"`    // fractional dispatch-time reduction
+	ChainHitRate     float64 `json:"chain_hit_rate"` // chained / all block exits
+}
+
 // Table1HostBench compares serial and parallel wall-clock for the Table 1
 // pipeline at a reduced scale.
 type Table1HostBench struct {
@@ -42,12 +67,14 @@ type Table1HostBench struct {
 // HostBenchResult is the machine-readable output of RunHostBench
 // (exported by rfbench -hostbench to results/BENCH_host.json).
 type HostBenchResult struct {
-	GOOS      string            `json:"goos"`
-	GOARCH    string            `json:"goarch"`
-	GoVersion string            `json:"go_version"`
-	NumCPU    int               `json:"num_cpu"`
-	Dispatch  DispatchHostBench `json:"vm_dispatch"`
-	Table1    Table1HostBench   `json:"table1_parallel"`
+	GOOS       string              `json:"goos"`
+	GOARCH     string              `json:"goarch"`
+	GoVersion  string              `json:"go_version"`
+	NumCPU     int                 `json:"num_cpu"`
+	Dispatch   DispatchHostBench   `json:"vm_dispatch"`
+	MemTLB     MemTLBHostBench     `json:"mem_tlb"`
+	BlockChain BlockChainHostBench `json:"block_chain"`
+	Table1     Table1HostBench     `json:"table1_parallel"`
 }
 
 // RunHostBench measures both host-side benchmarks: VM dispatch (map vs
@@ -59,7 +86,17 @@ func RunHostBench(parallel int, scale float64) (*HostBenchResult, error) {
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 	}
-	if err := res.measureDispatch(); err != nil {
+	bin, input, err := dispatchWorkload()
+	if err != nil {
+		return nil, err
+	}
+	if err := res.measureDispatch(bin, input); err != nil {
+		return nil, err
+	}
+	if err := res.measureBlockChain(bin, input); err != nil {
+		return nil, err
+	}
+	if err := res.measureMemTLB(bin, input); err != nil {
 		return nil, err
 	}
 	if err := res.measureTable1(parallel, scale); err != nil {
@@ -68,15 +105,34 @@ func RunHostBench(parallel int, scale float64) (*HostBenchResult, error) {
 	return res, nil
 }
 
-func (r *HostBenchResult) measureDispatch() error {
+// dispatchWorkload builds the shared workload binary (bzip2 at a reduced
+// reference scale) used by the dispatch, chaining and TLB measurements.
+func dispatchWorkload() (*relf.Binary, []uint64, error) {
 	bm := workload.ByName("bzip2")
 	cp := *bm
 	cp.RefScale = 20000
 	bin, err := cp.Build()
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	input := cp.RefInput()
+	return bin, cp.RefInput(), nil
+}
+
+// measureConfig times repeated runs of the workload under one knob setting.
+func measureConfig(bin *relf.Binary, input []uint64, cfg rtlib.RunConfig, runErr *error) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Input = input
+			if _, err := rtlib.RunBaseline(bin, c); err != nil {
+				*runErr = err
+				return
+			}
+		}
+	})
+}
+
+func (r *HostBenchResult) measureDispatch(bin *relf.Binary, input []uint64) error {
 	probe, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: input})
 	if err != nil {
 		return err
@@ -84,20 +140,8 @@ func (r *HostBenchResult) measureDispatch() error {
 	insts := probe.Insts
 
 	var runErr error
-	measure := func(noBlock bool) testing.BenchmarkResult {
-		return testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := rtlib.RunBaseline(bin, rtlib.RunConfig{
-					Input: input, NoBlockCache: noBlock,
-				}); err != nil {
-					runErr = err
-					return
-				}
-			}
-		})
-	}
-	mapRes := measure(true)
-	blockRes := measure(false)
+	mapRes := measureConfig(bin, input, rtlib.RunConfig{NoBlockCache: true}, &runErr)
+	blockRes := measureConfig(bin, input, rtlib.RunConfig{}, &runErr)
 	if runErr != nil {
 		return runErr
 	}
@@ -111,6 +155,96 @@ func (r *HostBenchResult) measureDispatch() error {
 	}
 	if mapRes.NsPerOp() > 0 {
 		r.Dispatch.Improvement = 1 - float64(blockRes.NsPerOp())/float64(mapRes.NsPerOp())
+	}
+	return nil
+}
+
+// measureBlockChain isolates chaining: block cache with vs without the
+// successor links, plus the chain hit rate over one instrumented run.
+func (r *HostBenchResult) measureBlockChain(bin *relf.Binary, input []uint64) error {
+	var runErr error
+	noChain := measureConfig(bin, input, rtlib.RunConfig{NoChain: true}, &runErr)
+	chain := measureConfig(bin, input, rtlib.RunConfig{}, &runErr)
+	if runErr != nil {
+		return runErr
+	}
+
+	reg := telemetry.New()
+	if _, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: input, Metrics: reg}); err != nil {
+		return err
+	}
+	snap := reg.Snapshot()
+	hits := snap.Counters["vm.icache.chain.hits"]
+	misses := snap.Counters["vm.icache.chain.misses"]
+
+	insts := r.Dispatch.GuestInsts
+	r.BlockChain = BlockChainHostBench{
+		NoChainNsPerInst: float64(noChain.NsPerOp()) / float64(insts),
+		ChainNsPerInst:   float64(chain.NsPerOp()) / float64(insts),
+		NoChainMIPS:      mips(insts, noChain.NsPerOp()),
+		ChainMIPS:        mips(insts, chain.NsPerOp()),
+	}
+	if noChain.NsPerOp() > 0 {
+		r.BlockChain.Improvement = 1 - float64(chain.NsPerOp())/float64(noChain.NsPerOp())
+	}
+	if total := hits + misses; total > 0 {
+		r.BlockChain.ChainHitRate = float64(hits) / float64(total)
+	}
+	return nil
+}
+
+// measureMemTLB times raw guest loads over a multi-page working set with
+// the TLB on vs off, and reports the TLB hit rate of a full workload run.
+func (r *HostBenchResult) measureMemTLB(bin *relf.Binary, input []uint64) error {
+	const (
+		base     = uint64(0x10000)
+		pages    = 16
+		accesses = 4096
+		stride   = 64
+	)
+	nsPerAccess := func(noTLB bool) (float64, error) {
+		m := mem.New()
+		m.NoTLB = noTLB
+		m.Map(base, pages*mem.PageSize, mem.PermRW)
+		var loadErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				addr := base
+				for j := 0; j < accesses; j++ {
+					if _, err := m.Load(addr, 8); err != nil {
+						loadErr = err
+						return
+					}
+					addr += stride
+					if addr >= base+pages*mem.PageSize {
+						addr = base
+					}
+				}
+			}
+		})
+		return float64(res.NsPerOp()) / accesses, loadErr
+	}
+	mapNs, err := nsPerAccess(true)
+	if err != nil {
+		return err
+	}
+	tlbNs, err := nsPerAccess(false)
+	if err != nil {
+		return err
+	}
+
+	probe, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: input})
+	if err != nil {
+		return err
+	}
+
+	r.MemTLB = MemTLBHostBench{
+		MapNsPerAccess: mapNs,
+		TLBNsPerAccess: tlbNs,
+		HitRate:        probe.Mem.TLB().HitRate(),
+	}
+	if tlbNs > 0 {
+		r.MemTLB.Speedup = mapNs / tlbNs
 	}
 	return nil
 }
@@ -171,6 +305,15 @@ func (r *HostBenchResult) Render(w io.Writer) {
 		r.Dispatch.MapNsPerInst, r.Dispatch.MapMIPS)
 	fmt.Fprintf(w, "  block cache   %7.1f ns/inst  %7.1f guest MIPS  (%.1f%% faster)\n",
 		r.Dispatch.BlockNsPerInst, r.Dispatch.BlockMIPS, 100*r.Dispatch.Improvement)
+	fmt.Fprintf(w, "mem tlb (%.1f%% hit rate on workload):\n", 100*r.MemTLB.HitRate)
+	fmt.Fprintf(w, "  page map      %7.2f ns/access\n", r.MemTLB.MapNsPerAccess)
+	fmt.Fprintf(w, "  tlb           %7.2f ns/access  (%.2fx faster)\n",
+		r.MemTLB.TLBNsPerAccess, r.MemTLB.Speedup)
+	fmt.Fprintf(w, "block chaining (%.1f%% chain hit rate):\n", 100*r.BlockChain.ChainHitRate)
+	fmt.Fprintf(w, "  no chain      %7.1f ns/inst  %7.1f guest MIPS\n",
+		r.BlockChain.NoChainNsPerInst, r.BlockChain.NoChainMIPS)
+	fmt.Fprintf(w, "  chained       %7.1f ns/inst  %7.1f guest MIPS  (%.1f%% faster)\n",
+		r.BlockChain.ChainNsPerInst, r.BlockChain.ChainMIPS, 100*r.BlockChain.Improvement)
 	fmt.Fprintf(w, "table1 (scale %.2f):\n", r.Table1.Scale)
 	fmt.Fprintf(w, "  serial        %12d ns\n", r.Table1.SerialNs)
 	fmt.Fprintf(w, "  parallel %-4d %12d ns  (%.2fx speedup)\n",

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
 
+	"redfat/internal/mem"
 	"redfat/internal/telemetry"
 )
 
@@ -122,6 +124,65 @@ func TestFanOutTelemetryMerge(t *testing.T) {
 	}
 	if got := agg.Snapshot().Histograms["test.hist"].Count; got != n {
 		t.Errorf("test.hist count = %d, want %d", got, n)
+	}
+}
+
+// TestTLBParallelRace hammers guest-memory mapping churn — Map, Protect,
+// Unmap interleaved with loads and stores that hit and miss the software
+// TLB — across a wide worker pool. Each unit owns a private Memory, so a
+// -race run proves the TLB carries no shared mutable state through the
+// harness, and each unit cross-checks its TLB results against a NoTLB
+// shadow for identity.
+func TestTLBParallelRace(t *testing.T) {
+	h := &Harness{Parallel: 8}
+	const units = 24
+	if _, err := fanOut(h, "tlbrace", units,
+		func(i int) string { return fmt.Sprintf("u%d", i) },
+		func(unit int, _ *telemetry.Registry) (int, error) {
+			rng := rand.New(rand.NewSource(int64(unit)))
+			m := mem.New()
+			shadow := mem.New()
+			shadow.NoTLB = true
+			const (
+				base  = uint64(0x4000)
+				pages = 32
+				span  = pages * mem.PageSize
+			)
+			m.Map(base, span, mem.PermRW)
+			shadow.Map(base, span, mem.PermRW)
+			for op := 0; op < 3000; op++ {
+				page := base + uint64(rng.Intn(pages))*mem.PageSize
+				addr := base + uint64(rng.Intn(span-16))
+				switch rng.Intn(6) {
+				case 0:
+					m.Protect(page, mem.PageSize, mem.PermRead)
+					shadow.Protect(page, mem.PageSize, mem.PermRead)
+				case 1:
+					m.Protect(page, mem.PageSize, mem.PermRW)
+					shadow.Protect(page, mem.PageSize, mem.PermRW)
+				case 2:
+					m.Unmap(page, mem.PageSize)
+					shadow.Unmap(page, mem.PageSize)
+					m.Map(page, mem.PageSize, mem.PermRW)
+					shadow.Map(page, mem.PageSize, mem.PermRW)
+				case 3:
+					if err := m.Store(addr, 8, uint64(op)); err == nil {
+						shadow.Store(addr, 8, uint64(op))
+					} else if shadow.Store(addr, 8, uint64(op)) == nil {
+						return 0, fmt.Errorf("unit %d op %d: store diverged at %#x", unit, op, addr)
+					}
+				default:
+					a, errA := m.Load(addr, 8)
+					b, errB := shadow.Load(addr, 8)
+					if (errA == nil) != (errB == nil) || a != b {
+						return 0, fmt.Errorf("unit %d op %d: load diverged at %#x: %v/%v %d/%d",
+							unit, op, addr, errA, errB, a, b)
+					}
+				}
+			}
+			return unit, nil
+		}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -156,6 +156,8 @@ func Run(bin *relf.Binary, cfg rtlib.RunConfig) (*vm.VM, error) {
 	}
 	v.AbortOnError = cfg.Abort
 	v.NoBlockCache = cfg.NoBlockCache
+	v.NoChain = cfg.NoChain
+	m.NoTLB = cfg.NoTLB
 	cfg.AttachTrace(v)
 
 	w := NewWrapper(heap.New(m))

@@ -32,41 +32,63 @@ func stripHostOnly(s *telemetry.Snapshot) *telemetry.Snapshot {
 	return s
 }
 
-// runBoth executes the same binary under both dispatch strategies and
-// fails the test on any guest-visible divergence.
+// fastPathConfigs is the host fast-path knob matrix: every combination of
+// {block cache + chaining, block cache only, map icache} × {TLB, no TLB}.
+// The first entry (everything on) is the reference the rest are diffed
+// against.
+var fastPathConfigs = []struct {
+	name                    string
+	noBlock, noChain, noTLB bool
+}{
+	{"block+chain+tlb", false, false, false},
+	{"block+chain", false, false, true},
+	{"block+tlb", false, true, false},
+	{"block", false, true, true},
+	{"map+tlb", true, false, false},
+	{"map", true, false, true},
+}
+
+// runBoth executes the same binary under every fast-path knob combination
+// and fails the test on any guest-visible divergence from the reference
+// (all fast paths enabled).
 func runBoth(t *testing.T, name string, run func(cfg rtlib.RunConfig) (*vm.VM, error)) {
 	t.Helper()
-	exec := func(noBlock bool) (*vm.VM, *telemetry.Snapshot, error) {
+	exec := func(noBlock, noChain, noTLB bool) (*vm.VM, *telemetry.Snapshot, error) {
 		reg := telemetry.New()
-		v, err := run(rtlib.RunConfig{NoBlockCache: noBlock, Metrics: reg})
+		v, err := run(rtlib.RunConfig{
+			NoBlockCache: noBlock, NoChain: noChain, NoTLB: noTLB, Metrics: reg,
+		})
 		return v, stripHostOnly(reg.Snapshot()), err
 	}
-	blockVM, blockTel, blockErr := exec(false)
-	mapVM, mapTel, mapErr := exec(true)
-
-	if (blockErr == nil) != (mapErr == nil) {
-		t.Fatalf("%s: error divergence: block %v, map %v", name, blockErr, mapErr)
-	}
-	if blockErr != nil && blockErr.Error() != mapErr.Error() {
-		t.Errorf("%s: error text differs: block %q, map %q", name, blockErr, mapErr)
-	}
-	if blockVM.Cycles != mapVM.Cycles {
-		t.Errorf("%s: cycles differ: block %d, map %d", name, blockVM.Cycles, mapVM.Cycles)
-	}
-	if blockVM.Insts != mapVM.Insts {
-		t.Errorf("%s: insts differ: block %d, map %d", name, blockVM.Insts, mapVM.Insts)
-	}
-	if blockVM.ExitCode != mapVM.ExitCode {
-		t.Errorf("%s: exit code differs: block %d, map %d", name, blockVM.ExitCode, mapVM.ExitCode)
-	}
-	if !reflect.DeepEqual(blockVM.Errors, mapVM.Errors) {
-		t.Errorf("%s: detected errors differ: block %v, map %v", name, blockVM.Errors, mapVM.Errors)
-	}
-	if !reflect.DeepEqual(blockVM.Output, mapVM.Output) {
-		t.Errorf("%s: output differs", name)
-	}
-	if !reflect.DeepEqual(blockTel, mapTel) {
-		t.Errorf("%s: guest-derived telemetry differs:\nblock: %+v\nmap:   %+v", name, blockTel, mapTel)
+	ref := fastPathConfigs[0]
+	refVM, refTel, refErr := exec(ref.noBlock, ref.noChain, ref.noTLB)
+	for _, c := range fastPathConfigs[1:] {
+		gotVM, gotTel, gotErr := exec(c.noBlock, c.noChain, c.noTLB)
+		label := name + "/" + c.name
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: error divergence: ref %v, got %v", label, refErr, gotErr)
+		}
+		if refErr != nil && refErr.Error() != gotErr.Error() {
+			t.Errorf("%s: error text differs: ref %q, got %q", label, refErr, gotErr)
+		}
+		if refVM.Cycles != gotVM.Cycles {
+			t.Errorf("%s: cycles differ: ref %d, got %d", label, refVM.Cycles, gotVM.Cycles)
+		}
+		if refVM.Insts != gotVM.Insts {
+			t.Errorf("%s: insts differ: ref %d, got %d", label, refVM.Insts, gotVM.Insts)
+		}
+		if refVM.ExitCode != gotVM.ExitCode {
+			t.Errorf("%s: exit code differs: ref %d, got %d", label, refVM.ExitCode, gotVM.ExitCode)
+		}
+		if !reflect.DeepEqual(refVM.Errors, gotVM.Errors) {
+			t.Errorf("%s: detected errors differ: ref %v, got %v", label, refVM.Errors, gotVM.Errors)
+		}
+		if !reflect.DeepEqual(refVM.Output, gotVM.Output) {
+			t.Errorf("%s: output differs", label)
+		}
+		if !reflect.DeepEqual(refTel, gotTel) {
+			t.Errorf("%s: guest-derived telemetry differs:\nref: %+v\ngot: %+v", label, refTel, gotTel)
+		}
 	}
 }
 
@@ -100,6 +122,62 @@ func TestBlockCacheIdentity(t *testing.T) {
 			v, _, err := rtlib.RunHardened(hard, cfg)
 			return v, err
 		})
+	}
+}
+
+// TestFastPathForensicsIdentity runs a hardened workload with a planted
+// error under forensics and the guest profiler across the whole knob
+// matrix: error reports and profile samples are derived from guest state
+// (cycles, PCs, stacks), so they must be bit-identical on every path.
+func TestFastPathForensicsIdentity(t *testing.T) {
+	bm := workload.ByName("calculix") // planted out-of-bounds read
+	cp := *bm
+	cp.RefScale = 1500
+	bin, err := cp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, _, err := redfat.Harden(bin, redfat.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := cp.RefInput()
+
+	type forensicRun struct {
+		v       *vm.VM
+		samples []vm.ProfSample
+	}
+	exec := func(noBlock, noChain, noTLB bool) forensicRun {
+		prof := &vm.GuestProfiler{Interval: 64}
+		v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{
+			Input:        input,
+			NoBlockCache: noBlock, NoChain: noChain, NoTLB: noTLB,
+			Forensics: true,
+			Profiler:  prof,
+		})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return forensicRun{v: v, samples: prof.Samples()}
+	}
+	refCfg := fastPathConfigs[0]
+	ref := exec(refCfg.noBlock, refCfg.noChain, refCfg.noTLB)
+	if len(ref.v.Errors) == 0 {
+		t.Fatal("calculix run detected no errors; forensics path unexercised")
+	}
+	for _, c := range fastPathConfigs[1:] {
+		got := exec(c.noBlock, c.noChain, c.noTLB)
+		if ref.v.Cycles != got.v.Cycles || ref.v.Insts != got.v.Insts {
+			t.Errorf("%s: cycles/insts differ: ref %d/%d, got %d/%d",
+				c.name, ref.v.Cycles, ref.v.Insts, got.v.Cycles, got.v.Insts)
+		}
+		if !reflect.DeepEqual(ref.v.Errors, got.v.Errors) {
+			t.Errorf("%s: detected errors differ", c.name)
+		}
+		if !reflect.DeepEqual(ref.samples, got.samples) {
+			t.Errorf("%s: profiler samples differ (%d vs %d stacks)",
+				c.name, len(ref.samples), len(got.samples))
+		}
 	}
 }
 

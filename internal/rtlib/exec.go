@@ -49,6 +49,16 @@ type RunConfig struct {
 	// differs.
 	NoBlockCache bool
 
+	// NoChain disables block chaining (direct block→successor links)
+	// while keeping the block cache itself. Host-side validation knob,
+	// same identity guarantee as NoBlockCache.
+	NoChain bool
+
+	// NoTLB disables the guest-memory software TLB, forcing every page
+	// access through the page-map lookup. Host-side validation knob,
+	// same identity guarantee as NoBlockCache.
+	NoTLB bool
+
 	// Forensics enables allocation-site backtrace capture in the bound
 	// allocator and guest-backtrace capture on trapped memory errors,
 	// feeding the forensic report builder. Host-side only: guest cycle
@@ -148,6 +158,8 @@ func RunBaseline(bin *relf.Binary, cfg RunConfig) (*vm.VM, error) {
 	v.Input = cfg.Input
 	v.MaxCycles = cfg.maxCycles()
 	v.NoBlockCache = cfg.NoBlockCache
+	v.NoChain = cfg.NoChain
+	m.NoTLB = cfg.NoTLB
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
 	h := heap.New(m)
@@ -171,6 +183,8 @@ func RunHardened(bin *relf.Binary, cfg RunConfig) (*vm.VM, *Runtime, error) {
 	v.MaxCycles = cfg.maxCycles()
 	v.AbortOnError = cfg.Abort
 	v.NoBlockCache = cfg.NoBlockCache
+	v.NoChain = cfg.NoChain
+	m.NoTLB = cfg.NoTLB
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
 	h := cfg.newHeap(m)
@@ -204,6 +218,8 @@ func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, [
 	v.MaxCycles = cfg.maxCycles()
 	v.AbortOnError = cfg.Abort
 	v.NoBlockCache = cfg.NoBlockCache
+	v.NoChain = cfg.NoChain
+	m.NoTLB = cfg.NoTLB
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
 	h := cfg.newHeap(m)

@@ -1,0 +1,104 @@
+package rtlib
+
+import (
+	"math/rand"
+	"testing"
+
+	"redfat/internal/isa"
+	"redfat/internal/mem"
+	"redfat/internal/vm"
+)
+
+// TestFastCheckCostTable diffs the precomputed per-site cost table against
+// checkCost, the executable specification, over every combination of the
+// site constants that feed the cost model and every dynamic (fat,
+// fallbackFat) outcome.
+func TestFastCheckCostTable(t *testing.T) {
+	for _, mode := range []Mode{ModeRedzone, ModeFull, ModeProfile} {
+		for _, leader := range []bool{false, true} {
+			for _, savedRegs := range []uint8{0, 1, 3, 15} {
+				for _, saveFlags := range []bool{false, true} {
+					for _, noSize := range []bool{false, true} {
+						c := Check{
+							Mode:        mode,
+							Leader:      leader,
+							SavedRegs:   savedRegs,
+							SaveFlags:   saveFlags,
+							NoSizeCheck: noSize,
+						}
+						cf := compileCheck(&c)
+						for _, fat := range []bool{false, true} {
+							for _, fb := range []bool{false, true} {
+								want := checkCost(&c, fat, fb)
+								got := cf.costs[fatIdx(fat, fb)]
+								if got != want {
+									t.Fatalf("mode=%v leader=%v regs=%d flags=%v nosize=%v fat=%v fb=%v: cost %d, want %d",
+										mode, leader, savedRegs, saveFlags, noSize, fat, fb, got, want)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// refAccessRange is the interpretive operand reconstruction the fast path
+// replaced (paper §4.1), kept verbatim as the reference.
+func refAccessRange(c *Check, v *vm.VM) (ptr, lb, ub uint64) {
+	i := uint64(int64(c.Operand.Disp))
+	switch {
+	case c.Operand.Base == isa.RIP:
+		i += c.RipNext
+	case c.Operand.Base != isa.RegNone:
+		ptr = v.Regs[c.Operand.Base]
+	}
+	if c.Operand.Index != isa.RegNone {
+		i += v.Regs[c.Operand.Index] * uint64(c.Operand.Scale)
+	}
+	switch c.Operand.Seg {
+	case isa.SegFS:
+		i += v.FSBase
+	case isa.SegGS:
+		i += v.GSBase
+	}
+	lb = ptr + i
+	return ptr, lb, lb + uint64(c.Len)
+}
+
+// TestFastCheckAccessRange fuzzes operand shapes and register states and
+// checks the precomputed plan reconstructs the same (ptr, LB, UB) as the
+// reference reconstruction.
+func TestFastCheckAccessRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	v := vm.New(mem.New())
+	bases := []isa.Reg{isa.RegNone, isa.RIP, isa.RAX, isa.RBX, isa.RSP, isa.R12}
+	indexes := []isa.Reg{isa.RegNone, isa.RCX, isa.RDI, isa.R9}
+	segs := []isa.Seg{isa.SegNone, isa.SegFS, isa.SegGS}
+	for trial := 0; trial < 5000; trial++ {
+		for r := range v.Regs {
+			v.Regs[r] = rng.Uint64()
+		}
+		v.FSBase = rng.Uint64()
+		v.GSBase = rng.Uint64()
+		c := Check{
+			Operand: isa.Mem{
+				Seg:   segs[rng.Intn(len(segs))],
+				Disp:  int32(rng.Uint32()),
+				Base:  bases[rng.Intn(len(bases))],
+				Index: indexes[rng.Intn(len(indexes))],
+				Scale: uint8(1 << rng.Intn(4)),
+			},
+			Len:     uint32(1 + rng.Intn(64)),
+			RipNext: rng.Uint64(),
+		}
+		cf := compileCheck(&c)
+		wp, wlb, wub := refAccessRange(&c, v)
+		gp, glb, gub := cf.accessRange(v)
+		if gp != wp || glb != wlb || gub != wub {
+			t.Fatalf("trial %d operand %+v: (ptr,lb,ub)=(%#x,%#x,%#x), want (%#x,%#x,%#x)",
+				trial, c.Operand, gp, glb, gub, wp, wlb, wub)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package rtlib
 import (
 	"fmt"
 
-	"redfat/internal/isa"
 	"redfat/internal/lowfat"
 	"redfat/internal/redzone"
 	"redfat/internal/relf"
@@ -33,6 +32,11 @@ type Runtime struct {
 	Checks []Check
 	Heap   *redzone.Heap
 	Stats  []SiteStat
+
+	// fast holds the per-site precomputed execution plans, Checks-parallel
+	// (the load-time specialization the real RedFat bakes into trampoline
+	// code at rewrite time).
+	fast []checkFast
 
 	tel    *checkMetrics
 	tracer *telemetry.Tracer
@@ -113,6 +117,7 @@ func NewRuntime(bin *relf.Binary, h *redzone.Heap) (*Runtime, error) {
 		Checks: checks,
 		Heap:   h,
 		Stats:  make([]SiteStat, len(checks)),
+		fast:   compileChecks(checks),
 	}, nil
 }
 
@@ -129,41 +134,23 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 			Note: "check with invalid site index"}
 	}
 	c := &rt.Checks[arg]
+	cf := &rt.fast[arg]
 	rt.Stats[arg].Execs++
 	if rt.tel != nil {
 		rt.tel.execs.Inc()
 	}
 
-	// Reconstruct (ptr, i) from the operand (paper §4.1): ptr is the
-	// base register, i = disp + index*scale (+ segment base).
-	var ptr uint64
-	i := uint64(int64(c.Operand.Disp))
-	switch {
-	case c.Operand.Base == isa.RIP:
-		i += c.RipNext
-	case c.Operand.Base != isa.RegNone:
-		ptr = v.Regs[c.Operand.Base]
-	}
-	if c.Operand.Index != isa.RegNone {
-		i += v.Regs[c.Operand.Index] * uint64(c.Operand.Scale)
-	}
-	switch c.Operand.Seg {
-	case isa.SegFS:
-		i += v.FSBase
-	case isa.SegGS:
-		i += v.GSBase
-	}
-
-	// STEP (1): the access range.
-	lb := ptr + i
-	ub := lb + uint64(c.Len)
+	// STEP (1): the access range, rebuilt from the precomputed operand
+	// plan (paper §4.1): ptr is the base register, the offset folds the
+	// displacement, RIP bias, index*scale and segment base.
+	ptr, lb, ub := cf.accessRange(v)
 
 	// STEP (2): the object base. Full/Profile first try base(ptr) — the
 	// LowFat component — and fall back to base(LB) — the Redzone
 	// component — for non-fat pointers.
 	var base uint64
 	fat := false
-	if c.Mode == ModeFull || c.Mode == ModeProfile {
+	if cf.tryLowFat {
 		base = lowfat.Base(ptr)
 		fat = base != 0
 	}
@@ -173,7 +160,7 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 		base = lowfat.Base(lb)
 		fallbackFat = base != 0
 	}
-	v.Cycles += checkCost(c, fat, fallbackFat)
+	v.Cycles += cf.costs[fatIdx(fat, fallbackFat)]
 	if base == 0 {
 		rt.Stats[arg].NonFat++
 		if rt.tel != nil {
@@ -196,7 +183,7 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 	var kind vm.MemErrorKind
 	bad := false
 	switch {
-	case !c.NoSizeCheck && lowfat.Size(base) != lowfat.SizeMax &&
+	case cf.sizeCheck && lowfat.Size(base) != lowfat.SizeMax &&
 		size > lowfat.Size(base)-redzone.Size:
 		kind, bad = vm.ErrCorruptMeta, true
 	case size == 0:
@@ -205,19 +192,10 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 		// an unallocated slot, which reads as zero).
 		kind, bad = vm.ErrUseAfterFree, true
 		if wild {
-			if c.Write {
-				kind = vm.ErrOOBWrite
-			} else {
-				kind = vm.ErrOOBRead
-			}
+			kind = cf.oobKind
 		}
 	case lb < base+redzone.Size || ub > base+redzone.Size+size:
-		if c.Write {
-			kind = vm.ErrOOBWrite
-		} else {
-			kind = vm.ErrOOBRead
-		}
-		bad = true
+		kind, bad = cf.oobKind, true
 	}
 
 	// Attribute the verdict: a violation found via base(ptr) is the
@@ -251,7 +229,7 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 		}
 	}
 
-	if c.Mode == ModeProfile {
+	if cf.profile {
 		// Profiling records verdicts and never aborts.
 		return nil
 	}

@@ -12,10 +12,22 @@ package vm
 // locating the next block after a branch costs a single-entry page-cache
 // hit plus an array index in the common case.
 //
+// Block chaining removes even that cost from the steady state: each block
+// carries two successor slots — a fall-through slot (keyed by the fixed
+// address after the block's last instruction) and a taken slot (a
+// one-entry BTB keyed by the last observed branch target). On block exit
+// the chain is consulted first, so straight-line and loop-heavy code
+// never touches the block tables at all; only a changed indirect target
+// or a cold edge falls back to the page-table walk, which then installs
+// the chain for next time. Chains are pointers into the same cache the
+// per-page tables index, so FlushICache invalidates both together (the
+// tables and every chain die with the cache generation).
+//
 // The cache is host-side only: cycle accounting, hook invocation order
 // (TraceHook, MemHook, BlockHook), error reporting and the cycle-budget
 // abort point are bit-identical to the legacy per-instruction path, which
-// remains available behind VM.NoBlockCache for A/B validation.
+// remains available behind VM.NoBlockCache for A/B validation, with
+// VM.NoChain ablating just the chaining layer.
 
 import (
 	"fmt"
@@ -32,10 +44,25 @@ const maxBlockInsts = 64
 // pageOffMask extracts the page offset of an address.
 const pageOffMask = mem.PageSize - 1
 
-// block is one straight-line run of predecoded instructions.
+// blockInst is one predecoded instruction with its program counter.
+// Fusing the two into a single slice element keeps the hot execution
+// loop to one bounds check and one sequential cache stream per
+// instruction.
+type blockInst struct {
+	pc uint64
+	in isa.Inst
+}
+
+// block is one straight-line run of predecoded instructions, plus the
+// chain slots linking it to its observed successors.
 type block struct {
-	pcs   []uint64   // program counter of each instruction
-	insts []isa.Inst // predecoded instructions, pcs-parallel
+	insts []blockInst // predecoded instructions in fall-through order
+
+	fallPC uint64 // address after the last instruction (fall-through edge)
+	fall   *block // successor when control falls through (nil until chained)
+
+	takenPC uint64 // last observed non-fall-through exit target
+	taken   *block // its block (a one-entry BTB for indirect exits)
 }
 
 // codePage indexes the blocks that begin on one 4 KiB code page by page
@@ -103,27 +130,33 @@ func (v *VM) buildBlock(start uint64) (*block, error) {
 		if v.tel != nil {
 			v.tel.icacheMiss.Inc()
 		}
-		b.pcs = append(b.pcs, pc)
-		b.insts = append(b.insts, in)
+		b.insts = append(b.insts, blockInst{pc: pc, in: in})
+		pc += uint64(in.Len)
 		if endsBlock(in.Op) {
 			break
 		}
-		pc += uint64(in.Len)
 	}
+	b.fallPC = pc
 	return b, nil
 }
 
 // runBlocks is Run's fast path: execute straight-line through cached
-// blocks, re-entering the cache only at control transfers.
+// blocks, following chained successors on block exit and touching the
+// block tables only on cold or re-targeted edges.
 func (v *VM) runBlocks() error {
+	var b *block
 	for !v.Halted {
-		b, err := v.blockAt(v.RIP)
-		if err != nil {
-			v.FlushTelemetry()
-			return err
+		if b == nil {
+			nb, err := v.blockAt(v.RIP)
+			if err != nil {
+				v.FlushTelemetry()
+				return err
+			}
+			b = nb
 		}
 		for i := 0; ; {
-			if err := v.exec(b.pcs[i], &b.insts[i]); err != nil {
+			bi := &b.insts[i]
+			if err := v.exec(bi.pc, &bi.in); err != nil {
 				v.FlushTelemetry()
 				return err
 			}
@@ -139,10 +172,47 @@ func (v *VM) runBlocks() error {
 				return nil
 			}
 			i++
-			if i == len(b.insts) || v.RIP != b.pcs[i] {
-				break // block done, or control left the fall-through path
+			if i == len(b.insts) {
+				break
+			}
+			// Mid-block instructions cannot transfer control: blocks end
+			// at the first branch/TRAP/RTCALL, and HLT trips the Halted
+			// check above. So RIP here is always insts[i].pc — no re-check.
+		}
+		// Block exit: follow the chain if the observed target matches.
+		rip := v.RIP
+		if !v.NoChain {
+			if rip == b.fallPC && b.fall != nil {
+				b = b.fall
+				if v.tel != nil {
+					v.tel.chainHits.Inc()
+				}
+				continue
+			}
+			if rip == b.takenPC && b.taken != nil {
+				b = b.taken
+				if v.tel != nil {
+					v.tel.chainHits.Inc()
+				}
+				continue
 			}
 		}
+		nb, err := v.blockAt(rip)
+		if err != nil {
+			v.FlushTelemetry()
+			return err
+		}
+		if !v.NoChain {
+			if v.tel != nil {
+				v.tel.chainMisses.Inc()
+			}
+			if rip == b.fallPC {
+				b.fall = nb
+			} else {
+				b.takenPC, b.taken = rip, nb
+			}
+		}
+		b = nb
 	}
 	v.FlushTelemetry()
 	return nil

@@ -18,8 +18,18 @@ func signBit(v uint64, w uint16) bool {
 	return v&(1<<(8*w-1)) != 0
 }
 
-// addFlags computes flags for a + b = r at width w.
+// addFlags computes flags for a + b = r at width w. The w == 8 fast
+// path avoids the masking entirely (the mask is all-ones); it computes
+// the same four booleans as the general path.
 func addFlags(a, b, r uint64, w uint16) Flags {
+	if w == 8 {
+		return Flags{
+			ZF: r == 0,
+			SF: int64(r) < 0,
+			CF: r < a,
+			OF: int64((a^r)&(b^r)) < 0,
+		}
+	}
 	mask := widthMask(w)
 	a, b, r = a&mask, b&mask, r&mask
 	return Flags{
@@ -30,8 +40,17 @@ func addFlags(a, b, r uint64, w uint16) Flags {
 	}
 }
 
-// subFlags computes flags for a - b = r at width w.
+// subFlags computes flags for a - b = r at width w (same w == 8 fast
+// path as addFlags).
 func subFlags(a, b, r uint64, w uint16) Flags {
+	if w == 8 {
+		return Flags{
+			ZF: r == 0,
+			SF: int64(r) < 0,
+			CF: a < b,
+			OF: int64((a^b)&(a^r)) < 0,
+		}
+	}
 	mask := widthMask(w)
 	a, b, r = a&mask, b&mask, r&mask
 	return Flags{
@@ -44,6 +63,9 @@ func subFlags(a, b, r uint64, w uint16) Flags {
 
 // logicFlags computes flags for logical operations (CF=OF=0).
 func logicFlags(r uint64, w uint16) Flags {
+	if w == 8 {
+		return Flags{ZF: r == 0, SF: int64(r) < 0}
+	}
 	mask := widthMask(w)
 	r &= mask
 	return Flags{ZF: r == 0, SF: signBit(r, w)}
@@ -256,6 +278,50 @@ func (v *VM) exec(pc uint64, in *isa.Inst) error {
 	case isa.MOV, isa.MOVABS, isa.MOVZX, isa.MOVSX,
 		isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
 		isa.CMP, isa.TEST, isa.IMUL:
+		// Register-form ops on the hot list retire right here — one
+		// dispatch, no stepALU call; everything else (memory forms,
+		// sub-width ops) takes the general path.
+		switch in.Form {
+		case isa.FRR:
+			if v.aluRegFast(in, v.Regs[in.Reg2]) {
+				v.RIP = next
+				return nil
+			}
+		case isa.FRI:
+			if v.aluRegFast(in, uint64(in.Imm)) {
+				v.RIP = next
+				return nil
+			}
+		case isa.FRM:
+			// Plain loads: the value is the (already zero-extended)
+			// memory word, flags untouched — same as stepALU's path.
+			if in.Op == isa.MOV || in.Op == isa.MOVZX {
+				w := uint16(in.Size)
+				if w == 0 {
+					w = 8
+				}
+				b, err := v.load(v.EA(in.Mem, next), w)
+				if err != nil {
+					return err
+				}
+				v.Regs[in.Reg] = b
+				v.RIP = next
+				return nil
+			}
+		case isa.FMR:
+			// Plain stores, likewise.
+			if in.Op == isa.MOV {
+				w := uint16(in.Size)
+				if w == 0 {
+					w = 8
+				}
+				if err := v.store(v.EA(in.Mem, next), w, v.Regs[in.Reg]); err != nil {
+					return err
+				}
+				v.RIP = next
+				return nil
+			}
+		}
 		if err := v.stepALU(in, next); err != nil {
 			return err
 		}
@@ -427,6 +493,46 @@ func (v *VM) exec(pc uint64, in *isa.Inst) error {
 	return nil
 }
 
+// aluRegFast executes the hot register-form ALU operations (which are
+// always 64-bit, so every width mask is all-ones) without the
+// aluCompute call, reporting whether it handled the op. Results and
+// flags are exactly those of aluCompute at w == 8: the flag helpers
+// below are the shared implementation.
+func (v *VM) aluRegFast(in *isa.Inst, b uint64) bool {
+	a := v.Regs[in.Reg]
+	switch in.Op {
+	case isa.MOV, isa.MOVABS:
+		v.Regs[in.Reg] = b
+	case isa.ADD:
+		r := a + b
+		v.Flags = addFlags(a, b, r, 8)
+		v.Regs[in.Reg] = r
+	case isa.SUB:
+		r := a - b
+		v.Flags = subFlags(a, b, r, 8)
+		v.Regs[in.Reg] = r
+	case isa.CMP:
+		v.Flags = subFlags(a, b, a-b, 8)
+	case isa.AND:
+		r := a & b
+		v.Flags = logicFlags(r, 8)
+		v.Regs[in.Reg] = r
+	case isa.OR:
+		r := a | b
+		v.Flags = logicFlags(r, 8)
+		v.Regs[in.Reg] = r
+	case isa.XOR:
+		r := a ^ b
+		v.Flags = logicFlags(r, 8)
+		v.Regs[in.Reg] = r
+	case isa.TEST:
+		v.Flags = logicFlags(a&b, 8)
+	default:
+		return false // MOVZX/MOVSX/IMUL: take the general path
+	}
+	return true
+}
+
 // stepALU executes two-operand ALU/MOV forms.
 func (v *VM) stepALU(in *isa.Inst, next uint64) error {
 	w := uint16(in.Size)
@@ -440,6 +546,9 @@ func (v *VM) stepALU(in *isa.Inst, next uint64) error {
 	}
 	switch in.Form {
 	case isa.FRR:
+		if v.aluRegFast(in, v.Regs[in.Reg2]) {
+			return nil
+		}
 		a, b := v.Regs[in.Reg], v.Regs[in.Reg2]
 		r, fl, err := v.aluCompute(in.Op, a, b, regW)
 		if err != nil {
@@ -450,11 +559,10 @@ func (v *VM) stepALU(in *isa.Inst, next uint64) error {
 			v.Regs[in.Reg] = r
 		}
 	case isa.FRI:
-		a, b := v.Regs[in.Reg], uint64(in.Imm)
-		if in.Op == isa.MOV || in.Op == isa.MOVABS {
-			v.Regs[in.Reg] = b
+		if v.aluRegFast(in, uint64(in.Imm)) {
 			return nil
 		}
+		a, b := v.Regs[in.Reg], uint64(in.Imm)
 		r, fl, err := v.aluCompute(in.Op, a, b, regW)
 		if err != nil {
 			return err
@@ -468,6 +576,12 @@ func (v *VM) stepALU(in *isa.Inst, next uint64) error {
 		b, err := v.load(addr, w)
 		if err != nil {
 			return err
+		}
+		if in.Op == isa.MOV || in.Op == isa.MOVZX {
+			// Loads already zero-extend to the access width, so the
+			// result is b with flags untouched — skip the call.
+			v.Regs[in.Reg] = b
+			return nil
 		}
 		a := v.Regs[in.Reg]
 		// Moves (zero/sign-extending) and ALU-from-memory both operate at

@@ -190,18 +190,59 @@ func ErrorSites(errs []MemError) map[uint64]bool {
 func DistinctErrorSites(errs []MemError) int { return len(ErrorSites(errs)) }
 
 // VM is an RF64 machine instance.
+//
+// Field order is deliberate: the dispatch loop touches Mem, RIP, Flags,
+// the cycle/instruction counters and the hook pointers on every retired
+// instruction, so they are grouped (with the register file immediately
+// after) to share the struct's first cache lines.
 type VM struct {
 	Mem   *mem.Memory
-	Regs  [isa.NumRegs]uint64
 	RIP   uint64
 	Flags Flags
-
-	// FSBase and GSBase are the segment base registers.
-	FSBase, GSBase uint64
 
 	Cycles    uint64
 	MaxCycles uint64 // execution budget; 0 means none
 	Insts     uint64 // retired instruction count
+
+	// PerInstOverhead adds cycles to every retired instruction; the
+	// Memcheck DBI model uses it for its dispatch overhead.
+	PerInstOverhead uint64
+
+	// Profiler, when set, samples the guest PC (with a backtrace) every
+	// Profiler.Interval guest cycles from the shared dispatch body, on
+	// both the block-cache and legacy paths. Sampling is host-side only:
+	// guest cycles, errors and output are bit-identical with and without
+	// a profiler attached.
+	Profiler *GuestProfiler
+
+	// TraceHook, if set, is invoked before every instruction retires
+	// (single-step debugging / execution tracing).
+	TraceHook func(v *VM, pc uint64, in *isa.Inst)
+
+	// Tracer, if set, records dispatch events (instruction retirement,
+	// patch dispatch, runtime calls) into a bounded ring buffer. Other
+	// layers (checks, allocators) append their events to the same tracer.
+	Tracer *telemetry.Tracer
+
+	// tel holds pre-resolved metric handles when telemetry is attached;
+	// nil (the default) means every instrumentation point is a single
+	// predictable branch and the cycle accounting is untouched.
+	tel *vmMetrics
+
+	// MemHook, if set, is invoked for every memory access the guest
+	// performs (before it happens). The Memcheck model uses this to run
+	// shadow checks. Returning an error aborts execution.
+	MemHook func(v *VM, addr uint64, size uint16, write bool) error
+
+	// BlockHook, if set, is invoked at every branch target (basic-block
+	// entry, approximately). The Memcheck model charges JIT translation
+	// cost here.
+	BlockHook func(v *VM, addr uint64)
+
+	Regs [isa.NumRegs]uint64
+
+	// FSBase and GSBase are the segment base registers.
+	FSBase, GSBase uint64
 
 	Halted   bool
 	ExitCode uint64
@@ -229,13 +270,6 @@ type VM struct {
 	// objects without threading the allocator through every return path.
 	Allocator any
 
-	// Profiler, when set, samples the guest PC (with a backtrace) every
-	// Profiler.Interval guest cycles from the shared dispatch body, on
-	// both the block-cache and legacy paths. Sampling is host-side only:
-	// guest cycles, errors and output are bit-identical with and without
-	// a profiler attached.
-	Profiler *GuestProfiler
-
 	// Output collects bytes written by the output host functions.
 	Output []byte
 
@@ -255,6 +289,12 @@ type VM struct {
 	// exists so tests and benchmarks can compare them.
 	NoBlockCache bool
 
+	// NoChain disables block chaining on the block-cache path: every
+	// block exit re-enters the per-page block tables instead of following
+	// cached successor pointers. An ablation knob; guest-visible
+	// behaviour is identical with chaining on or off.
+	NoChain bool
+
 	icache map[uint64]*isa.Inst // legacy per-PC decode cache (Step)
 
 	// Decoded basic-block cache (see blockcache.go).
@@ -272,34 +312,6 @@ type VM struct {
 	// import resolution (the dynamic-linker view).
 	exports  map[string]uint64
 	modCache *moduleEntry
-
-	// PerInstOverhead adds cycles to every retired instruction; the
-	// Memcheck DBI model uses it for its dispatch overhead.
-	PerInstOverhead uint64
-
-	// MemHook, if set, is invoked for every memory access the guest
-	// performs (before it happens). The Memcheck model uses this to run
-	// shadow checks. Returning an error aborts execution.
-	MemHook func(v *VM, addr uint64, size uint16, write bool) error
-
-	// BlockHook, if set, is invoked at every branch target (basic-block
-	// entry, approximately). The Memcheck model charges JIT translation
-	// cost here.
-	BlockHook func(v *VM, addr uint64)
-
-	// TraceHook, if set, is invoked before every instruction retires
-	// (single-step debugging / execution tracing).
-	TraceHook func(v *VM, pc uint64, in *isa.Inst)
-
-	// Tracer, if set, records dispatch events (instruction retirement,
-	// patch dispatch, runtime calls) into a bounded ring buffer. Other
-	// layers (checks, allocators) append their events to the same tracer.
-	Tracer *telemetry.Tracer
-
-	// tel holds pre-resolved metric handles when telemetry is attached;
-	// nil (the default) means every instrumentation point is a single
-	// predictable branch and the cycle accounting is untouched.
-	tel *vmMetrics
 }
 
 // vmMetrics is the VM's set of registry handles, resolved once at attach
@@ -320,6 +332,8 @@ type vmMetrics struct {
 	icacheSize   *telemetry.Gauge
 	icacheBlocks *telemetry.Gauge
 	icacheMiss   *telemetry.Counter
+	chainHits    *telemetry.Counter // block exits resolved via chained successors
+	chainMisses  *telemetry.Counter // block exits that walked the block tables
 	exitCode     *telemetry.Gauge
 	cycleAborts  *telemetry.Counter
 }
@@ -347,6 +361,8 @@ func (v *VM) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		icacheSize:   reg.Gauge("vm.icache.entries"),
 		icacheBlocks: reg.Gauge("vm.icache.blocks"),
 		icacheMiss:   reg.Counter("vm.icache.misses"),
+		chainHits:    reg.Counter("vm.icache.chain.hits"),
+		chainMisses:  reg.Counter("vm.icache.chain.misses"),
 		exitCode:     reg.Gauge("vm.exit.code"),
 		cycleAborts:  reg.Counter("vm.cycle.limit.aborts"),
 	}
@@ -495,20 +511,22 @@ func (v *VM) pop() (uint64, error) {
 // register state, with nextRIP used for RIP-relative operands.
 func (v *VM) EA(m isa.Mem, nextRIP uint64) uint64 {
 	addr := uint64(int64(m.Disp))
-	switch m.Seg {
-	case isa.SegFS:
-		addr += v.FSBase
-	case isa.SegGS:
-		addr += v.GSBase
-	}
-	switch {
-	case m.Base == isa.RIP:
-		addr += nextRIP
-	case m.Base != isa.RegNone:
-		addr += v.Regs[m.Base]
+	if m.Base != isa.RegNone {
+		if m.Base == isa.RIP {
+			addr += nextRIP
+		} else {
+			addr += v.Regs[m.Base]
+		}
 	}
 	if m.Index != isa.RegNone {
 		addr += v.Regs[m.Index] * uint64(m.Scale)
+	}
+	if m.Seg != isa.SegNone {
+		if m.Seg == isa.SegFS {
+			addr += v.FSBase
+		} else if m.Seg == isa.SegGS {
+			addr += v.GSBase
+		}
 	}
 	return addr
 }
@@ -568,9 +586,12 @@ func (v *VM) fetch(addr uint64) (*isa.Inst, error) {
 	return &cp, nil
 }
 
-// FlushICache drops cached decodes — both the legacy per-PC cache and the
-// basic-block cache (needed only if code is modified after it has
-// executed; offline rewriting does not require it).
+// FlushICache drops cached decodes — the legacy per-PC cache and the
+// basic-block cache, including every chained successor pointer: chains
+// only ever reference blocks reachable from the per-page tables being
+// dropped here, so tables and chains are invalidated together (needed
+// only if code is modified after it has executed; offline rewriting does
+// not require it).
 func (v *VM) FlushICache() {
 	v.icache = make(map[uint64]*isa.Inst, 4096)
 	v.bcache = make(map[uint64]*codePage)

@@ -200,6 +200,12 @@ type RunOptions struct {
 	// errors, output) are identical either way; the knob exists for
 	// host-performance A/B measurement and validation.
 	NoBlockCache bool
+	// NoChain disables block chaining (cached block→successor links)
+	// while keeping the block cache. Same identity guarantee.
+	NoChain bool
+	// NoTLB disables the guest-memory software TLB, forcing every page
+	// access through the page-map lookup. Same identity guarantee.
+	NoTLB bool
 	// Forensics enables allocation-site tracking (guest backtraces per
 	// malloc/free) and error backtrace capture, and fills Result.Reports
 	// with fully resolved error reports. Host-side only: guest cycle
@@ -255,6 +261,8 @@ func Run(bin *Binary, opt RunOptions) (*Result, error) {
 		Metrics:        opt.Metrics,
 		EventTrace:     opt.EventTrace,
 		NoBlockCache:   opt.NoBlockCache,
+		NoChain:        opt.NoChain,
+		NoTLB:          opt.NoTLB,
 		Forensics:      opt.Forensics,
 		ForensicsDepth: opt.ForensicsDepth,
 		Profiler:       opt.Profiler,
@@ -326,6 +334,8 @@ func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
 		Metrics:        opt.Metrics,
 		EventTrace:     opt.EventTrace,
 		NoBlockCache:   opt.NoBlockCache,
+		NoChain:        opt.NoChain,
+		NoTLB:          opt.NoTLB,
 		Forensics:      opt.Forensics,
 		ForensicsDepth: opt.ForensicsDepth,
 		Profiler:       opt.Profiler,
