@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race perf-smoke trace-smoke bench-smoke bench-host clean
+.PHONY: check fmt vet rfvet build test race perf-smoke trace-smoke bench-smoke bench-host clean
 
-# check is the tier-1 gate: formatting, static analysis, build, tests
-# (which include the TLB perf smoke, see perf-smoke), and a
-# race-detector pass over the concurrent harness (short mode).
-check: fmt vet build test race
+# check is the tier-1 gate: formatting, static analysis (go vet plus the
+# repo-specific rfvet rules), build, tests (which include the TLB perf
+# smoke, see perf-smoke), and a race-detector pass over the concurrent
+# harness (short mode).
+check: fmt vet rfvet build test race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -15,6 +16,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# rfvet enforces repo conventions plain vet cannot: telemetry metric
+# naming (<pkg>.<noun>.<verb>) and deterministic iteration in table and
+# report emitters. See cmd/rfvet.
+rfvet:
+	$(GO) run ./cmd/rfvet
 
 build:
 	$(GO) build ./...

@@ -50,6 +50,7 @@ func BenchmarkTable1(b *testing.B) {
 		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.Elim }), "elim-x")
 		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.Batch }), "batch-x")
 		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.Merge }), "merge-x")
+		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.Dom }), "dom-x")
 		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.NoSize }), "nosize-x")
 		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.NoReads }), "noreads-x")
 		b.ReportMetric(get(func(r *bench.Table1Row) float64 { return r.Memcheck }), "memcheck-x")

@@ -13,8 +13,10 @@
 //	-lowfat=false  redzone-only checking (the conservative baseline)
 //	-reads=false   write-only protection (the paper's fastest mode)
 //	-size=false    drop metadata hardening
-//	-O0            disable all optimizations (elim/batch/merge)
+//	-O0            disable all optimizations (elim/batch/merge/elimdom)
 //	-profile       emit the profiling-phase binary of the Fig. 5 workflow
+//	-verify        statically validate the rewriting before writing it
+//	-analysis-report f  dump per-function dataflow statistics as JSON
 package main
 
 import (
@@ -33,12 +35,16 @@ func main() {
 	elim := flag.Bool("elim", true, "enable check elimination")
 	batch := flag.Bool("batch", true, "enable check batching")
 	merge := flag.Bool("merge", true, "enable check merging")
+	elimDom := flag.Bool("elimdom", true, "enable dominator-based redundant-check elimination")
+	localLive := flag.Bool("local-liveness", false, "restrict liveness to block-local scans (ablation)")
 	o0 := flag.Bool("O0", false, "disable all optimizations")
 	profileMode := flag.Bool("profile", false, "build the profiling-phase binary")
 	allowPath := flag.String("allowlist", "", "allow-list file from the profiling phase")
 	maxBatch := flag.Int("maxbatch", 8, "maximum accesses per trampoline")
 	verbose := flag.Bool("v", false, "print the instrumentation report")
 	metricsPath := flag.String("metrics", "", "write the instrumentation metrics as JSON to this file")
+	doVerify := flag.Bool("verify", false, "run the translation validator on the result and fail on violations")
+	analysisPath := flag.String("analysis-report", "", "write per-function dataflow analysis statistics as JSON to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: redfat [flags] -o out.relf in.relf\n")
 		flag.PrintDefaults()
@@ -54,14 +60,16 @@ func main() {
 		fatal(err)
 	}
 	opt := redfat.Options{
-		LowFat:     *lowfat,
-		CheckReads: *reads,
-		SizeCheck:  *size,
-		Elim:       *elim && !*o0,
-		Batch:      *batch && !*o0,
-		Merge:      *merge && !*o0,
-		Profile:    *profileMode,
-		MaxBatch:   *maxBatch,
+		LowFat:        *lowfat,
+		CheckReads:    *reads,
+		SizeCheck:     *size,
+		Elim:          *elim && !*o0,
+		Batch:         *batch && !*o0,
+		Merge:         *merge && !*o0,
+		ElimDom:       *elimDom && !*o0,
+		LocalLiveness: *localLive,
+		Profile:       *profileMode,
+		MaxBatch:      *maxBatch,
 	}
 	if *allowPath != "" {
 		allow, err := redfat.LoadAllowList(*allowPath)
@@ -70,9 +78,35 @@ func main() {
 		}
 		opt.AllowList = allow
 	}
+	if *analysisPath != "" {
+		a, err := redfat.Analyze(bin, opt)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*analysisPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := a.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	hard, rep, err := redfat.Harden(bin, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if *doVerify {
+		vrep, err := redfat.VerifyHardened(bin, hard)
+		if err != nil {
+			fatal(err)
+		}
+		if !vrep.OK() {
+			vrep.Render(os.Stderr)
+			fatal(fmt.Errorf("translation validation failed"))
+		}
 	}
 	if err := redfat.SaveBinary(hard, *out); err != nil {
 		fatal(err)

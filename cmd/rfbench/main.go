@@ -117,9 +117,9 @@ func run() error {
 	if *all || *table1 {
 		ran = true
 		fmt.Fprintf(w, "=== Table 1: SPEC CPU2006 (scale %.2f) ===\n", *scale)
-		fmt.Fprintf(w, "%-12s %7s %12s %9s %9s %9s %9s %9s %9s %9s\n",
+		fmt.Fprintf(w, "%-12s %7s %12s %9s %9s %9s %9s %9s %9s %9s %9s\n",
 			"benchmark", "cover", "baseline", "unopt", "+elim", "+batch",
-			"+merge", "-size", "-reads", "memcheck")
+			"+merge", "+dom", "-size", "-reads", "memcheck")
 		rows, err := h.Table1(*scale, w)
 		if err != nil {
 			return err
@@ -185,6 +185,12 @@ func run() error {
 			return err
 		}
 		abl.Clobber = clobber
+		fmt.Fprintln(w, "\n=== Ablation: dataflow engine (full suite) ===")
+		dflow, err := h.DataflowSweep(nil, *scale, w)
+		if err != nil {
+			return err
+		}
+		abl.Dataflow = dflow
 		fmt.Fprintln(w, "\n=== Ablation: coverage-guided profiling boost (h264ref) ===")
 		fz, err := h.FuzzBoostStudy("h264ref", []int{1, 50, 200}, w)
 		if err != nil {

@@ -1,0 +1,65 @@
+// rfverify is the standalone translation validator: it checks that a
+// hardened RELF binary is a faithful rewriting of its original.
+//
+// Usage:
+//
+//	rfverify -orig prog.relf prog.hard.relf   full validation
+//	rfverify prog.hard.relf                   structural checks only
+//
+// With -orig, every patched site is round-tripped through its
+// trampoline, byte stealing is audited against recovered jump targets,
+// trampoline save sets are compared with a whole-CFG liveness solution,
+// and every operand the recorded policy selects must be protected by a
+// check. Without -orig only the metadata and trampoline structure can
+// be checked. Neither binary is executed. Exit status 1 means the
+// binary failed validation; 2 means the inputs were unusable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"redfat"
+)
+
+func main() {
+	orig := flag.String("orig", "", "original (pre-hardening) binary for full validation")
+	quiet := flag.Bool("q", false, "suppress the summary line; violations only")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rfverify [-orig original.relf] hardened.relf")
+		os.Exit(2)
+	}
+
+	hard, err := redfat.LoadBinary(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfverify:", err)
+		os.Exit(2)
+	}
+	var rep *redfat.VerifyReport
+	if *orig != "" {
+		ob, err := redfat.LoadBinary(*orig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfverify:", err)
+			os.Exit(2)
+		}
+		rep, err = redfat.VerifyHardened(ob, hard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfverify:", err)
+			os.Exit(2)
+		}
+	} else {
+		rep, err = redfat.VerifyStructural(hard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfverify:", err)
+			os.Exit(2)
+		}
+	}
+	if !*quiet || !rep.OK() {
+		rep.Render(os.Stdout)
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}

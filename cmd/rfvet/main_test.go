@@ -1,0 +1,151 @@
+package main
+
+import (
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a synthetic module and returns a vetter rooted
+// at it. The module carries its own minimal telemetry package so the
+// Registry type check is exercised for real.
+func writeTree(t *testing.T, files map[string]string) *vetter {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	files["internal/telemetry/telemetry.go"] = `package telemetry
+type Registry struct{}
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+func (r *Registry) Counter(name string) *Counter { return nil }
+func (r *Registry) Gauge(name string) *Gauge { return nil }
+func (r *Registry) Histogram(name string) *Histogram { return nil }
+`
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fset := token.NewFileSet()
+	return &vetter{
+		fset:    fset,
+		root:    root,
+		modPath: "tmpmod",
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*types.Package{},
+	}
+}
+
+func runVet(t *testing.T, v *vetter) []string {
+	t.Helper()
+	dirs, err := packageDirs(v.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		if err := v.vetDir(dir); err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+	}
+	var msgs []string
+	for _, is := range v.issues {
+		msgs = append(msgs, is.msg)
+	}
+	return msgs
+}
+
+func wantIssue(t *testing.T, msgs []string, substr string) {
+	t.Helper()
+	for _, m := range msgs {
+		if strings.Contains(m, substr) {
+			return
+		}
+	}
+	t.Errorf("no issue containing %q in %v", substr, msgs)
+}
+
+func TestTelemetryNameRules(t *testing.T) {
+	v := writeTree(t, map[string]string{
+		"internal/sub/sub.go": `package sub
+import "tmpmod/internal/telemetry"
+func setup(reg *telemetry.Registry) {
+	reg.Counter("sub.ops.count")        // ok
+	reg.Gauge("singlesegment")          // bad: 1 segment
+	reg.Histogram("sub.a.b.c.d")        // bad: 5 segments
+	reg.Counter("sub.BadCase.count")    // bad: uppercase segment
+	reg.Counter("other.ops.count")      // bad: second root in this package
+	reg.Counter("sub.dyn." + "suffix")  // skipped: not a literal
+}
+`,
+	})
+	msgs := runVet(t, v)
+	wantIssue(t, msgs, `"singlesegment" has 1 segments`)
+	wantIssue(t, msgs, `"sub.a.b.c.d" has 5 segments`)
+	wantIssue(t, msgs, `segment "BadCase" is not lowercase`)
+	wantIssue(t, msgs, "multiple roots [other sub]")
+	if len(msgs) != 4 {
+		t.Errorf("want exactly 4 issues, got %d: %v", len(msgs), msgs)
+	}
+}
+
+func TestTelemetryNameIgnoresOtherTypes(t *testing.T) {
+	v := writeTree(t, map[string]string{
+		"internal/sub/sub.go": `package sub
+type fake struct{}
+func (fake) Counter(name string) int { return 0 }
+func setup() {
+	var f fake
+	_ = f.Counter("not a metric name at all")
+}
+`,
+	})
+	if msgs := runVet(t, v); len(msgs) != 0 {
+		t.Errorf("non-Registry Counter flagged: %v", msgs)
+	}
+}
+
+func TestMapEmitRule(t *testing.T) {
+	v := writeTree(t, map[string]string{
+		"internal/rep/rep.go": `package rep
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+func RenderBad(w io.Writer, m map[string]int) {
+	for k, n := range m {
+		fmt.Fprintf(w, "%s %d\n", k, n) // nondeterministic
+	}
+}
+func RenderGood(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-only: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, m[k])
+	}
+}
+func sliceLoop(w io.Writer, xs []int) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x) // slices are ordered: allowed
+	}
+}
+`,
+	})
+	msgs := runVet(t, v)
+	wantIssue(t, msgs, "map-emit: Fprintf inside a range over a map")
+	if len(msgs) != 1 {
+		t.Errorf("want exactly 1 issue, got %d: %v", len(msgs), msgs)
+	}
+}

@@ -53,6 +53,7 @@ func main() {
 	noBlock := flag.Bool("noblock", false, "disable the VM's basic-block cache (host A/B validation)")
 	noChain := flag.Bool("nochain", false, "disable block chaining (host A/B validation)")
 	noTLB := flag.Bool("notlb", false, "disable the guest-memory software TLB (host A/B validation)")
+	doVerify := flag.Bool("verify", false, "with -hardened, structurally validate the binary before running it")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rfvm [flags] prog.relf\n")
 		flag.PrintDefaults()
@@ -65,6 +66,19 @@ func main() {
 	bin, err := redfat.LoadBinary(flag.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+	if *doVerify {
+		if !*hardened {
+			fatal(fmt.Errorf("-verify requires -hardened"))
+		}
+		vrep, err := redfat.VerifyStructural(bin)
+		if err != nil {
+			fatal(err)
+		}
+		if !vrep.OK() {
+			vrep.Render(os.Stderr)
+			fatal(fmt.Errorf("binary failed structural validation"))
+		}
 	}
 	var in []uint64
 	if *input != "" {

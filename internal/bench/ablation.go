@@ -261,3 +261,121 @@ func (h *Harness) FuzzBoostStudy(benchName string, budgets []int, w io.Writer) (
 func FuzzBoostStudy(benchName string, budgets []int, w io.Writer) ([]FuzzRow, error) {
 	return (&Harness{}).FuzzBoostStudy(benchName, budgets, w)
 }
+
+// DataflowRow reports total guest cycles over a workload suite for one
+// dataflow-engine configuration (the §6 knobs the global analyses add).
+type DataflowRow struct {
+	ElimDom       bool    `json:"elim_dom"`
+	LocalLiveness bool    `json:"local_liveness"`
+	TotalCycles   uint64  `json:"total_cycles"`
+	Slowdown      float64 `json:"slowdown"`
+}
+
+// dataflowCombos orders the knob matrix from least to most analysis:
+// block-local liveness without elimination first (the pre-engine
+// behavior), whole-CFG liveness plus dominator elimination last (the
+// production default).
+var dataflowCombos = []struct{ elimDom, local bool }{
+	{false, true},  // local liveness, no dominator elimination
+	{false, false}, // global liveness only
+	{true, true},   // dominator elimination, local liveness
+	{true, false},  // global liveness + dominator elimination
+}
+
+// DataflowSweep measures the dataflow-engine ablation: every combination
+// of {ElimDom} × {LocalLiveness} over the named benchmarks (nil = the
+// full suite). Builds and baselines run once per benchmark, serially;
+// the benchmark × configuration grid fans out as pool units.
+func (h *Harness) DataflowSweep(names []string, scale float64, w io.Writer) ([]DataflowRow, error) {
+	var bms []*workload.Benchmark
+	if names == nil {
+		bms = workload.All()
+	} else {
+		for _, name := range names {
+			bm := workload.ByName(name)
+			if bm == nil {
+				return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+			}
+			bms = append(bms, bm)
+		}
+	}
+	type prep struct {
+		bm    *workload.Benchmark
+		bin   *relf.Binary
+		base  uint64
+		exitC uint64
+	}
+	preps := make([]*prep, len(bms))
+	for i, bm := range bms {
+		bm = scaled(bm, scale)
+		bin, err := bm.Build()
+		if err != nil {
+			return nil, err
+		}
+		v, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: bm.RefInput(), Metrics: h.Metrics})
+		if err != nil {
+			return nil, err
+		}
+		preps[i] = &prep{bm: bm, bin: bin, base: v.Cycles, exitC: v.ExitCode}
+	}
+	nc := len(dataflowCombos)
+	cells, err := fanOut(h, "dataflow", len(preps)*nc,
+		func(i int) string {
+			c := dataflowCombos[i%nc]
+			return fmt.Sprintf("%s/dom=%v,local=%v", preps[i/nc].bm.Name, c.elimDom, c.local)
+		},
+		func(i int, reg *telemetry.Registry) (uint64, error) {
+			p, c := preps[i/nc], dataflowCombos[i%nc]
+			opt := redfat.Defaults()
+			opt.ElimDom = c.elimDom
+			opt.LocalLiveness = c.local
+			hard, _, err := redfat.Harden(p.bin, opt)
+			if err != nil {
+				return 0, err
+			}
+			v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: p.bm.RefInput(), Metrics: reg})
+			if err != nil {
+				return 0, err
+			}
+			if v.ExitCode != p.exitC {
+				return 0, fmt.Errorf("bench: %s checksum changed under dom=%v local=%v",
+					p.bm.Name, c.elimDom, c.local)
+			}
+			return v.Cycles, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var baseTotal uint64
+	for _, p := range preps {
+		baseTotal += p.base
+	}
+	rows := make([]DataflowRow, nc)
+	for ci, c := range dataflowCombos {
+		var total uint64
+		for bi := range preps {
+			total += cells[bi*nc+ci]
+		}
+		rows[ci] = DataflowRow{
+			ElimDom: c.elimDom, LocalLiveness: c.local,
+			TotalCycles: total, Slowdown: float64(total) / float64(baseTotal),
+		}
+	}
+	if w != nil {
+		for _, r := range rows {
+			fmt.Fprintf(w, "elimdom=%-5v local-liveness=%-5v: %14d cycles %6.2fx\n",
+				r.ElimDom, r.LocalLiveness, r.TotalCycles, r.Slowdown)
+		}
+		before, after := rows[0].TotalCycles, rows[len(rows)-1].TotalCycles
+		if before > 0 {
+			fmt.Fprintf(w, "global liveness + dominator elimination: %d cycles saved (%.2f%%)\n",
+				int64(before)-int64(after), 100*(1-float64(after)/float64(before)))
+		}
+	}
+	return rows, nil
+}
+
+// DataflowSweep is the serial form of Harness.DataflowSweep.
+func DataflowSweep(names []string, scale float64, w io.Writer) ([]DataflowRow, error) {
+	return (&Harness{}).DataflowSweep(names, scale, w)
+}

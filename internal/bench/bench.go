@@ -65,6 +65,7 @@ type Table1Row struct {
 	Elim     float64 `json:"elim"`
 	Batch    float64 `json:"batch"`
 	Merge    float64 `json:"merge"`
+	Dom      float64 `json:"dom"`
 	NoSize   float64 `json:"nosize"`
 	NoReads  float64 `json:"noreads"`
 	Memcheck float64 `json:"memcheck"`
@@ -84,20 +85,22 @@ func table1Configs(allow profile.AllowList) []redfat.Options {
 	batch.Batch = true
 	merge := batch
 	merge.Merge = true
-	nosize := merge
+	dom := merge
+	dom.ElimDom = true
+	nosize := dom
 	nosize.SizeCheck = false
 	noreads := nosize
 	noreads.CheckReads = false
-	return []redfat.Options{unopt, elim, batch, merge, nosize, noreads}
+	return []redfat.Options{unopt, elim, batch, merge, dom, nosize, noreads}
 }
 
-// t1nConfigs is the number of Table 1 measurement columns: the six-step
+// t1nConfigs is the number of Table 1 measurement columns: the seven-step
 // instrumentation ladder plus the Memcheck comparison.
-const t1nConfigs = 7
+const t1nConfigs = 8
 
 // t1configNames labels the Table 1 configuration columns in progress output.
 var t1configNames = [t1nConfigs]string{
-	"unopt", "+elim", "+batch", "+merge", "-size", "-reads", "memcheck",
+	"unopt", "+elim", "+batch", "+merge", "+dom", "-size", "-reads", "memcheck",
 }
 
 // t1prep is the per-benchmark state shared by the seven Table 1
@@ -138,7 +141,7 @@ type t1res struct {
 }
 
 // table1Config measures one configuration column for a prepared
-// benchmark: columns 0–5 are the instrumentation ladder, column 6 is the
+// benchmark: columns 0–6 are the instrumentation ladder, column 7 is the
 // Memcheck comparison.
 func table1Config(p *t1prep, c int, reg *telemetry.Registry) (t1res, error) {
 	if c == t1nConfigs-1 {
@@ -157,14 +160,14 @@ func table1Config(p *t1prep, c int, reg *telemetry.Registry) (t1res, error) {
 		return t1res{}, fmt.Errorf("%s config %d run: %w", p.bm.Name, c, err)
 	}
 	r := t1res{cycles: v.Cycles, exitOK: v.ExitCode == p.base.ExitCode}
-	if c == 3 { // +merge: the fully-optimized full-check configuration
+	if c == 3 { // +merge: full checking with per-site reports intact
 		r.coverage = rt.Coverage()
 		r.errors = vm.DistinctErrorSites(v.Errors)
 	}
 	return r, nil
 }
 
-// assembleT1Row folds the seven configuration cells into a table row.
+// assembleT1Row folds the eight configuration cells into a table row.
 func assembleT1Row(p *t1prep, cells []t1res) *Table1Row {
 	row := &Table1Row{Name: p.bm.Name, Lang: p.bm.Lang, ChecksumOK: true,
 		BaselineCycles: p.base.Cycles}
@@ -175,8 +178,9 @@ func assembleT1Row(p *t1prep, cells []t1res) *Table1Row {
 	}
 	slow := func(i int) float64 { return float64(cells[i].cycles) / float64(p.base.Cycles) }
 	row.Unopt, row.Elim, row.Batch = slow(0), slow(1), slow(2)
-	row.Merge, row.NoSize, row.NoReads = slow(3), slow(4), slow(5)
-	row.Memcheck = slow(6)
+	row.Merge, row.Dom = slow(3), slow(4)
+	row.NoSize, row.NoReads = slow(5), slow(6)
+	row.Memcheck = slow(7)
 	row.Coverage = cells[3].coverage
 	row.DetectedErrors = cells[3].errors
 	return row
@@ -269,18 +273,19 @@ func renderTable1(rows []*Table1Row, w io.Writer) {
 		return
 	}
 	for _, row := range rows {
-		fmt.Fprintf(w, "%-12s %6.1f%% %12d %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %s\n",
+		fmt.Fprintf(w, "%-12s %6.1f%% %12d %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %s\n",
 			row.Name, row.Coverage*100, row.BaselineCycles,
-			row.Unopt, row.Elim, row.Batch, row.Merge,
+			row.Unopt, row.Elim, row.Batch, row.Merge, row.Dom,
 			row.NoSize, row.NoReads, row.Memcheck, okFlag(row.ChecksumOK))
 	}
-	fmt.Fprintf(w, "%-12s %6.1f%% %12s %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx\n",
+	fmt.Fprintf(w, "%-12s %6.1f%% %12s %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx\n",
 		"geomean", 100*mean(rows, func(r *Table1Row) float64 { return r.Coverage }),
 		"",
 		geo(rows, func(r *Table1Row) float64 { return r.Unopt }),
 		geo(rows, func(r *Table1Row) float64 { return r.Elim }),
 		geo(rows, func(r *Table1Row) float64 { return r.Batch }),
 		geo(rows, func(r *Table1Row) float64 { return r.Merge }),
+		geo(rows, func(r *Table1Row) float64 { return r.Dom }),
 		geo(rows, func(r *Table1Row) float64 { return r.NoSize }),
 		geo(rows, func(r *Table1Row) float64 { return r.NoReads }),
 		geo(rows, func(r *Table1Row) float64 { return r.Memcheck }))
@@ -383,7 +388,8 @@ func FalsePositives(scale float64, w io.Writer) ([]FPRow, error) {
 func errorPCs(bin *relf.Binary, bm *workload.Benchmark, lowfat bool, reg *telemetry.Registry) (map[uint64]bool, error) {
 	opt := redfat.Defaults()
 	opt.LowFat = lowfat
-	opt.Merge = false // per-operand sites, as the paper counts reports
+	opt.Merge = false   // per-operand sites, as the paper counts reports
+	opt.ElimDom = false // keep dominated duplicates: reports stay per operand
 	hard, _, err := redfat.Harden(bin, opt)
 	if err != nil {
 		return nil, err

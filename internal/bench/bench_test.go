@@ -30,8 +30,8 @@ func TestTable1SingleBenchmark(t *testing.T) {
 	}
 	// The optimization ladder must be monotone non-increasing and the
 	// ordering of Table 1 must hold: unopt ≥ elim ≥ batch ≥ merge ≥
-	// nosize ≥ noreads > 1.
-	seq := []float64{row.Unopt, row.Elim, row.Batch, row.Merge, row.NoSize, row.NoReads}
+	// dom ≥ nosize ≥ noreads > 1.
+	seq := []float64{row.Unopt, row.Elim, row.Batch, row.Merge, row.Dom, row.NoSize, row.NoReads}
 	for i := 1; i < len(seq); i++ {
 		if seq[i] > seq[i-1]*1.02 { // tiny tolerance
 			t.Errorf("optimization step %d regressed: %v", i, seq)
@@ -176,6 +176,31 @@ func TestClobberSweep(t *testing.T) {
 	}
 	if rows[1].Slowdown > rows[0].Slowdown*1.01 {
 		t.Errorf("clobber specialization did not help: %+v", rows)
+	}
+}
+
+func TestDataflowSweep(t *testing.T) {
+	names := []string{"libquantum", "povray", "calculix", "sjeng"}
+	rows, err := bench.DataflowSweep(names, 0.02, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// The production configuration (global liveness + dominator
+	// elimination, last row) must beat the pre-engine configuration
+	// (block-local liveness, no elimination, first row) on total cycles.
+	before, after := rows[0], rows[len(rows)-1]
+	if before.ElimDom || !before.LocalLiveness {
+		t.Fatalf("row 0 is not the pre-engine configuration: %+v", before)
+	}
+	if !after.ElimDom || after.LocalLiveness {
+		t.Fatalf("last row is not the production configuration: %+v", after)
+	}
+	if after.TotalCycles >= before.TotalCycles {
+		t.Errorf("dataflow engine did not reduce cycles: before=%d after=%d",
+			before.TotalCycles, after.TotalCycles)
 	}
 }
 

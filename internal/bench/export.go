@@ -43,10 +43,11 @@ type Figure8Result struct {
 
 // Ablations bundles the ablation-study result sets.
 type Ablations struct {
-	Tactics []TacticRow  `json:"tactics,omitempty"`
-	Batch   []BatchRow   `json:"batch,omitempty"`
-	Clobber []ClobberRow `json:"clobber,omitempty"`
-	Fuzz    []FuzzRow    `json:"fuzz,omitempty"`
+	Tactics  []TacticRow   `json:"tactics,omitempty"`
+	Batch    []BatchRow    `json:"batch,omitempty"`
+	Clobber  []ClobberRow  `json:"clobber,omitempty"`
+	Dataflow []DataflowRow `json:"dataflow,omitempty"`
+	Fuzz     []FuzzRow     `json:"fuzz,omitempty"`
 }
 
 // Results is the machine-readable aggregate of an rfbench invocation:

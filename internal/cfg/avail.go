@@ -1,0 +1,290 @@
+package cfg
+
+import "redfat/internal/isa"
+
+// CheckKey identifies the address shape of a checked memory operand.
+// Two operands with the same key and unredefined registers compute
+// addresses that differ only by displacement.
+type CheckKey struct {
+	Seg         isa.Seg
+	Base, Index isa.Reg
+	Scale       uint8
+	Mode        uint8 // check mode must match for one check to subsume another
+}
+
+// CheckSite is a (potential or emitted) check: the memory operand of
+// instruction Inst covering guest addresses base+[Lo, Hi) relative to
+// the operand's address shape.
+type CheckSite struct {
+	Inst   int   // index into Program.Insts
+	Mode   uint8 // check mode (redfat.Mode* / rtlib.Mode*)
+	Lo, Hi int64 // covered displacement span, Hi exclusive
+}
+
+// availFact records that a check with key K, performed at site Witness,
+// reaches the current program point on every path with the operand's
+// registers unredefined and no allocator-visible call in between.
+type availFact struct {
+	Witness int // providing site's instruction index
+	Lo, Hi  int64
+}
+
+// Avail is the forward "available checks" analysis. The domain maps
+// each CheckKey to at most one availFact; the transfer function kills a
+// key when any of its address registers may be written (RegsWritten,
+// which saturates at CALL/RTCALL) or when the heap may change shape
+// (CALL/RTCALL/TRAP kill everything, because free/realloc in the callee
+// can invalidate a previously passing check), and generates the site's
+// own fact at every check site. The meet is intersection with witness
+// equality: a fact survives a join only if the same providing check
+// reaches along every predecessor — which implies the witness dominates
+// the join point, since facts are born only at their witness.
+type Avail struct {
+	g     *Graph
+	gens  map[int]CheckSite // inst index → generating site
+	in    []map[CheckKey]availFact
+	dirty []bool
+}
+
+// siteKey derives the CheckKey of a site from its instruction operand.
+// RIP-relative operands return ok=false: their absolute address depends
+// on the instruction's own PC, so no two sites share an address shape.
+func (p *Program) siteKey(s CheckSite) (CheckKey, bool) {
+	in := &p.Insts[s.Inst].Inst
+	if !in.HasMem() || in.Mem.Base == isa.RIP {
+		return CheckKey{}, false
+	}
+	return CheckKey{
+		Seg:   in.Mem.Seg,
+		Base:  in.Mem.Base,
+		Index: in.Mem.Index,
+		Scale: in.Mem.Scale,
+		Mode:  s.Mode,
+	}, true
+}
+
+// NewAvail solves the availability equations with the given generating
+// sites (deduplicated by instruction; later entries win).
+func NewAvail(g *Graph, gens []CheckSite) *Avail {
+	av := &Avail{
+		g:     g,
+		gens:  make(map[int]CheckSite, len(gens)),
+		in:    make([]map[CheckKey]availFact, len(g.Blocks)),
+		dirty: make([]bool, len(g.Blocks)),
+	}
+	for _, s := range gens {
+		av.gens[s.Inst] = s
+	}
+	av.solve()
+	return av
+}
+
+// top is the ⊤ lattice value marker: a nil map in av.in means "not yet
+// visited" (all facts), while an empty non-nil map means "no facts".
+func (av *Avail) solve() {
+	g := av.g
+	isEntry := make([]bool, len(g.Blocks))
+	work := make([]int, 0, len(g.Blocks))
+	inWork := make([]bool, len(g.Blocks))
+	for _, e := range g.Entries {
+		isEntry[e] = true
+		av.in[e] = map[CheckKey]availFact{}
+		work = append(work, e)
+		inWork[e] = true
+	}
+	out := make([]map[CheckKey]availFact, len(g.Blocks))
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		// Meet over predecessors (entries additionally meet with ∅
+		// from the virtual root, i.e. their in-state stays empty).
+		var in map[CheckKey]availFact
+		if isEntry[b] {
+			in = map[CheckKey]availFact{}
+		} else {
+			for _, p := range g.Blocks[b].Preds {
+				po := out[p]
+				if po == nil {
+					continue // unvisited predecessor: ⊤, neutral for meet
+				}
+				if in == nil {
+					in = make(map[CheckKey]availFact, len(po))
+					for k, f := range po {
+						in[k] = f
+					}
+					continue
+				}
+				for k, f := range in {
+					if of, ok := po[k]; !ok || of != f {
+						delete(in, k)
+					}
+				}
+			}
+			if in == nil {
+				continue // no predecessor visited yet
+			}
+		}
+
+		if av.in[b] != nil && factsEqual(av.in[b], in) && out[b] != nil {
+			continue
+		}
+		av.in[b] = in
+		newOut := av.transferBlock(b, in)
+		if out[b] != nil && factsEqual(out[b], newOut) {
+			continue
+		}
+		out[b] = newOut
+		for _, s := range g.Blocks[b].Succs {
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	// Blocks never visited keep in == nil; treat as ∅ at query time.
+}
+
+func factsEqual(a, b map[CheckKey]availFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, f := range a {
+		if of, ok := b[k]; !ok || of != f {
+			return false
+		}
+	}
+	return true
+}
+
+// transferBlock pushes the fact map through one block.
+func (av *Avail) transferBlock(b int, in map[CheckKey]availFact) map[CheckKey]availFact {
+	facts := make(map[CheckKey]availFact, len(in))
+	for k, f := range in {
+		facts[k] = f
+	}
+	blk := &av.g.Blocks[b]
+	for j := blk.Start; j < blk.End; j++ {
+		av.transferInst(j, facts, nil)
+	}
+	return facts
+}
+
+// transferInst applies instruction j to the fact map. If onSite is
+// non-nil it is called for the site generated at j (before the gen),
+// with the fact currently available for the site's key, so callers can
+// observe coverage exactly as the dataflow sees it.
+func (av *Avail) transferInst(j int, facts map[CheckKey]availFact, onSite func(s CheckSite, f availFact, ok bool)) {
+	p := av.g.Prog
+	in := &p.Insts[j].Inst
+
+	// The check conceptually executes before the instruction's own
+	// effects, so gen precedes the kill.
+	if s, ok := av.gens[j]; ok {
+		if k, keyOK := p.siteKey(s); keyOK {
+			if onSite != nil {
+				f, have := facts[k]
+				onSite(s, f, have)
+			}
+			facts[k] = availFact{Witness: s.Inst, Lo: s.Lo, Hi: s.Hi}
+		} else if onSite != nil {
+			onSite(s, availFact{}, false)
+		}
+	}
+
+	switch in.Op {
+	case isa.CALL, isa.RTCALL, isa.TRAP:
+		// The callee may free or reallocate: no check survives.
+		for k := range facts {
+			delete(facts, k)
+		}
+		return
+	}
+	if w := RegsWritten(in); w != 0 {
+		for k := range facts {
+			if w.Has(k.Base) || w.Has(k.Index) {
+				delete(facts, k)
+			}
+		}
+	}
+}
+
+// replayTo returns the fact map holding immediately before instruction
+// i (before i's own gen).
+func (av *Avail) replayTo(i int) map[CheckKey]availFact {
+	b := av.g.BlockOf[i]
+	facts := make(map[CheckKey]availFact)
+	for k, f := range av.in[b] {
+		facts[k] = f
+	}
+	for j := av.g.Blocks[b].Start; j < i; j++ {
+		av.transferInst(j, facts, nil)
+	}
+	return facts
+}
+
+// CoverageAt reports whether the operand span of s is covered by an
+// available check at its instruction, and by which witness site.
+func (av *Avail) CoverageAt(s CheckSite) (witness int, ok bool) {
+	k, keyOK := av.g.Prog.siteKey(s)
+	if !keyOK {
+		return 0, false
+	}
+	facts := av.replayTo(s.Inst)
+	f, have := facts[k]
+	if !have || f.Lo > s.Lo || f.Hi < s.Hi {
+		return 0, false
+	}
+	return f.Witness, true
+}
+
+// RedundantChecks runs the availability analysis over the candidate
+// sites and returns, for every site whose span is already covered by an
+// available check, the instruction index of the providing site. Witness
+// chains are resolved to their non-eliminated root: if A covers B and B
+// covers C, C's recorded provider is A, whose check is actually emitted.
+// Every returned provider's block dominates the eliminated site's block
+// (asserted via dom; redundancy through a join of distinct checks does
+// not survive the witness-equality meet).
+func RedundantChecks(g *Graph, dom *DomTree, sites []CheckSite) map[int]int {
+	av := NewAvail(g, sites)
+	redundant := make(map[int]int)
+
+	record := func(s CheckSite, f availFact, ok bool) {
+		if !ok || f.Witness == s.Inst || f.Lo > s.Lo || f.Hi < s.Hi {
+			return
+		}
+		// Safety net: the witness-equality meet guarantees the witness
+		// block dominates; drop the elimination if it ever did not.
+		if !dom.Dominates(g.BlockOf[f.Witness], g.BlockOf[s.Inst]) {
+			return
+		}
+		redundant[s.Inst] = f.Witness
+	}
+	for b := range g.Blocks {
+		facts := make(map[CheckKey]availFact, len(av.in[b]))
+		for k, f := range av.in[b] {
+			facts[k] = f
+		}
+		for j := g.Blocks[b].Start; j < g.Blocks[b].End; j++ {
+			av.transferInst(j, facts, record)
+		}
+	}
+
+	// Resolve witness chains to non-eliminated roots.
+	resolve := func(w int) int {
+		for {
+			next, ok := redundant[w]
+			if !ok {
+				return w
+			}
+			w = next
+		}
+	}
+	for i, w := range redundant {
+		redundant[i] = resolve(w)
+	}
+	return redundant
+}

@@ -48,6 +48,9 @@ func (s RegSet) Count() int { return bits.OnesCount16(uint16(s)) }
 // AllRegs is the set of every general-purpose register.
 const AllRegs RegSet = 0xFFFF
 
+// clearRSP removes the stack pointer, which is never reported dead.
+func (s RegSet) clearRSP() RegSet { return s &^ RegSet(0).Add(isa.RSP) }
+
 // memAddrRegs returns the registers a memory operand's address depends on.
 func memAddrRegs(m isa.Mem) RegSet {
 	var s RegSet
@@ -179,9 +182,15 @@ func WritesFlags(in *isa.Inst) bool {
 	return false
 }
 
-// ReadsFlags reports whether in observes the flags register.
+// ReadsFlags reports whether in may observe the flags register. CALL,
+// RTCALL and TRAP are conservatively treated as readers (unknown callee
+// or patch target), matching the per-flag FlagsRead saturation.
 func ReadsFlags(in *isa.Inst) bool {
-	return in.Op.IsCondJump() || in.Op == isa.PUSHF
+	switch in.Op {
+	case isa.PUSHF, isa.CALL, isa.RTCALL, isa.TRAP:
+		return true
+	}
+	return in.Op.IsCondJump()
 }
 
 // DecodedInst pairs an instruction with its address.
@@ -326,26 +335,29 @@ func (p *Program) DeadRegsAt(i int) RegSet {
 		read = read.Union(r)
 		dead = dead.Union(w &^ read)
 	}
-	return dead &^ (RegSet(0).Add(isa.RSP))
+	return dead.clearRSP()
 }
 
 // FlagsDeadAt reports whether the flags register is provably dead before
-// instruction i (overwritten before being observed within the block).
+// instruction i (every flag overwritten before being observed within the
+// block). The scan tracks the four flags independently through the
+// must-kill set FlagsKilled: treating every flag-writing instruction as
+// a whole-register kill would be unsound — INC/DEC preserve CF and a
+// shift whose count may be zero preserves everything.
 func (p *Program) FlagsDeadAt(i int) bool {
+	var killed FlagSet
 	end := p.BlockEnd(i)
 	for j := i; j < end; j++ {
 		in := &p.Insts[j].Inst
-		if ReadsFlags(in) {
-			return false
+		if FlagsRead(in)&^killed != 0 {
+			return false // some not-yet-killed flag is observed
 		}
-		if in.Op == isa.CALL || in.Op == isa.RTCALL || in.Op == isa.TRAP {
-			return false
-		}
-		if WritesFlags(in) {
+		killed |= FlagsKilled(in)
+		if killed == AllFlags {
 			return true
 		}
 	}
-	return false // block ended without killing flags: assume live
+	return false // block ended without killing all flags: assume live
 }
 
 // Batch is a group of memory-access instruction indices whose checks can

@@ -1,0 +1,254 @@
+package cfg_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"redfat/internal/asm"
+	"redfat/internal/cfg"
+	"redfat/internal/isa"
+	"redfat/internal/relf"
+)
+
+// genAnalysisProgram builds a random program with enough control-flow
+// variety to stress the whole-CFG analyses: multiple functions, loops,
+// diamonds, calls, and a mix of register pressure. It only needs to
+// disassemble, not to run.
+func genAnalysisProgram(r *rand.Rand) (*relf.Binary, error) {
+	b := asm.NewBuilder(asm.Options{FuncAlign: 16})
+	regs := []isa.Reg{isa.RAX, isa.RBX, isa.RCX, isa.RDX, isa.RSI, isa.RDI,
+		isa.R8, isa.R9, isa.R10, isa.R11}
+	nFuncs := 1 + r.Intn(3)
+	for f := 0; f < nFuncs; f++ {
+		if f == 0 {
+			b.Func("main")
+		} else {
+			b.Func(fmt.Sprintf("fn%d", f))
+		}
+		nBlocks := 2 + r.Intn(5)
+		for blk := 0; blk < nBlocks; blk++ {
+			label := fmt.Sprintf("f%db%d", f, blk)
+			b.Label(label)
+			nInsts := 1 + r.Intn(6)
+			for k := 0; k < nInsts; k++ {
+				dst := regs[r.Intn(len(regs))]
+				src := regs[r.Intn(len(regs))]
+				switch r.Intn(7) {
+				case 0:
+					b.MovRI(dst, int64(r.Intn(1000)))
+				case 1:
+					b.MovRR(dst, src)
+				case 2:
+					b.AluRR(isa.ADD, dst, src)
+				case 3:
+					b.AluRI(isa.XOR, dst, int64(r.Intn(64)))
+				case 4:
+					b.Emit(isa.Inst{Op: isa.CMP, Form: isa.FRR, Reg: dst, Reg2: src, Size: 8})
+				case 5:
+					b.Emit(isa.Inst{Op: isa.INC, Form: isa.FR, Reg: dst, Size: 8})
+				case 6:
+					b.Emit(isa.Inst{Op: isa.SHL, Form: isa.FRI, Reg: dst, Imm: int64(r.Intn(4)), Size: 8})
+				}
+			}
+			// Block terminator: fall through, conditional jump to a
+			// random block of this function, or nothing.
+			if r.Intn(2) == 0 {
+				target := fmt.Sprintf("f%db%d", f, r.Intn(nBlocks))
+				ops := []isa.Op{isa.JE, isa.JNE, isa.JL, isa.JB, isa.JS}
+				b.Jcc(ops[r.Intn(len(ops))], target)
+			}
+		}
+		if f+1 < nFuncs && r.Intn(2) == 0 {
+			b.Call(fmt.Sprintf("fn%d", f+1))
+		}
+		b.MovRI(isa.RAX, 0)
+		b.Ret()
+	}
+	return b.Build()
+}
+
+// TestGlobalLivenessNeverLessPrecise is the engine's central soundness
+// property: the whole-CFG solution must classify a superset of the
+// block-local oracle's dead registers (and dead flags) at every
+// instruction — the conservative local scan is the floor.
+func TestGlobalLivenessNeverLessPrecise(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	improvedRegs, improvedFlags := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		bin, err := genAnalysisProgram(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := cfg.Disassemble(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		df := cfg.NewDataflow(prog)
+		for i := range prog.Insts {
+			local := prog.DeadRegsAt(i)
+			global := df.DeadRegsAt(i)
+			if local&^global != 0 {
+				t.Fatalf("trial %d, inst %d (%s): local dead set %016b not contained in global %016b",
+					trial, i, prog.Insts[i].Inst.String(), local, global)
+			}
+			if local != global {
+				improvedRegs++
+			}
+			lf, gf := prog.FlagsDeadAt(i), df.FlagsDeadAt(i)
+			if lf && !gf {
+				t.Fatalf("trial %d, inst %d (%s): flags dead locally but not globally",
+					trial, i, prog.Insts[i].Inst.String())
+			}
+			if gf && !lf {
+				improvedFlags++
+			}
+		}
+	}
+	// The engine must actually be sharper somewhere, or it is pointless.
+	if improvedRegs == 0 {
+		t.Error("global liveness never improved on the block-local register answer")
+	}
+	if improvedFlags == 0 {
+		t.Error("global liveness never improved on the block-local flags answer")
+	}
+}
+
+// TestGlobalLivenessAcrossBlocks pins a case the block-local scan cannot
+// see: the overwrite of a register in BOTH successors of a diamond makes
+// it dead before the branch.
+func TestGlobalLivenessAcrossBlocks(t *testing.T) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.Emit(isa.Inst{Op: isa.CMP, Form: isa.FRI, Reg: isa.RDI, Imm: 1, Size: 8})
+	b.Jcc(isa.JE, "then") // ← query point: is RBX dead here?
+	b.MovRI(isa.RBX, 1)   // else arm overwrites RBX
+	b.Jmp("join")
+	b.Label("then")
+	b.MovRI(isa.RBX, 2) // then arm overwrites RBX
+	b.Label("join")
+	b.MovRR(isa.RAX, isa.RBX)
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := cfg.NewDataflow(prog)
+
+	// The query point is the conditional jump (instruction 1).
+	if prog.Insts[1].Inst.Op != isa.JE {
+		t.Fatalf("unexpected layout: inst 1 is %s", prog.Insts[1].Inst.String())
+	}
+	if !df.DeadRegsAt(1).Has(isa.RBX) {
+		t.Error("global liveness misses RBX dead across the diamond")
+	}
+	if prog.DeadRegsAt(1).Has(isa.RBX) {
+		t.Error("block-local oracle unexpectedly sees across blocks (test premise broken)")
+	}
+}
+
+// TestDomTreeDiamond pins the dominator relation on a diamond: the head
+// dominates everything, the arms dominate only themselves, and the join
+// is dominated by the head but by neither arm.
+func TestDomTreeDiamond(t *testing.T) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.Emit(isa.Inst{Op: isa.CMP, Form: isa.FRI, Reg: isa.RDI, Imm: 1, Size: 8})
+	b.Jcc(isa.JE, "then")
+	b.MovRI(isa.RBX, 1)
+	b.Jmp("join")
+	b.Label("then")
+	b.MovRI(isa.RBX, 2)
+	b.Label("join")
+	b.MovRR(isa.RAX, isa.RBX)
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.NewGraph(prog)
+	dom := cfg.NewDomTree(g)
+
+	blockAt := func(i int) int { return g.BlockOf[i] }
+	head := blockAt(0)
+	elseArm := blockAt(2) // mov rbx,1
+	join := blockAt(5)    // mov rax,rbx
+	thenArm := blockAt(4) // mov rbx,2
+	if head == elseArm || elseArm == join || thenArm == join {
+		t.Fatalf("unexpected block partition: head=%d else=%d then=%d join=%d",
+			head, elseArm, thenArm, join)
+	}
+	for _, b2 := range []int{head, elseArm, thenArm, join} {
+		if !dom.Dominates(head, b2) {
+			t.Errorf("head does not dominate block %d", b2)
+		}
+	}
+	if dom.Dominates(elseArm, join) || dom.Dominates(thenArm, join) {
+		t.Error("an arm of the diamond dominates the join")
+	}
+	if dom.Dominates(elseArm, thenArm) || dom.Dominates(thenArm, elseArm) {
+		t.Error("the arms dominate each other")
+	}
+}
+
+// TestRedundantChecksDominated pins dominator-based elimination: an
+// identical checked operand re-checked on the fall-through path is
+// redundant, but one after a join reachable around the provider is not.
+func TestRedundantChecksDominated(t *testing.T) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	m := asm.MemBID(isa.RSI, isa.RegNone, 1, 0)
+	b.StoreM(m, isa.RAX, 8) // provider
+	b.AluRI(isa.ADD, isa.RAX, 1)
+	b.StoreM(m, isa.RAX, 8) // dominated duplicate → redundant
+	b.Jcc(isa.JE, "skip")
+	b.MovRI(isa.RBX, 1)
+	b.Label("skip")
+	b.StoreM(m, isa.RAX, 8) // after a join; still dominated by provider
+	b.MovRI(isa.RSI, 0)
+	b.StoreM(m, isa.RAX, 8) // base redefined → NOT redundant
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := cfg.NewDataflow(prog)
+
+	var sites []cfg.CheckSite
+	var stores []int
+	for i := range prog.Insts {
+		in := &prog.Insts[i].Inst
+		if in.IsMemAccess() && in.Writes() {
+			sites = append(sites, cfg.CheckSite{Inst: i, Lo: 0, Hi: 8})
+			stores = append(stores, i)
+		}
+	}
+	if len(stores) != 4 {
+		t.Fatalf("expected 4 stores, found %d", len(stores))
+	}
+	red := df.Redundant(sites)
+	if w, ok := red[stores[1]]; !ok || w != stores[0] {
+		t.Errorf("fall-through duplicate not eliminated (red=%v)", red)
+	}
+	if w, ok := red[stores[2]]; !ok || w != stores[0] {
+		t.Errorf("post-join store dominated by the provider not eliminated (red=%v)", red)
+	}
+	if _, ok := red[stores[3]]; ok {
+		t.Error("store after base redefinition wrongly eliminated")
+	}
+	if _, ok := red[stores[0]]; ok {
+		t.Error("provider eliminated itself")
+	}
+}

@@ -1,0 +1,100 @@
+package redfat_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"redfat/internal/juliet"
+	"redfat/internal/redfat"
+	"redfat/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestAnalysisReportGolden pins the -analysis-report output for a
+// deterministic benchmark: the JSON must be byte-identical run to run
+// (stable key order, sorted functions) and match the checked-in golden.
+func TestAnalysisReportGolden(t *testing.T) {
+	// A Juliet case keeps its function symbols (workload binaries are
+	// stripped), so the per-function breakdown is exercised too.
+	c := juliet.JulietCases()[0]
+	bin, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := redfat.Analyze(bin, redfat.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Determinism: a second run must be byte-identical.
+	a2, err := redfat.Analyze(bin, redfat.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := a2.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("analysis report is not deterministic")
+	}
+
+	golden := filepath.Join("testdata", "analysis_juliet.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("analysis report drifted from %s (re-run with -update if intended)\ngot:\n%s",
+			golden, buf.String())
+	}
+}
+
+// TestAnalyzeConsistency cross-checks the analysis totals against the
+// instrumentation report Harden produces under the same options.
+func TestAnalyzeConsistency(t *testing.T) {
+	bin, err := workload.ByName("sjeng").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := redfat.Defaults()
+	a, err := redfat.Analyze(bin, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := redfat.Harden(bin, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total.Operands != rep.Operands {
+		t.Errorf("operands: analyze %d, harden %d", a.Total.Operands, rep.Operands)
+	}
+	if a.Total.ElimSyntactic != rep.Eliminated {
+		t.Errorf("syntactic elim: analyze %d, harden %d", a.Total.ElimSyntactic, rep.Eliminated)
+	}
+	if a.Total.ElimDominated != rep.ElimDominated {
+		t.Errorf("dominated elim: analyze %d, harden %d", a.Total.ElimDominated, rep.ElimDominated)
+	}
+	if a.Total.ChecksEmitted != rep.Instrumented {
+		t.Errorf("checks: analyze %d, harden %d", a.Total.ChecksEmitted, rep.Instrumented)
+	}
+	if a.Total.Blocks == 0 || a.Total.Edges == 0 || a.Total.DomDepth == 0 {
+		t.Errorf("degenerate CFG stats: %+v", a.Total)
+	}
+}

@@ -6,9 +6,11 @@ import (
 
 	"redfat/internal/asm"
 	"redfat/internal/isa"
+	"redfat/internal/juliet"
 	"redfat/internal/redfat"
 	"redfat/internal/relf"
 	"redfat/internal/rtlib"
+	"redfat/internal/vm"
 )
 
 // genProgram builds a random but well-behaved program: every memory
@@ -179,6 +181,100 @@ func TestDifferentialRandomizedAllocator(t *testing.T) {
 		if plain.ExitCode != rnd.ExitCode {
 			t.Fatalf("trial %d: randomization changed checksum: %#x vs %#x",
 				trial, plain.ExitCode, rnd.ExitCode)
+		}
+	}
+}
+
+// detection is the observable outcome of running one hardened bad-variant
+// case: whether an error was reported and, if so, its kind and location.
+type detection struct {
+	caught   bool
+	kind     vm.MemErrorKind
+	pc       uint64
+	exitCode uint64
+}
+
+// runDetect hardens a case under opt and runs its trigger input,
+// mirroring the detection logic of the Juliet suite: an error is a
+// detection whether it surfaced as a recorded check violation or as a
+// VM-level fault under Abort.
+func runDetect(t *testing.T, c *juliet.Case, opt redfat.Options) detection {
+	t.Helper()
+	bin, err := c.Build()
+	if err != nil {
+		t.Fatalf("%s: %v", c.ID, err)
+	}
+	hard, _, err := redfat.Harden(bin, opt)
+	if err != nil {
+		t.Fatalf("%s: harden (%+v): %v", c.ID, opt, err)
+	}
+	v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{
+		Input: juliet.Trigger(c), Abort: true,
+	})
+	var d detection
+	d.exitCode = v.ExitCode
+	if len(v.Errors) > 0 {
+		d.caught = true
+		d.kind = v.Errors[0].Kind
+		d.pc = v.Errors[0].PC
+	}
+	if me, ok := err.(*vm.MemError); ok {
+		if !d.caught {
+			d.caught, d.kind, d.pc = true, me.Kind, me.PC
+		}
+	} else if err != nil {
+		t.Fatalf("%s: hardened run (%+v): %v", c.ID, opt, err)
+	}
+	return d
+}
+
+// TestDifferentialElimKnobMatrix: dominator-based check elimination and
+// the liveness-scope knob are pure optimizations — across the whole
+// {ElimDom} × {LocalLiveness} matrix, every Juliet and CVE case must
+// produce the identical detection verdict, error kind, faulting PC, and
+// exit code. An elimination pass that drops a security-relevant check
+// shows up here as a knob-dependent detection.
+func TestDifferentialElimKnobMatrix(t *testing.T) {
+	combos := []struct {
+		name      string
+		elimDom   bool
+		localLive bool
+	}{
+		{"elimdom+global", true, false},
+		{"elimdom+local", true, true},
+		{"noelimdom+global", false, false},
+		{"noelimdom+local", false, true},
+	}
+
+	var cases []*juliet.Case
+	cases = append(cases, juliet.CVECases()...)
+	js := juliet.JulietCases()
+	stride := 17
+	if testing.Short() {
+		stride = 97
+	}
+	for i := 0; i < len(js); i += stride {
+		cases = append(cases, js[i])
+	}
+
+	for _, c := range cases {
+		var ref detection
+		for ci, combo := range combos {
+			opt := redfat.Defaults()
+			opt.ElimDom = combo.elimDom
+			opt.LocalLiveness = combo.localLive
+			d := runDetect(t, c, opt)
+			if ci == 0 {
+				ref = d
+				if !d.caught {
+					t.Errorf("%s: bad variant not detected under %s", c.ID, combo.name)
+				}
+				continue
+			}
+			if d != ref {
+				t.Errorf("%s: detection differs under %s: got %+v, want %+v",
+					c.ID, combo.name, d, ref)
+			}
 		}
 	}
 }

@@ -11,6 +11,7 @@ package redfat
 
 import (
 	"fmt"
+	"sort"
 
 	"redfat/internal/cfg"
 	"redfat/internal/e9"
@@ -53,6 +54,21 @@ type Options struct {
 	Batch bool
 	Merge bool
 
+	// ElimDom enables dominator-based redundant-check elimination on
+	// top of the syntactic Elim rule: a checked operand whose address
+	// shape (segment/base/index/scale), mode and displacement span are
+	// already covered by a check that dominates it — with the address
+	// registers unredefined and no call in between — is dropped; the
+	// dominating check subsumes it. Ignored in Profile mode, where
+	// per-site execution statistics must stay complete.
+	ElimDom bool
+
+	// LocalLiveness restricts the dead-register/dead-flags trampoline
+	// specialization to the legacy block-local scans instead of the
+	// whole-CFG liveness solution. Exposed for ablation measurements;
+	// the block-local answer is never more precise.
+	LocalLiveness bool
+
 	// MaxBatch bounds the number of accesses per trampoline (0 = 8).
 	MaxBatch int
 
@@ -73,21 +89,29 @@ func Defaults() Options {
 		Elim:       true,
 		Batch:      true,
 		Merge:      true,
+		ElimDom:    true,
 	}
 }
 
 // Report summarizes an instrumentation run.
 type Report struct {
-	Operands     int // memory operands considered
-	Eliminated   int // removed by check elimination
-	SkippedReads int // skipped because CheckReads is off
-	Instrumented int // operands actually covered by a check
-	Checks       int // emitted check records (after merging)
-	Batches      int // trampolines
-	MergedAway   int // checks saved by merging
-	FullChecks   int // checks with the combined lowfat+redzone mode
-	Rewrite      e9.Stats
-	FailedSites  int // operands whose patch failed (left unprotected)
+	Operands      int // memory operands considered
+	Eliminated    int // removed by (syntactic) check elimination
+	ElimDominated int // removed as redundant under a dominating check
+	SkippedReads  int // skipped because CheckReads is off
+	Instrumented  int // operands receiving a check of their own
+	Checks        int // emitted check records (after merging)
+	Batches       int // trampolines
+	MergedAway    int // checks saved by merging
+	FullChecks    int // checks with the combined lowfat+redzone mode
+	Rewrite       e9.Stats
+	FailedSites   int // operands whose patch failed (left unprotected)
+
+	// Liveness-driven trampoline specialization totals: registers the
+	// emitted trampolines save (sum over trampolines) and how many of
+	// them must preserve the flags.
+	LiveRegsSaved  int
+	LiveFlagsSaved int
 }
 
 // Publish exports the instrumentation report as counters in reg (no-op
@@ -105,6 +129,9 @@ func (r *Report) Publish(reg *telemetry.Registry) {
 	reg.Counter("harden.merged.away").Add(uint64(r.MergedAway))
 	reg.Counter("harden.checks.full").Add(uint64(r.FullChecks))
 	reg.Counter("harden.sites.failed").Add(uint64(r.FailedSites))
+	reg.Counter("harden.elim.dom").Add(uint64(r.ElimDominated))
+	reg.Counter("harden.liveness.regs").Add(uint64(r.LiveRegsSaved))
+	reg.Counter("harden.liveness.flags").Add(uint64(r.LiveFlagsSaved))
 	r.Rewrite.Publish(reg)
 }
 
@@ -166,6 +193,13 @@ func Harden(bin *relf.Binary, opt Options) (*relf.Binary, *Report, error) {
 	prog := rw.Prog
 	rep := &Report{}
 
+	// Whole-CFG dataflow engine: needed for dominator-based check
+	// elimination and for the global liveness trampoline specialization.
+	var df *cfg.Dataflow
+	if (opt.ElimDom && !opt.Profile) || (!opt.NoClobberSpec && !opt.LocalLiveness) {
+		df = cfg.NewDataflow(prog)
+	}
+
 	// Pass A: select sites and decide their check mode.
 	siteOf := make(map[int]*site)
 	want := make([]bool, len(prog.Insts))
@@ -197,6 +231,41 @@ func Harden(bin *relf.Binary, opt Options) (*relf.Binary, *Report, error) {
 		rep.Instrumented++
 	}
 
+	// Pass A': dominator-based redundant-check elimination. A site whose
+	// address shape, mode and span are covered by an available dominating
+	// check is dropped; the provider protects it. Skipped in Profile
+	// mode (per-site execution statistics must stay complete). Under
+	// AbortOnError the guest-visible detections are identical: the
+	// provider executes first on every path and fails on a superset of
+	// the dropped check's failures.
+	elimBy := make(map[int][]int) // provider inst → eliminated dependents
+	elimSites := make(map[int]*site)
+	if opt.ElimDom && !opt.Profile {
+		var cands []cfg.CheckSite
+		for i := range prog.Insts {
+			if !want[i] {
+				continue
+			}
+			s := siteOf[i]
+			if s.inst.Mem.Base == isa.RIP {
+				continue // PC-relative shapes never repeat
+			}
+			lo := int64(s.inst.Mem.Disp)
+			cands = append(cands, cfg.CheckSite{
+				Inst: i, Mode: uint8(s.mode),
+				Lo: lo, Hi: lo + int64(s.inst.MemWidth()),
+			})
+		}
+		for i, w := range df.Redundant(cands) {
+			want[i] = false
+			elimSites[i] = siteOf[i]
+			delete(siteOf, i)
+			elimBy[w] = append(elimBy[w], i)
+			rep.ElimDominated++
+			rep.Instrumented--
+		}
+	}
+
 	// Pass B: group sites into batches.
 	var batches []cfg.Batch
 	if opt.Batch {
@@ -217,21 +286,35 @@ func Harden(bin *relf.Binary, opt Options) (*relf.Binary, *Report, error) {
 	checkIdx := rw.Binary().ImportIndex(rtlib.CheckImport)
 	var checks []rtlib.Check
 
-	// Pass C: emit checks (merging within each batch) and patch.
-	for _, b := range batches {
-		head := b.Members[0]
-		headAddr := prog.Insts[head].Addr
+	// clobberSpec computes the trampoline prologue requirements at a
+	// batch head from the selected liveness analysis.
+	clobberSpec := func(head int) (int, bool) {
 		savedRegs, saveFlags := 4, true
-		if !opt.NoClobberSpec {
-			if d := prog.DeadRegsAt(head).Count(); d < savedRegs {
-				savedRegs -= d
-			} else {
-				savedRegs = 0
-			}
-			saveFlags = !prog.FlagsDeadAt(head)
+		if opt.NoClobberSpec {
+			return savedRegs, saveFlags
 		}
+		var dead cfg.RegSet
+		var flagsDead bool
+		if df != nil && !opt.LocalLiveness {
+			dead = df.DeadRegsAt(head)
+			flagsDead = df.FlagsDeadAt(head)
+		} else {
+			dead = prog.DeadRegsAt(head)
+			flagsDead = prog.FlagsDeadAt(head)
+		}
+		if d := dead.Count(); d < savedRegs {
+			savedRegs -= d
+		} else {
+			savedRegs = 0
+		}
+		return savedRegs, !flagsDead
+	}
 
-		groups := mergeGroups(b.Members, siteOf, opt.Merge)
+	// instrument emits the checks for one batch and patches its head.
+	instrument := func(members []int) error {
+		head := members[0]
+		savedRegs, saveFlags := clobberSpec(head)
+		groups := mergeGroups(members, siteOf, opt.Merge)
 		var payload []isa.Inst
 		for gi, g := range groups {
 			c := buildCheck(prog, g, siteOf, opt)
@@ -250,14 +333,55 @@ func Harden(bin *relf.Binary, opt Options) (*relf.Binary, *Report, error) {
 			})
 		}
 		if err := rw.Instrument(head, payload); err != nil {
-			// Leave this batch unprotected rather than fail the whole
-			// rewrite; drop its checks again.
+			// Drop this batch's checks again; the caller decides how to
+			// account for the unprotected members.
 			checks = checks[:len(checks)-len(groups)]
-			rep.FailedSites += len(b.Members)
-			_ = headAddr
-			continue
+			return err
 		}
 		rep.Batches++
+		rep.LiveRegsSaved += savedRegs
+		if saveFlags {
+			rep.LiveFlagsSaved++
+		}
+		return nil
+	}
+
+	// Pass C: emit checks (merging within each batch) and patch.
+	failed := make(map[int]bool) // member insts of batches that failed to patch
+	var unprot []uint64          // operand addresses left unprotected
+	for _, b := range batches {
+		if err := instrument(b.Members); err != nil {
+			// Leave this batch unprotected rather than fail the whole
+			// rewrite.
+			rep.FailedSites += len(b.Members)
+			for _, m := range b.Members {
+				failed[m] = true
+				unprot = append(unprot, prog.Insts[m].Addr)
+			}
+		}
+	}
+
+	// Repair round: a site eliminated under a dominating check whose
+	// batch failed to patch would be silently unprotected. Re-instrument
+	// such dependents individually (their own bytes were never reserved,
+	// so this is best-effort; failures are reported as unprotected).
+	var repair []int
+	for w, deps := range elimBy {
+		if failed[w] {
+			repair = append(repair, deps...)
+		}
+	}
+	sort.Ints(repair)
+	for _, i := range repair {
+		s := elimSites[i]
+		siteOf[i] = s
+		if err := instrument([]int{i}); err != nil {
+			rep.FailedSites++
+			unprot = append(unprot, s.addr)
+			continue
+		}
+		rep.ElimDominated--
+		rep.Instrumented++
 	}
 	rep.Checks = len(checks)
 
@@ -269,6 +393,20 @@ func Harden(bin *relf.Binary, opt Options) (*relf.Binary, *Report, error) {
 		Name: rtlib.SitesSection, Kind: relf.SecMeta,
 		Data: rtlib.EncodeSites(checks),
 	})
+	hard.AddSection(&relf.Section{
+		Name: ConfigSection, Kind: relf.SecMeta,
+		Data: EncodeConfig(opt),
+	})
+	if len(unprot) > 0 {
+		m := make(map[uint64]uint64, len(unprot))
+		for _, a := range unprot {
+			m[a] = 0
+		}
+		hard.AddSection(&relf.Section{
+			Name: UnprotSection, Kind: relf.SecMeta,
+			Data: relf.EncodePatchTable(m),
+		})
+	}
 	rep.Rewrite = rw.Stats()
 	return hard, rep, nil
 }

@@ -1,0 +1,306 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"redfat/internal/cfg"
+	"redfat/internal/juliet"
+	"redfat/internal/kraken"
+	"redfat/internal/redfat"
+	"redfat/internal/relf"
+	"redfat/internal/rtlib"
+	"redfat/internal/verify"
+	"redfat/internal/workload"
+)
+
+// knobCombos are the rewriter configurations the validator must accept:
+// every combination a user can reach from the CLI, including the
+// degraded ones (block-local liveness, no clobber specialization) that
+// save strictly more state than the whole-CFG solution requires.
+func knobCombos() map[string]redfat.Options {
+	combos := map[string]redfat.Options{}
+	add := func(name string, mut func(*redfat.Options)) {
+		opt := redfat.Defaults()
+		mut(&opt)
+		combos[name] = opt
+	}
+	add("defaults", func(o *redfat.Options) {})
+	add("no-elimdom", func(o *redfat.Options) { o.ElimDom = false })
+	add("local-liveness", func(o *redfat.Options) { o.LocalLiveness = true })
+	add("no-clobber-spec", func(o *redfat.Options) { o.NoClobberSpec = true })
+	add("no-batch", func(o *redfat.Options) { o.Batch = false; o.Merge = false })
+	add("no-reads", func(o *redfat.Options) { o.CheckReads = false })
+	add("profile", func(o *redfat.Options) { o.Profile = true })
+	return combos
+}
+
+// corpus returns a set of original binaries spanning the shipped
+// workloads: the full SPEC suite, a CVE case, a Juliet case, and the
+// Chrome-scale image (small filler count — hardening is static, but the
+// trampoline walk is linear in patches).
+func corpus(t *testing.T) map[string]*relf.Binary {
+	t.Helper()
+	bins := map[string]*relf.Binary{}
+	benches := workload.All()
+	if testing.Short() {
+		benches = benches[:6]
+	}
+	for _, bm := range benches {
+		bin, err := bm.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		bins[bm.Name] = bin
+	}
+	cve := juliet.CVECases()[0]
+	bin, err := cve.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins["cve/"+cve.ID] = bin
+	jc := juliet.JulietCases()[0]
+	if bin, err = jc.Build(); err != nil {
+		t.Fatal(err)
+	}
+	bins["juliet/"+jc.ID] = bin
+	if !testing.Short() {
+		if bin, err = kraken.Build(256); err != nil {
+			t.Fatal(err)
+		}
+		bins["chrome"] = bin
+	}
+	return bins
+}
+
+// TestCleanOnCorpora is the validator's false-positive gate: every
+// shipped corpus hardened under every reachable knob combination must
+// validate with zero violations.
+func TestCleanOnCorpora(t *testing.T) {
+	for name, bin := range corpus(t) {
+		for combo, opt := range knobCombos() {
+			hard, _, err := redfat.Harden(bin, opt)
+			if err != nil {
+				t.Fatalf("%s/%s: harden: %v", name, combo, err)
+			}
+			rep, err := verify.Verify(bin, hard)
+			if err != nil {
+				t.Fatalf("%s/%s: verify: %v", name, combo, err)
+			}
+			if !rep.OK() {
+				var sb strings.Builder
+				rep.Render(&sb)
+				t.Errorf("%s/%s: %s", name, combo, sb.String())
+			}
+			if rep.Trampolines == 0 || rep.Checks == 0 {
+				t.Errorf("%s/%s: validated nothing (%d trampolines, %d checks)",
+					name, combo, rep.Trampolines, rep.Checks)
+			}
+		}
+	}
+}
+
+// TestStructuralClean exercises the no-original subset on the same
+// hardened images.
+func TestStructuralClean(t *testing.T) {
+	bin, err := workload.ByName("libquantum").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for combo, opt := range knobCombos() {
+		hard, _, err := redfat.Harden(bin, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := verify.Structural(hard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			var sb strings.Builder
+			rep.Render(&sb)
+			t.Errorf("%s: %s", combo, sb.String())
+		}
+	}
+}
+
+// mutate applies f to a fresh clone of hard and returns the clone.
+func mutate(t *testing.T, hard *relf.Binary, f func(*relf.Binary)) *relf.Binary {
+	t.Helper()
+	m := hard.Clone()
+	f(m)
+	return m
+}
+
+// resites re-encodes a mutated site table into the binary.
+func resites(t *testing.T, bin *relf.Binary, recs []rtlib.Check) {
+	t.Helper()
+	s := bin.Section(rtlib.SitesSection)
+	if s == nil {
+		t.Fatal("no .rf.sites section")
+	}
+	s.Data = rtlib.EncodeSites(recs)
+	s.Size = uint64(len(s.Data))
+}
+
+// TestMutationsDetected seeds one defect of each class into a hardened
+// binary and checks the validator pins it with the right kind.
+func TestMutationsDetected(t *testing.T) {
+	bin, err := workload.ByName("libquantum").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, _, err := redfat.Harden(bin, redfat.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rtlib.SitesFrom(hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expectAgainst := func(name string, orig *relf.Binary, want verify.Kind, m *relf.Binary) {
+		t.Helper()
+		rep, err := verify.Verify(orig, m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.OK() {
+			t.Errorf("%s: mutation not detected", name)
+			return
+		}
+		for _, v := range rep.Violations {
+			if v.Kind == want {
+				return
+			}
+		}
+		t.Errorf("%s: no %q violation in %+v", name, want, rep.Violations)
+	}
+	expect := func(name string, want verify.Kind, m *relf.Binary) {
+		t.Helper()
+		expectAgainst(name, bin, want, m)
+	}
+
+	// (a) Under-save a trampoline: find a leader that saves registers and
+	// claim it saves one fewer.
+	savIdx := -1
+	for i := range recs {
+		if recs[i].Leader && recs[i].SavedRegs > 0 {
+			savIdx = i
+			break
+		}
+	}
+	if savIdx >= 0 {
+		expect("saved-regs", verify.KindLiveness, mutate(t, hard, func(m *relf.Binary) {
+			mrecs := append([]rtlib.Check(nil), recs...)
+			mrecs[savIdx].SavedRegs--
+			resites(t, m, mrecs)
+		}))
+	} else {
+		t.Log("no leader with SavedRegs > 0; skipping saved-regs mutation")
+	}
+
+	// (a') Drop a flags save from a leader that needs one. Clobber
+	// specialization proves flags dead at most heads, so use the
+	// conservative configuration (which saves flags everywhere) on a
+	// benchmark with a check head where flags are provably live.
+	ncOpt := redfat.Defaults()
+	ncOpt.NoClobberSpec = true
+	binNC, err := workload.ByName("perlbench").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardNC, _, err := redfat.Harden(binNC, ncOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncRecs, err := rtlib.SitesFrom(hardNC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Disassemble(binNC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := cfg.NewDataflow(prog)
+	flIdx := -1
+	for i := range ncRecs {
+		if !ncRecs[i].Leader || !ncRecs[i].SaveFlags {
+			continue
+		}
+		// Only a head where flags are provably live makes the drop a
+		// defect the validator must report.
+		if j, ok := prog.InstAt(ncRecs[i].PC); ok && !df.FlagsDeadAt(j) {
+			flIdx = i
+			break
+		}
+	}
+	if flIdx < 0 {
+		t.Fatal("perlbench has no live-flags check head under NoClobberSpec")
+	}
+	expectAgainst("save-flags", binNC, verify.KindLiveness, mutate(t, hardNC, func(m *relf.Binary) {
+		mrecs := append([]rtlib.Check(nil), ncRecs...)
+		mrecs[flIdx].SaveFlags = false
+		resites(t, m, mrecs)
+	}))
+
+	// (b) Drop a check record: every payload reference after it now
+	// points one record off, and the final record is out of range.
+	expect("dropped-record", verify.KindSites, mutate(t, hard, func(m *relf.Binary) {
+		mrecs := append([]rtlib.Check(nil), recs[:len(recs)/2]...)
+		mrecs = append(mrecs, recs[len(recs)/2+1:]...)
+		resites(t, m, mrecs)
+	}))
+
+	// (c) Corrupt one .rf.origins entry: the patched site no longer
+	// jumps to the trampoline the table claims.
+	expect("corrupt-origins", verify.KindPatch, mutate(t, hard, func(m *relf.Binary) {
+		s := m.Section(relf.OriginTableSection)
+		tbl, err := relf.DecodePatchTable(s.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for from := range tbl {
+			tbl[from]++
+			break
+		}
+		s.Data = relf.EncodePatchTable(tbl)
+		s.Size = uint64(len(s.Data))
+	}))
+
+	// (d) Flip a byte inside a patched jump: the site decodes to neither
+	// a jump to its trampoline nor a dispatched trap.
+	origins, err := relf.DecodePatchTable(hard.Section(relf.OriginTableSection).Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patchAddr uint64
+	for _, o := range origins {
+		if patchAddr == 0 || o < patchAddr {
+			patchAddr = o
+		}
+	}
+	expect("corrupt-patch", verify.KindPatch, mutate(t, hard, func(m *relf.Binary) {
+		text := m.Text()
+		text.Data[patchAddr-text.Addr+1] ^= 0x40 // jump displacement byte
+	}))
+
+	// (e) Scribble on unpatched text.
+	expect("text-diff", verify.KindPatch, mutate(t, hard, func(m *relf.Binary) {
+		text := m.Text()
+		// Find a byte outside every patched span.
+		spans := map[uint64]bool{}
+		for _, o := range origins {
+			for k := uint64(0); k < 8; k++ {
+				spans[o+k] = true
+			}
+		}
+		for a := text.Addr; a < text.End(); a++ {
+			if !spans[a] {
+				text.Data[a-text.Addr] ^= 0xFF
+				return
+			}
+		}
+		t.Fatal("no unpatched byte found")
+	}))
+}

@@ -36,6 +36,7 @@ import (
 	"redfat/internal/relf"
 	"redfat/internal/rtlib"
 	"redfat/internal/telemetry"
+	"redfat/internal/verify"
 	"redfat/internal/vm"
 )
 
@@ -154,6 +155,43 @@ func SaveBinary(bin *Binary, path string) error {
 // LD_PRELOADed libredfat.so).
 func Harden(bin *Binary, opt Options) (*Binary, *Report, error) {
 	return core.Harden(bin, opt)
+}
+
+// VerifyReport is the outcome of a translation-validation run: summary
+// counts plus every violation found (see internal/verify).
+type VerifyReport = verify.Report
+
+// VerifyViolation is one validation failure.
+type VerifyViolation = verify.Violation
+
+// VerifyHardened statically validates hard as a hardening of orig: every
+// patched site round-trips through its trampoline, byte stealing never
+// swallowed a jump target, the site table is referentially consistent,
+// every trampoline saves at least the provably live state, and every
+// operand the recorded policy selects is protected by a dominating or
+// same-site check. Neither binary is executed.
+func VerifyHardened(orig, hard *Binary) (*VerifyReport, error) {
+	return verify.Verify(orig, hard)
+}
+
+// VerifyStructural validates a hardened binary without its original:
+// metadata decodes, trampolines reference valid check records exactly
+// once (leaders first), and every trampoline returns to the text
+// section. Weaker than VerifyHardened, but needs no reference binary.
+func VerifyStructural(hard *Binary) (*VerifyReport, error) {
+	return verify.Structural(hard)
+}
+
+// Analysis is the per-function dataflow report behind the
+// -analysis-report flag (see internal/redfat.Analysis).
+type Analysis = core.Analysis
+
+// Analyze runs the whole-CFG dataflow engine over bin under the
+// site-selection policy of opt and reports per-function statistics
+// (blocks, edges, dominator depth, dead-register histogram, checks
+// eliminated by each pass) without rewriting anything.
+func Analyze(bin *Binary, opt Options) (*Analysis, error) {
+	return core.Analyze(bin, opt)
 }
 
 // ProfileAndHarden runs the two-phase workflow of paper Fig. 5: profile
