@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet rfvet build test race perf-smoke trace-smoke bench-smoke bench-host clean
+.PHONY: check fmt vet rfvet build test race perf-smoke trace-smoke replay-smoke bench-smoke bench-host bench-history clean
 
 # check is the tier-1 gate: formatting, static analysis (go vet plus the
 # repo-specific rfvet rules), build, tests (which include the TLB perf
-# smoke, see perf-smoke), and a race-detector pass over the concurrent
-# harness (short mode).
-check: fmt vet rfvet build test race
+# smoke, see perf-smoke), a race-detector pass over the concurrent
+# harness (short mode), and the runpack replay smoke.
+check: fmt vet rfvet build test race replay-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -45,6 +45,13 @@ perf-smoke:
 trace-smoke:
 	$(GO) test -run TestCLITraceSmoke -v .
 
+# replay-smoke exercises the runpack contract end to end: capture a
+# detection run as a digest-signed pack, verify it, replay it to
+# byte-identical reports and cycle counts, and prove every seeded tamper
+# mode fails verification with its documented exit code. See DESIGN.md §13.
+replay-smoke:
+	$(GO) test -run 'TestCLIRunpackSmoke|TestVerifyDetectsTampering|TestRunPackVerifiesAndReplaysByteIdentical' -v . ./internal/runpack/
+
 # bench-smoke regenerates a down-scaled Table 1 with JSON export, as a
 # fast end-to-end exercise of the experiment harness.
 bench-smoke:
@@ -55,6 +62,14 @@ bench-smoke:
 # in results/BENCH_host.json.
 bench-host:
 	$(GO) run ./cmd/rfbench -hostbench -progress=false
+
+# bench-history appends the current revision's down-scaled Table 1 +
+# detection matrix to the trajectory series in results/history/ (and
+# captures the same document as a verifiable runpack). Compare two
+# entries with: rfbench ... -baseline results/history/BENCH_<rev>.json
+bench-history:
+	$(GO) run ./cmd/rfbench -table1 -table2 -scale 0.02 -progress=false \
+		-runpack results/runpack-bench -history results/history
 
 clean:
 	rm -rf results

@@ -216,6 +216,91 @@ func TestCLITraceSmoke(t *testing.T) {
 	}
 }
 
+// TestCLIRunpackSmoke drives the runpack workflow end to end through the
+// real tools: capture a detection run with rfvm -runpack, verify the pack,
+// replay it byte-for-byte, catch a tampered member, round-trip through a
+// tarball, and replay a redfat rewrite pack. `make replay-smoke` runs
+// exactly this test (plus the internal/runpack tamper matrix).
+func TestCLIRunpackSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI tools")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	src := filepath.Join(work, "prog.s")
+	if err := os.WriteFile(src, []byte(cliProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	relfPath := filepath.Join(work, "prog.relf")
+	hardPath := filepath.Join(work, "prog.hard.relf")
+	if out, code := runTool(t, bin, "rfasm", "-o", relfPath, src); code != 0 {
+		t.Fatal(out)
+	}
+	if out, code := runTool(t, bin, "redfat", "-o", hardPath, relfPath); code != 0 {
+		t.Fatal(out)
+	}
+
+	// Detection run: packed, and the stable exit code names the kind.
+	packDir := filepath.Join(work, "pack")
+	out, code := runTool(t, bin, "rfvm", "-hardened", "-abort", "-runpack", packDir,
+		"-input", "40", hardPath)
+	if code != 10 {
+		t.Fatalf("attack run exit = %d, want 10 (OOB write): %s", code, out)
+	}
+	// Benign run: exit 0.
+	if out, code := runTool(t, bin, "rfvm", "-hardened", "-input", "2", hardPath); code != 0 {
+		t.Fatalf("benign run exit = %d: %s", code, out)
+	}
+
+	out, code = runTool(t, bin, "rfpack", "verify", packDir)
+	if code != 0 || !strings.Contains(out, "verified OK") {
+		t.Fatalf("rfpack verify: %d %s", code, out)
+	}
+	out, code = runTool(t, bin, "rfpack", "replay", packDir)
+	if code != 0 || !strings.Contains(out, "byte-identical") {
+		t.Fatalf("rfpack replay: %d %s", code, out)
+	}
+	out, code = runTool(t, bin, "rfpack", "show", packDir)
+	if code != 0 || !strings.Contains(out, `"kind": "run"`) {
+		t.Fatalf("rfpack show: %d %s", code, out)
+	}
+
+	// Deterministic tarball round-trip.
+	tgz := filepath.Join(work, "pack.tgz")
+	if out, code := runTool(t, bin, "rfpack", "tar", packDir, tgz); code != 0 {
+		t.Fatalf("rfpack tar: %d %s", code, out)
+	}
+	if out, code := runTool(t, bin, "rfpack", "verify", tgz); code != 0 {
+		t.Fatalf("rfpack verify tarball: %d %s", code, out)
+	}
+
+	// A flipped byte in the packed reports fails verification with the
+	// documented digest-mismatch code.
+	reports := filepath.Join(packDir, "reports.json")
+	data, err := os.ReadFile(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(reports, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runTool(t, bin, "rfpack", "verify", packDir)
+	if code != 3 {
+		t.Fatalf("tampered verify exit = %d, want 3: %s", code, out)
+	}
+
+	// Rewrite packs replay too: re-hardening reproduces the image.
+	rwDir := filepath.Join(work, "rwpack")
+	if out, code := runTool(t, bin, "redfat", "-o", hardPath, "-runpack", rwDir, relfPath); code != 0 {
+		t.Fatalf("redfat -runpack: %d %s", code, out)
+	}
+	out, code = runTool(t, bin, "rfpack", "replay", rwDir)
+	if code != 0 || !strings.Contains(out, "byte-identical") {
+		t.Fatalf("rewrite replay: %d %s", code, out)
+	}
+}
+
 // TestCLIProfileWorkflow drives rfprofile end to end, including the
 // fuzz-boosted variant.
 func TestCLIProfileWorkflow(t *testing.T) {

@@ -17,6 +17,9 @@
 //	-profile       emit the profiling-phase binary of the Fig. 5 workflow
 //	-verify        statically validate the rewriting before writing it
 //	-analysis-report f  dump per-function dataflow statistics as JSON
+//	-runpack DIR   capture the rewrite as a digest-signed runpack
+//	               (input + hardened image + knobs) that `rfpack replay`
+//	               re-hardens and diffs byte-for-byte (DESIGN.md §13)
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"os"
 
 	"redfat"
+	"redfat/internal/runpack"
 )
 
 func main() {
@@ -45,6 +49,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the instrumentation metrics as JSON to this file")
 	doVerify := flag.Bool("verify", false, "run the translation validator on the result and fail on violations")
 	analysisPath := flag.String("analysis-report", "", "write per-function dataflow analysis statistics as JSON to this file")
+	packDir := flag.String("runpack", "", "capture the rewrite as a digest-signed runpack in this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: redfat [flags] -o out.relf in.relf\n")
 		flag.PrintDefaults()
@@ -71,12 +76,16 @@ func main() {
 		Profile:       *profileMode,
 		MaxBatch:      *maxBatch,
 	}
+	var allowData []byte
 	if *allowPath != "" {
 		allow, err := redfat.LoadAllowList(*allowPath)
 		if err != nil {
 			fatal(err)
 		}
 		opt.AllowList = allow
+		if allowData, err = os.ReadFile(*allowPath); err != nil {
+			fatal(err)
+		}
 	}
 	if *analysisPath != "" {
 		a, err := redfat.Analyze(bin, opt)
@@ -110,6 +119,16 @@ func main() {
 	}
 	if err := redfat.SaveBinary(hard, *out); err != nil {
 		fatal(err)
+	}
+	if *packDir != "" {
+		origData, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if err := runpack.PackRewrite(*packDir, os.Args[1:], origData, hard, opt, allowData, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("runpack written to %s\n", *packDir)
 	}
 	if *verbose {
 		fmt.Println("redfat:", rep)

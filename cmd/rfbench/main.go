@@ -23,17 +23,32 @@
 //
 // -cpuprofile / -memprofile write pprof profiles of the harness itself
 // (host-side performance, not guest cycles).
+//
+// Run artifacts and bench trajectory:
+//
+//	-runpack DIR   capture the run's results JSON as a digest-signed
+//	               runpack (verify with `rfpack verify`; DESIGN.md §13)
+//	-history DIR   append this run to the bench trajectory as
+//	               DIR/BENCH_<rev>.json (rev from -rev or the build's VCS
+//	               stamp); see results/history/
+//	-baseline P    load a prior results JSON (a BENCH_*.json file, or a
+//	               runpack directory/tarball) and report per-section
+//	               deltas; -regress sets the noise threshold (default
+//	               ±10%), and regressions warn unless -regress-fail
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"redfat/internal/bench"
+	"redfat/internal/runpack"
 	"redfat/internal/telemetry"
 )
 
@@ -66,6 +81,12 @@ func run() error {
 	hostbenchScale := flag.Float64("hostbenchscale", 0.02, "table1 scale for -hostbench")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile of the harness to this file")
+	packDir := flag.String("runpack", "", "capture the results JSON as a digest-signed runpack in this directory")
+	historyDir := flag.String("history", "", "append this run to the bench trajectory as DIR/BENCH_<rev>.json")
+	rev := flag.String("rev", "", "revision tag for -history file naming (default: the build's VCS stamp)")
+	baseline := flag.String("baseline", "", "compare against a prior results JSON (BENCH_*.json file or runpack)")
+	regress := flag.Float64("regress", bench.DefaultRegressThreshold, "relative regression threshold for -baseline")
+	regressFail := flag.Bool("regress-fail", false, "with -baseline, exit nonzero when a delta exceeds the threshold")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -104,7 +125,8 @@ func run() error {
 	results := &bench.Results{Scale: *scale}
 	// Open the JSON sink up front so a bad path fails before hours of
 	// experiments, not after. The JSON document also carries the aggregate
-	// telemetry snapshot, so only collect metrics when it is requested.
+	// telemetry snapshot, so only collect metrics when some consumer
+	// (-json, -runpack, -history) wants the document.
 	var jsonFile *os.File
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -112,7 +134,20 @@ func run() error {
 			return err
 		}
 		jsonFile = f
+	}
+	needDoc := *jsonPath != "" || *packDir != "" || *historyDir != ""
+	if needDoc {
 		h.Metrics = telemetry.New()
+	}
+	// Load the baseline up front too: a bad -baseline path should not cost
+	// a full experiment run before failing.
+	var base *bench.Results
+	if *baseline != "" {
+		b, err := loadBaseline(*baseline)
+		if err != nil {
+			return err
+		}
+		base = b
 	}
 	if *all || *table1 {
 		ran = true
@@ -244,9 +279,17 @@ func run() error {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if jsonFile != nil {
+	var doc []byte
+	if needDoc {
 		results.Telemetry = h.Metrics.Snapshot()
-		if err := results.WriteJSON(jsonFile); err != nil {
+		d, err := results.MarshalJSONBytes()
+		if err != nil {
+			return err
+		}
+		doc = d
+	}
+	if jsonFile != nil {
+		if _, err := jsonFile.Write(doc); err != nil {
 			return err
 		}
 		if err := jsonFile.Close(); err != nil {
@@ -254,5 +297,82 @@ func run() error {
 		}
 		fmt.Fprintf(w, "results written to %s\n", *jsonPath)
 	}
+	if *packDir != "" {
+		if err := runpack.PackBench(*packDir, os.Args[1:], doc); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "runpack written to %s\n", *packDir)
+	}
+	if *historyDir != "" {
+		path, err := writeHistory(*historyDir, *rev, doc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "bench trajectory entry written to %s\n", path)
+	}
+	if base != nil {
+		fmt.Fprintf(w, "=== Trajectory vs %s ===\n", *baseline)
+		traj := bench.Compare(results, base, *regress)
+		if err := traj.Render(w); err != nil {
+			return err
+		}
+		if n := len(traj.Regressions()); n > 0 && *regressFail {
+			return fmt.Errorf("%d metric(s) regressed beyond ±%.1f%% of %s",
+				n, *regress*100, *baseline)
+		}
+	}
 	return nil
+}
+
+// loadBaseline reads a prior Results document for -baseline. The path may
+// be a plain BENCH_*.json file, or a runpack directory / tarball produced
+// by -runpack — the latter is digest-verified before its bench.json member
+// is trusted.
+func loadBaseline(path string) (*bench.Results, error) {
+	fi, statErr := os.Stat(path)
+	isPack := (statErr == nil && fi.IsDir()) ||
+		strings.HasSuffix(path, ".tgz") || strings.HasSuffix(path, ".tar.gz")
+	if isPack {
+		p, err := runpack.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		man, err := runpack.Verify(p)
+		if err != nil {
+			return nil, fmt.Errorf("baseline runpack %s: %w", path, err)
+		}
+		if man.Kind != runpack.KindBench {
+			return nil, fmt.Errorf("baseline runpack %s is a %q pack, want %q", path, man.Kind, runpack.KindBench)
+		}
+		data, err := p.ReadMember(runpack.MemberBench)
+		if err != nil {
+			return nil, err
+		}
+		return bench.ParseResults(data)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return bench.ParseResults(data)
+}
+
+// writeHistory appends the results document to the trajectory series as
+// dir/BENCH_<rev>.json. An existing entry for the same revision is only
+// overwritten by identical content: the series is append-only.
+func writeHistory(dir, rev string, doc []byte) (string, error) {
+	if rev == "" {
+		rev = runpack.GitRev()
+	}
+	if rev == "" {
+		rev = "dev"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+rev+".json")
+	if old, err := os.ReadFile(path); err == nil && !bytes.Equal(old, doc) {
+		return "", fmt.Errorf("history entry %s already exists with different content (pass -rev to disambiguate)", path)
+	}
+	return path, os.WriteFile(path, doc, 0o644)
 }

@@ -15,6 +15,10 @@
 //     so any fmt/io emission inside such a loop makes the artifact
 //     nondeterministic. The accepted idiom is collect-keys → sort →
 //     iterate the slice; collect-only map loops are therefore fine.
+//     The same rule covers the runpack Builder's member-adding methods
+//     (AddBytes/AddJSON): member insertion order is part of a runpack's
+//     signed digest chain, so adding members from inside a map range
+//     would make the sealed manifest nondeterministic.
 //
 // Test files are exempt from both rules. Exit status is 1 when any
 // issue is found, 2 when the module cannot be loaded.
@@ -312,6 +316,29 @@ func (v *vetter) isRegistry(pf *pkgFiles, expr ast.Expr) bool {
 	return n.Obj().Name() == "Registry" && strings.HasSuffix(n.Obj().Pkg().Path(), "internal/telemetry")
 }
 
+// isPackBuilder reports whether fun is a selector on the runpack Builder
+// type (or a pointer to it). Like isRegistry, missing type information
+// falls back to the conservative answer true.
+func (v *vetter) isPackBuilder(pf *pkgFiles, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pf.info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Builder" && strings.HasSuffix(n.Obj().Pkg().Path(), "internal/runpack")
+}
+
 // emitCalls are methods/functions whose invocation inside a map-range
 // body means iteration order reaches an output stream.
 var emitCalls = map[string]bool{
@@ -319,6 +346,13 @@ var emitCalls = map[string]bool{
 	"Printf": true, "Println": true, "Print": true,
 	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
 	"Encode": true,
+}
+
+// packCalls are runpack Builder methods that append pack members. Member
+// order is part of the signed digest chain, so these are held to the same
+// no-map-iteration rule as output emitters.
+var packCalls = map[string]bool{
+	"AddBytes": true, "AddJSON": true,
 }
 
 // checkMapEmit flags emission from inside a range over a map, anywhere
@@ -353,6 +387,10 @@ func (v *vetter) checkMapEmit(pf *pkgFiles) {
 				if emitCalls[name] {
 					v.report(call.Pos(),
 						"map-emit: %s inside a range over a map emits in nondeterministic order; collect keys, sort, then emit",
+						name)
+				} else if packCalls[name] && v.isPackBuilder(pf, call.Fun) {
+					v.report(call.Pos(),
+						"map-emit: runpack %s inside a range over a map packs members in nondeterministic order; collect keys, sort, then add",
 						name)
 				}
 				return true

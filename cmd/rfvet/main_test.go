@@ -149,3 +149,47 @@ func sliceLoop(w io.Writer, xs []int) {
 		t.Errorf("want exactly 1 issue, got %d: %v", len(msgs), msgs)
 	}
 }
+
+func TestMapEmitRuleCoversRunpackBuilder(t *testing.T) {
+	v := writeTree(t, map[string]string{
+		"internal/runpack/runpack.go": `package runpack
+type Builder struct{}
+func (b *Builder) AddBytes(name string, data []byte) {}
+func (b *Builder) AddJSON(name string, v any) {}
+`,
+		"internal/emit/emit.go": `package emit
+import (
+	"sort"
+	"tmpmod/internal/runpack"
+)
+func PackBad(b *runpack.Builder, m map[string][]byte) {
+	for name, data := range m {
+		b.AddBytes(name, data) // member order would be nondeterministic
+	}
+}
+func PackGood(b *runpack.Builder, m map[string][]byte) {
+	names := make([]string, 0, len(m))
+	for name := range m { // collect-only: allowed
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.AddBytes(name, m[name])
+	}
+}
+type other struct{}
+func (other) AddBytes(name string, data []byte) {}
+func otherType(m map[string]int) {
+	var o other
+	for k := range m {
+		o.AddBytes(k, nil) // not the runpack Builder: allowed
+	}
+}
+`,
+	})
+	msgs := runVet(t, v)
+	wantIssue(t, msgs, "map-emit: runpack AddBytes inside a range over a map")
+	if len(msgs) != 1 {
+		t.Errorf("want exactly 1 issue, got %d: %v", len(msgs), msgs)
+	}
+}

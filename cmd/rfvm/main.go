@@ -22,9 +22,33 @@
 // (flamegraph input); -trace-out FILE writes a Chrome trace-event JSON
 // (execution events plus profile samples) loadable in chrome://tracing.
 // All of it is host-side only: guest cycles are bit-identical either way.
+//
+// Run artifacts: -runpack DIR captures the run as a digest-signed
+// runpack (the executed binary, replay spec, packed result, forensic
+// reports, telemetry) that `rfpack verify` integrity-checks and
+// `rfpack replay` reproduces byte-for-byte (DESIGN.md §13). -runpack
+// implies forensics so detection reports are packed.
+//
+// Exit codes are stable so runpack replay and CI scripts can assert on
+// the detection kind:
+//
+//	0   clean run (and the guest exited 0)
+//	1   tool or runtime failure
+//	2   bad command line
+//	10  out-of-bounds write detected
+//	11  out-of-bounds read detected
+//	12  use-after-free detected
+//	13  corrupted-metadata detected
+//	14  invalid free detected
+//	20  cycle-budget abort
+//
+// When the guest itself exits nonzero without any detection, rfvm
+// passes the guest code through masked to 7 bits; detection codes take
+// precedence over the guest code.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +56,7 @@ import (
 	"strings"
 
 	"redfat"
+	"redfat/internal/runpack"
 )
 
 func main() {
@@ -54,6 +79,7 @@ func main() {
 	noChain := flag.Bool("nochain", false, "disable block chaining (host A/B validation)")
 	noTLB := flag.Bool("notlb", false, "disable the guest-memory software TLB (host A/B validation)")
 	doVerify := flag.Bool("verify", false, "with -hardened, structurally validate the binary before running it")
+	packDir := flag.String("runpack", "", "capture the run as a digest-signed runpack in this directory (implies forensics)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rfvm [flags] prog.relf\n")
 		flag.PrintDefaults()
@@ -119,7 +145,7 @@ func main() {
 		tracer = redfat.NewEventTracer(4096)
 		ro.EventTrace = tracer
 	}
-	ro.Forensics = *forensic
+	ro.Forensics = *forensic || *packDir != ""
 	var prof *redfat.GuestProfiler
 	if *profGuest || *folded != "" || *traceOut != "" {
 		prof = redfat.NewGuestProfiler(*profInterval)
@@ -127,6 +153,9 @@ func main() {
 	}
 	res, err := redfat.Run(bin, ro)
 	if res != nil {
+		// -forensics prints the resolved reports; a bare -runpack only
+		// packs them.
+		showReports := *forensic
 		sym := redfat.NewSymbolizer(bin)
 		if len(res.Output) > 0 {
 			os.Stdout.Write(res.Output)
@@ -135,13 +164,15 @@ func main() {
 		for _, e := range res.Errors {
 			fmt.Fprintf(os.Stderr, "rfvm: detected %v\n", &e)
 		}
-		for _, r := range res.Reports {
-			if werr := r.WriteText(os.Stderr); werr != nil {
-				fatal(werr)
-			}
-			if *forensicJSON {
-				if werr := r.WriteJSON(os.Stderr); werr != nil {
+		if showReports {
+			for _, r := range res.Reports {
+				if werr := r.WriteText(os.Stderr); werr != nil {
 					fatal(werr)
+				}
+				if *forensicJSON {
+					if werr := r.WriteJSON(os.Stderr); werr != nil {
+						fatal(werr)
+					}
 				}
 			}
 		}
@@ -189,10 +220,41 @@ func main() {
 			}
 		}
 	}
-	if err != nil {
-		fatal(err)
+	if *packDir != "" && res != nil {
+		raw, rerr := os.ReadFile(flag.Arg(0))
+		if rerr != nil {
+			fatal(rerr)
+		}
+		spec := runpack.RunSpec{
+			Input:     in,
+			Hardened:  *hardened,
+			Memcheck:  *mcheck,
+			Abort:     *abort,
+			MaxCycles: *max,
+			Forensics: true,
+		}
+		if perr := runpack.PackRun(*packDir, os.Args[1:], raw, bin, spec, res, err, reg); perr != nil {
+			fatal(perr)
+		}
+		fmt.Fprintf(os.Stderr, "rfvm: runpack written to %s\n", *packDir)
 	}
-	os.Exit(int(res.ExitCode & 0x7F))
+	// Stable exit codes: detections and cycle-budget aborts map to their
+	// documented codes (see the package comment); other failures exit 1;
+	// clean runs pass the guest's exit code through.
+	var guest uint64
+	var errs []redfat.MemError
+	if res != nil {
+		guest, errs = res.ExitCode, res.Errors
+	}
+	if err != nil {
+		// Detections were already rendered from res.Errors; anything else
+		// (cycle budget, runtime failure) is reported here.
+		var me *redfat.MemError
+		if !errors.As(err, &me) {
+			fmt.Fprintln(os.Stderr, "rfvm:", err)
+		}
+	}
+	os.Exit(runpack.RunExit(guest, errs, err))
 }
 
 func writeFile(path string, fill func(*os.File) error) error {

@@ -1,0 +1,62 @@
+package runpack
+
+import (
+	"errors"
+
+	"redfat/internal/vm"
+)
+
+// Stable rfvm exit codes: 0 for a clean run, one distinct code per
+// detection kind, and a distinct code for a cycle-budget abort, so
+// runpack replay and CI scripts can assert on the *kind* of failure
+// without scraping stderr. Codes 10–20 take precedence over the guest's
+// own exit status (which rfvm otherwise passes through masked to 7 bits).
+const (
+	ExitDetectOOBWrite    = 10
+	ExitDetectOOBRead     = 11
+	ExitDetectUAF         = 12
+	ExitDetectCorruptMeta = 13
+	ExitDetectInvalidFree = 14
+	ExitCycleBudget       = 20
+)
+
+// DetectionExit maps a memory-error kind to its stable exit code.
+func DetectionExit(kind vm.MemErrorKind) int {
+	switch kind {
+	case vm.ErrOOBWrite:
+		return ExitDetectOOBWrite
+	case vm.ErrOOBRead:
+		return ExitDetectOOBRead
+	case vm.ErrUseAfterFree:
+		return ExitDetectUAF
+	case vm.ErrCorruptMeta:
+		return ExitDetectCorruptMeta
+	case vm.ErrInvalidFree:
+		return ExitDetectInvalidFree
+	}
+	return ExitToolError
+}
+
+// RunExit computes the rfvm process exit status for a finished run:
+// detections first (the first recorded error decides the code, which is
+// deterministic — the VM retires errors in execution order), then a
+// cycle-budget abort, then any other run failure, then the guest's own
+// exit code masked to 7 bits. Replay packs record this value and assert
+// it reproduces.
+func RunExit(guestExit uint64, errs []vm.MemError, runErr error) int {
+	if len(errs) > 0 {
+		return DetectionExit(errs[0].Kind)
+	}
+	var me *vm.MemError
+	if errors.As(runErr, &me) {
+		return DetectionExit(me.Kind)
+	}
+	var cle *vm.CycleLimitError
+	if errors.As(runErr, &cle) {
+		return ExitCycleBudget
+	}
+	if runErr != nil {
+		return ExitToolError
+	}
+	return int(guestExit & 0x7F)
+}

@@ -1,0 +1,391 @@
+package runpack
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"redfat"
+	"redfat/internal/juliet"
+	"redfat/internal/vm"
+)
+
+// hardenCase assembles one Juliet/CVE case and hardens it under opt.
+func hardenCase(t *testing.T, c *juliet.Case, opt redfat.Options) (orig, hard *redfat.Binary, rep *redfat.Report) {
+	t.Helper()
+	bin, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, r, err := redfat.Harden(bin, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin, h, r
+}
+
+// makeRunPack executes a hardened detection case with forensics on and
+// packs the run into a fresh directory.
+func makeRunPack(t *testing.T) (dir string, res *redfat.Result, runErr error) {
+	t.Helper()
+	c := juliet.CVECases()[0]
+	_, hard, _ := hardenCase(t, c, redfat.Defaults())
+	spec := RunSpec{Input: juliet.Trigger(c), Hardened: true, Forensics: true}
+	res, runErr = redfat.Run(hard, redfat.RunOptions{
+		Input: spec.Input, Hardened: true, Forensics: true,
+	})
+	if res == nil {
+		t.Fatalf("run produced no result: %v", runErr)
+	}
+	if len(res.Errors) == 0 {
+		t.Fatal("detection case detected nothing; tamper tests need reports")
+	}
+	hardData, err := hard.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir = filepath.Join(t.TempDir(), "pack")
+	if err := PackRun(dir, []string{"-hardened", "prog.relf"}, hardData, hard, spec, res, runErr, nil); err != nil {
+		t.Fatal(err)
+	}
+	return dir, res, runErr
+}
+
+func TestRunPackVerifiesAndReplaysByteIdentical(t *testing.T) {
+	dir, res, _ := makeRunPack(t)
+	p, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := Verify(p)
+	if err != nil {
+		t.Fatalf("clean pack failed verify: %v", err)
+	}
+	if man.Kind != KindRun || man.Run == nil || man.Knobs == nil {
+		t.Fatalf("manifest incomplete: kind=%q run=%v knobs=%v", man.Kind, man.Run, man.Knobs)
+	}
+	rep, err := Replay(p, man)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("replay diverged in %v", rep.Mismatched)
+	}
+	if rep.ReplayCycles != res.Cycles || rep.PackedCycles != res.Cycles {
+		t.Fatalf("cycles: packed %d, replay %d, run %d", rep.PackedCycles, rep.ReplayCycles, res.Cycles)
+	}
+	if rep.ReplayExit != rep.PackedExit {
+		t.Fatalf("exit: packed %d, replay %d", rep.PackedExit, rep.ReplayExit)
+	}
+	// The reports must have been part of the byte comparison.
+	found := false
+	for _, name := range rep.Compared {
+		if name == MemberReports {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reports.json not compared (compared %v)", rep.Compared)
+	}
+}
+
+func TestRewritePackReplayAcrossKnobMatrix(t *testing.T) {
+	base := redfat.Defaults()
+	o0 := base
+	o0.Elim, o0.Batch, o0.Merge, o0.ElimDom = false, false, false, false
+	noLowFat := base
+	noLowFat.LowFat = false
+	noReads := base
+	noReads.CheckReads = false
+	knobs := []struct {
+		name string
+		opt  redfat.Options
+	}{
+		{"defaults", base},
+		{"O0", o0},
+		{"redzone-only", noLowFat},
+		{"write-only", noReads},
+	}
+	c := juliet.CVECases()[0]
+	for _, k := range knobs {
+		t.Run(k.name, func(t *testing.T) {
+			orig, hard, rep := hardenCase(t, c, k.opt)
+			origData, err := orig.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join(t.TempDir(), "pack")
+			if err := PackRewrite(dir, []string{"-o", "out.relf"}, origData, hard, k.opt, nil, rep); err != nil {
+				t.Fatal(err)
+			}
+			man, err := VerifyPath(dir)
+			if err != nil {
+				t.Fatalf("clean %s pack failed verify: %v", k.name, err)
+			}
+			p, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr, err := Replay(p, man)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if !rr.Identical() {
+				t.Fatalf("re-hardening diverged in %v", rr.Mismatched)
+			}
+		})
+	}
+}
+
+// tamper clones the pack directory and applies one mutation, so every
+// subtest starts from the same sealed pack.
+func tamper(t *testing.T, src string, mutate func(t *testing.T, dir string)) string {
+	t.Helper()
+	dst := filepath.Join(t.TempDir(), "tampered")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mutate(t, dst)
+	return dst
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	dir, _, _ := makeRunPack(t)
+	if _, err := VerifyPath(dir); err != nil {
+		t.Fatalf("pristine pack must verify before tampering: %v", err)
+	}
+	cases := []struct {
+		name   string
+		want   int
+		mutate func(t *testing.T, dir string)
+	}{
+		{"flipped-report-byte", ExitBadDigest, func(t *testing.T, dir string) {
+			path := filepath.Join(dir, MemberReports)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated-member", ExitBadDigest, func(t *testing.T, dir string) {
+			path := filepath.Join(dir, MemberBinary)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"edited-manifest", ExitBadManifest, func(t *testing.T, dir string) {
+			path := filepath.Join(dir, ManifestName)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edited := bytes.Replace(data, []byte(`"kind": "run"`), []byte(`"kind": "ran"`), 1)
+			if bytes.Equal(edited, data) {
+				t.Fatal("manifest edit did not apply")
+			}
+			if err := os.WriteFile(path, edited, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"edited-seal-digest", ExitBadManifest, func(t *testing.T, dir string) {
+			path := filepath.Join(dir, DigestName)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip one hex digit of the seal without breaking its format.
+			i := bytes.IndexByte(data, ' ') + 1
+			if data[i] == '0' {
+				data[i] = '1'
+			} else {
+				data[i] = '0'
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"renamed-member", ExitMissing, func(t *testing.T, dir string) {
+			if err := os.Rename(filepath.Join(dir, MemberResult),
+				filepath.Join(dir, "renamed.json")); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"deleted-member", ExitMissing, func(t *testing.T, dir string) {
+			if err := os.Remove(filepath.Join(dir, MemberResult)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"smuggled-extra-file", ExitMissing, func(t *testing.T, dir string) {
+			if err := os.WriteFile(filepath.Join(dir, "extra.bin"), []byte("x"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := VerifyPath(tamper(t, dir, tc.mutate))
+			if err == nil {
+				t.Fatal("tampered pack verified clean")
+			}
+			if got := ExitCode(err); got != tc.want {
+				t.Fatalf("exit code %d (%v), want %d", got, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsUnknownSchema(t *testing.T) {
+	dir, _, _ := makeRunPack(t)
+	// A future-schema pack with an intact seal must fail on the schema
+	// check specifically, not on the seal: re-sign the edited manifest the
+	// way a newer tool would.
+	bad := tamper(t, dir, func(t *testing.T, dir string) {
+		path := filepath.Join(dir, ManifestName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edited := bytes.Replace(data, []byte(`"schema_version": 1`), []byte(`"schema_version": 999`), 1)
+		if bytes.Equal(edited, data) {
+			t.Fatal("schema edit did not apply")
+		}
+		if err := os.WriteFile(path, edited, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := resign(dir, edited); err != nil {
+			t.Fatal(err)
+		}
+	})
+	_, err := VerifyPath(bad)
+	if got := ExitCode(err); got != ExitBadSchema {
+		t.Fatalf("exit code %d (%v), want %d", got, err, ExitBadSchema)
+	}
+}
+
+// resign rewrites runpack.digest over edited manifest bytes (what a
+// hostile editor covering their tracks, or a future tool, would do).
+func resign(dir string, manData []byte) error {
+	sum := sha256.Sum256(manData)
+	line := digestPrefix + " " + hex.EncodeToString(sum[:]) + "\n"
+	return os.WriteFile(filepath.Join(dir, DigestName), []byte(line), 0o644)
+}
+
+func TestTarRoundtrip(t *testing.T) {
+	dir, _, _ := makeRunPack(t)
+	var a, b bytes.Buffer
+	if err := Tar(dir, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Tar(dir, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Tar is not deterministic: two runs differ")
+	}
+	path := filepath.Join(t.TempDir(), "pack.tgz")
+	if err := os.WriteFile(path, a.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, err := VerifyPath(path)
+	if err != nil {
+		t.Fatalf("tarball failed verify: %v", err)
+	}
+	p, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(p, man)
+	if err != nil {
+		t.Fatalf("replay from tarball: %v", err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("tarball replay diverged in %v", rep.Mismatched)
+	}
+}
+
+func TestBuilderRejectsBadMemberNames(t *testing.T) {
+	for _, name := range []string{"", "a/b", `a\b`, ManifestName, DigestName} {
+		b, err := NewBuilder(t.TempDir(), KindRun, "test", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.AddBytes(name, []byte("x"))
+		if err := b.Seal(); err == nil {
+			t.Errorf("member name %q accepted", name)
+		}
+	}
+	b, err := NewBuilder(t.TempDir(), KindRun, "test", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddBytes("dup.bin", []byte("x"))
+	b.AddBytes("dup.bin", []byte("y"))
+	if err := b.Seal(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate member not rejected: %v", err)
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	kindCases := []struct {
+		kind vm.MemErrorKind
+		want int
+	}{
+		{vm.ErrOOBWrite, ExitDetectOOBWrite},
+		{vm.ErrOOBRead, ExitDetectOOBRead},
+		{vm.ErrUseAfterFree, ExitDetectUAF},
+		{vm.ErrCorruptMeta, ExitDetectCorruptMeta},
+		{vm.ErrInvalidFree, ExitDetectInvalidFree},
+	}
+	for _, tc := range kindCases {
+		if got := RunExit(0, []vm.MemError{{Kind: tc.kind}}, nil); got != tc.want {
+			t.Errorf("RunExit(%v) = %d, want %d", tc.kind, got, tc.want)
+		}
+		// A detection surfaced only through the abort error maps the same.
+		if got := RunExit(0, nil, &vm.MemError{Kind: tc.kind}); got != tc.want {
+			t.Errorf("RunExit(err %v) = %d, want %d", tc.kind, got, tc.want)
+		}
+	}
+	if got := RunExit(0, nil, &vm.CycleLimitError{Cycles: 7}); got != ExitCycleBudget {
+		t.Errorf("cycle budget exit = %d, want %d", got, ExitCycleBudget)
+	}
+	if got := RunExit(0, nil, os.ErrClosed); got != ExitToolError {
+		t.Errorf("generic error exit = %d, want %d", got, ExitToolError)
+	}
+	if got := RunExit(0, nil, nil); got != ExitOK {
+		t.Errorf("clean exit = %d, want 0", got)
+	}
+	if got := RunExit(42, nil, nil); got != 42 {
+		t.Errorf("guest exit passthrough = %d, want 42", got)
+	}
+	if got := RunExit(0x1FF, nil, nil); got != 0x7F {
+		t.Errorf("guest exit mask = %d, want %d", got, 0x7F)
+	}
+	// Detections take precedence over the guest code.
+	if got := RunExit(42, []vm.MemError{{Kind: vm.ErrOOBRead}}, nil); got != ExitDetectOOBRead {
+		t.Errorf("detection precedence = %d, want %d", got, ExitDetectOOBRead)
+	}
+}

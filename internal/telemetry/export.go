@@ -17,20 +17,37 @@ type HistogramSnapshot struct {
 	Sum    uint64   `json:"sum"`
 }
 
+// SchemaVersion versions the exported JSON shape. Consumers that store
+// snapshots (runpack manifests, bench baselines) check it and reject
+// incompatible files instead of misparsing them.
+const SchemaVersion = 1
+
 // Snapshot is a point-in-time copy of a registry, shaped for JSON export.
 type Snapshot struct {
-	Counters   map[string]uint64            `json:"counters,omitempty"`
-	Gauges     map[string]uint64            `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	SchemaVersion int                          `json:"schema_version"`
+	Counters      map[string]uint64            `json:"counters,omitempty"`
+	Gauges        map[string]uint64            `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Validate reports whether the snapshot was written by a compatible
+// exporter (zero means a pre-versioned file and is rejected too).
+func (s *Snapshot) Validate() error {
+	if s.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("telemetry: snapshot schema_version %d, tool supports %d",
+			s.SchemaVersion, SchemaVersion)
+	}
+	return nil
 }
 
 // Snapshot copies the registry's current values. A nil registry yields an
 // empty snapshot.
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{
-		Counters:   map[string]uint64{},
-		Gauges:     map[string]uint64{},
-		Histograms: map[string]HistogramSnapshot{},
+		SchemaVersion: SchemaVersion,
+		Counters:      map[string]uint64{},
+		Gauges:        map[string]uint64{},
+		Histograms:    map[string]HistogramSnapshot{},
 	}
 	if r == nil {
 		return s
