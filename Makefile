@@ -32,12 +32,14 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# perf-smoke runs the guest-memory fast-path guard in isolation: the
-# software-TLB access path must not be slower than the raw page-map walk
-# (relative comparison, so it is stable on loaded CI hosts). The same
-# test runs as part of `make test` / `make check`; `-short` skips it.
+# perf-smoke runs the host fast-path guards in isolation: the
+# software-TLB access path must not be slower than the raw page-map walk,
+# and the superblock tier must beat the block interpreter by ≥20%
+# (relative comparisons, so they are stable on loaded CI hosts). The same
+# tests run as part of `make test` / `make check`; `-short` skips them.
 perf-smoke:
 	$(GO) test -run TestPerfSmokeTLB -v ./internal/mem/
+	$(GO) test -run TestPerfSmokeJIT -v ./internal/vm/
 
 # trace-smoke drives the forensics/profiling CLI flags end to end and
 # validates that the emitted Chrome trace JSON and folded stacks parse.
@@ -58,8 +60,8 @@ bench-smoke:
 	$(GO) run ./cmd/rfbench -table1 -scale 0.02 -json results/bench.json
 
 # bench-host measures host wall-clock performance (VM dispatch strategies,
-# guest-memory TLB, block chaining, worker-pool scaling) and records it
-# in results/BENCH_host.json.
+# guest-memory TLB, block chaining, the superblock tier, worker-pool
+# scaling) and records it in results/BENCH_host.json.
 bench-host:
 	$(GO) run ./cmd/rfbench -hostbench -progress=false
 

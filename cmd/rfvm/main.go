@@ -78,6 +78,8 @@ func main() {
 	noBlock := flag.Bool("noblock", false, "disable the VM's basic-block cache (host A/B validation)")
 	noChain := flag.Bool("nochain", false, "disable block chaining (host A/B validation)")
 	noTLB := flag.Bool("notlb", false, "disable the guest-memory software TLB (host A/B validation)")
+	noJIT := flag.Bool("nojit", false, "disable the superblock trace tier (host A/B validation)")
+	jitThreshold := flag.Uint64("jit-threshold", 0, "block hotness before trace compilation (0 = default)")
 	doVerify := flag.Bool("verify", false, "with -hardened, structurally validate the binary before running it")
 	packDir := flag.String("runpack", "", "capture the run as a digest-signed runpack in this directory (implies forensics)")
 	flag.Usage = func() {
@@ -125,6 +127,8 @@ func main() {
 		NoBlockCache: *noBlock,
 		NoChain:      *noChain,
 		NoTLB:        *noTLB,
+		NoJIT:        *noJIT,
+		JITThreshold: *jitThreshold,
 	}
 	if *trace > 0 {
 		ro.Trace = os.Stderr
@@ -226,12 +230,14 @@ func main() {
 			fatal(rerr)
 		}
 		spec := runpack.RunSpec{
-			Input:     in,
-			Hardened:  *hardened,
-			Memcheck:  *mcheck,
-			Abort:     *abort,
-			MaxCycles: *max,
-			Forensics: true,
+			Input:        in,
+			Hardened:     *hardened,
+			Memcheck:     *mcheck,
+			Abort:        *abort,
+			MaxCycles:    *max,
+			Forensics:    true,
+			NoJIT:        *noJIT,
+			JITThreshold: *jitThreshold,
 		}
 		if perr := runpack.PackRun(*packDir, os.Args[1:], raw, bin, spec, res, err, reg); perr != nil {
 			fatal(perr)

@@ -54,6 +54,20 @@ type BlockChainHostBench struct {
 	ChainHitRate     float64 `json:"chain_hit_rate"` // chained / all block exits
 }
 
+// VMJITHostBench isolates the superblock tier: the chained block
+// interpreter with the tier disabled vs hot traces compiled into fused
+// Go closures, plus the tier's activity over one instrumented run.
+type VMJITHostBench struct {
+	NoJITNsPerInst float64 `json:"nojit_ns_per_inst"`
+	JITNsPerInst   float64 `json:"jit_ns_per_inst"`
+	NoJITMIPS      float64 `json:"nojit_mips"`
+	JITMIPS        float64 `json:"jit_mips"`
+	Improvement    float64 `json:"improvement"`    // fractional dispatch-time reduction
+	Compiled       uint64  `json:"compiled"`       // traces compiled over the run
+	Deopts         uint64  `json:"deopts"`         // side/fault exits back to the interpreter
+	CompiledShare  float64 `json:"compiled_share"` // insts retired in compiled code / all
+}
+
 // Table1HostBench compares serial and parallel wall-clock for the Table 1
 // pipeline at a reduced scale.
 type Table1HostBench struct {
@@ -74,6 +88,7 @@ type HostBenchResult struct {
 	Dispatch   DispatchHostBench   `json:"vm_dispatch"`
 	MemTLB     MemTLBHostBench     `json:"mem_tlb"`
 	BlockChain BlockChainHostBench `json:"block_chain"`
+	VMJIT      VMJITHostBench      `json:"vm_jit"`
 	Table1     Table1HostBench     `json:"table1_parallel"`
 }
 
@@ -97,6 +112,9 @@ func RunHostBench(parallel int, scale float64) (*HostBenchResult, error) {
 		return nil, err
 	}
 	if err := res.measureMemTLB(bin, input); err != nil {
+		return nil, err
+	}
+	if err := res.measureVMJIT(bin, input); err != nil {
 		return nil, err
 	}
 	if err := res.measureTable1(parallel, scale); err != nil {
@@ -139,9 +157,11 @@ func (r *HostBenchResult) measureDispatch(bin *relf.Binary, input []uint64) erro
 	}
 	insts := probe.Insts
 
+	// NoJIT on both sides: this section compares dispatch strategies
+	// (map icache vs block cache), not the superblock tier.
 	var runErr error
-	mapRes := measureConfig(bin, input, rtlib.RunConfig{NoBlockCache: true}, &runErr)
-	blockRes := measureConfig(bin, input, rtlib.RunConfig{}, &runErr)
+	mapRes := measureConfig(bin, input, rtlib.RunConfig{NoBlockCache: true, NoJIT: true}, &runErr)
+	blockRes := measureConfig(bin, input, rtlib.RunConfig{NoJIT: true}, &runErr)
 	if runErr != nil {
 		return runErr
 	}
@@ -162,15 +182,18 @@ func (r *HostBenchResult) measureDispatch(bin *relf.Binary, input []uint64) erro
 // measureBlockChain isolates chaining: block cache with vs without the
 // successor links, plus the chain hit rate over one instrumented run.
 func (r *HostBenchResult) measureBlockChain(bin *relf.Binary, input []uint64) error {
+	// NoJIT on both sides (and on the hit-rate probe): this section
+	// isolates the chaining layer; with traces enabled most block exits
+	// never reach the chain lookup at all.
 	var runErr error
-	noChain := measureConfig(bin, input, rtlib.RunConfig{NoChain: true}, &runErr)
-	chain := measureConfig(bin, input, rtlib.RunConfig{}, &runErr)
+	noChain := measureConfig(bin, input, rtlib.RunConfig{NoChain: true, NoJIT: true}, &runErr)
+	chain := measureConfig(bin, input, rtlib.RunConfig{NoJIT: true}, &runErr)
 	if runErr != nil {
 		return runErr
 	}
 
 	reg := telemetry.New()
-	if _, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: input, Metrics: reg}); err != nil {
+	if _, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: input, Metrics: reg, NoJIT: true}); err != nil {
 		return err
 	}
 	snap := reg.Snapshot()
@@ -249,6 +272,41 @@ func (r *HostBenchResult) measureMemTLB(bin *relf.Binary, input []uint64) error 
 	return nil
 }
 
+// measureVMJIT isolates the superblock tier: the full fast path (block
+// cache + chaining + traces) against the same path with the tier
+// disabled, plus compile/deopt activity from one instrumented run.
+func (r *HostBenchResult) measureVMJIT(bin *relf.Binary, input []uint64) error {
+	var runErr error
+	nojit := measureConfig(bin, input, rtlib.RunConfig{NoJIT: true}, &runErr)
+	jit := measureConfig(bin, input, rtlib.RunConfig{}, &runErr)
+	if runErr != nil {
+		return runErr
+	}
+
+	reg := telemetry.New()
+	if _, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: input, Metrics: reg}); err != nil {
+		return err
+	}
+	snap := reg.Snapshot()
+
+	insts := r.Dispatch.GuestInsts
+	r.VMJIT = VMJITHostBench{
+		NoJITNsPerInst: float64(nojit.NsPerOp()) / float64(insts),
+		JITNsPerInst:   float64(jit.NsPerOp()) / float64(insts),
+		NoJITMIPS:      mips(insts, nojit.NsPerOp()),
+		JITMIPS:        mips(insts, jit.NsPerOp()),
+		Compiled:       snap.Counters["vm.jit.compile.count"],
+		Deopts:         snap.Counters["vm.jit.deopt.count"],
+	}
+	if nojit.NsPerOp() > 0 {
+		r.VMJIT.Improvement = 1 - float64(jit.NsPerOp())/float64(nojit.NsPerOp())
+	}
+	if insts > 0 {
+		r.VMJIT.CompiledShare = float64(snap.Counters["vm.jit.exec.insts"]) / float64(insts)
+	}
+	return nil
+}
+
 func (r *HostBenchResult) measureTable1(parallel int, scale float64) error {
 	var runErr error
 	measure := func(width int) testing.BenchmarkResult {
@@ -314,6 +372,12 @@ func (r *HostBenchResult) Render(w io.Writer) {
 		r.BlockChain.NoChainNsPerInst, r.BlockChain.NoChainMIPS)
 	fmt.Fprintf(w, "  chained       %7.1f ns/inst  %7.1f guest MIPS  (%.1f%% faster)\n",
 		r.BlockChain.ChainNsPerInst, r.BlockChain.ChainMIPS, 100*r.BlockChain.Improvement)
+	fmt.Fprintf(w, "superblock tier (%d traces, %.1f%% of insts compiled, %d deopts):\n",
+		r.VMJIT.Compiled, 100*r.VMJIT.CompiledShare, r.VMJIT.Deopts)
+	fmt.Fprintf(w, "  interpreter   %7.1f ns/inst  %7.1f guest MIPS\n",
+		r.VMJIT.NoJITNsPerInst, r.VMJIT.NoJITMIPS)
+	fmt.Fprintf(w, "  compiled      %7.1f ns/inst  %7.1f guest MIPS  (%.1f%% faster)\n",
+		r.VMJIT.JITNsPerInst, r.VMJIT.JITMIPS, 100*r.VMJIT.Improvement)
 	fmt.Fprintf(w, "table1 (scale %.2f):\n", r.Table1.Scale)
 	fmt.Fprintf(w, "  serial        %12d ns\n", r.Table1.SerialNs)
 	fmt.Fprintf(w, "  parallel %-4d %12d ns  (%.2fx speedup)\n",

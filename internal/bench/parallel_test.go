@@ -248,6 +248,11 @@ func TestTable1ParallelIdentity(t *testing.T) {
 	}
 	serialOut, serialRows, serialTel := render(1)
 	parOut, parRows, parTel := render(8)
+	// The superblock compile-time histogram is wall-clock host timing;
+	// its bucket placement legitimately differs between two executions.
+	// Every other metric is deterministic and must match exactly.
+	delete(serialTel.Histograms, "vm.jit.compile.ns")
+	delete(parTel.Histograms, "vm.jit.compile.ns")
 	if serialOut != parOut {
 		t.Errorf("rendered table differs between serial and parallel:\n--- serial\n%s--- parallel\n%s",
 			serialOut, parOut)

@@ -12,40 +12,54 @@ import (
 	"redfat/internal/workload"
 )
 
-// stripHostOnly removes the vm.icache.* metrics from a snapshot: they
-// describe the host-side decode cache, whose accounting legitimately
-// differs between the map icache and the block cache (per-PC entries vs
-// predecoded block instructions). Everything else — retired counts, loads,
-// stores, branches, cycles, check and allocator metrics — is guest-derived
-// and must be bit-identical across the two dispatch strategies.
+// stripHostOnly removes the vm.icache.* and vm.jit.* metrics from a
+// snapshot: they describe host-side machinery — the decode cache, whose
+// accounting legitimately differs between the map icache and the block
+// cache (per-PC entries vs predecoded block instructions), and the
+// superblock tier, which only exists when the JIT knob is on. Everything
+// else — retired counts, loads, stores, branches, cycles, check and
+// allocator metrics — is guest-derived and must be bit-identical across
+// the dispatch strategies.
 func stripHostOnly(s *telemetry.Snapshot) *telemetry.Snapshot {
+	hostOnly := func(name string) bool {
+		return strings.HasPrefix(name, "vm.icache.") || strings.HasPrefix(name, "vm.jit.")
+	}
 	for name := range s.Counters {
-		if strings.HasPrefix(name, "vm.icache.") {
+		if hostOnly(name) {
 			delete(s.Counters, name)
 		}
 	}
 	for name := range s.Gauges {
-		if strings.HasPrefix(name, "vm.icache.") {
+		if hostOnly(name) {
 			delete(s.Gauges, name)
+		}
+	}
+	for name := range s.Histograms {
+		if hostOnly(name) {
+			delete(s.Histograms, name)
 		}
 	}
 	return s
 }
 
-// fastPathConfigs is the host fast-path knob matrix: every combination of
-// {block cache + chaining, block cache only, map icache} × {TLB, no TLB}.
-// The first entry (everything on) is the reference the rest are diffed
-// against.
+// fastPathConfigs is the host fast-path knob matrix: {block cache +
+// chaining + superblock tier, no JIT, no chaining, map icache} × {TLB,
+// no TLB}. The first entry (everything on) is the reference the rest are
+// diffed against. NoChain implies no JIT (traces are built over chained
+// successors), so the noChain rows ablate both layers at once and the
+// noJIT rows isolate just the tier.
 var fastPathConfigs = []struct {
-	name                    string
-	noBlock, noChain, noTLB bool
+	name                           string
+	noBlock, noChain, noTLB, noJIT bool
 }{
-	{"block+chain+tlb", false, false, false},
-	{"block+chain", false, false, true},
-	{"block+tlb", false, true, false},
-	{"block", false, true, true},
-	{"map+tlb", true, false, false},
-	{"map", true, false, true},
+	{"block+chain+jit+tlb", false, false, false, false},
+	{"block+chain+jit", false, false, true, false},
+	{"block+chain+tlb", false, false, false, true},
+	{"block+chain", false, false, true, true},
+	{"block+tlb", false, true, false, true},
+	{"block", false, true, true, true},
+	{"map+tlb", true, false, false, true},
+	{"map", true, false, true, true},
 }
 
 // runBoth executes the same binary under every fast-path knob combination
@@ -53,17 +67,18 @@ var fastPathConfigs = []struct {
 // (all fast paths enabled).
 func runBoth(t *testing.T, name string, run func(cfg rtlib.RunConfig) (*vm.VM, error)) {
 	t.Helper()
-	exec := func(noBlock, noChain, noTLB bool) (*vm.VM, *telemetry.Snapshot, error) {
+	exec := func(noBlock, noChain, noTLB, noJIT bool) (*vm.VM, *telemetry.Snapshot, error) {
 		reg := telemetry.New()
 		v, err := run(rtlib.RunConfig{
-			NoBlockCache: noBlock, NoChain: noChain, NoTLB: noTLB, Metrics: reg,
+			NoBlockCache: noBlock, NoChain: noChain, NoTLB: noTLB, NoJIT: noJIT,
+			Metrics: reg,
 		})
 		return v, stripHostOnly(reg.Snapshot()), err
 	}
 	ref := fastPathConfigs[0]
-	refVM, refTel, refErr := exec(ref.noBlock, ref.noChain, ref.noTLB)
+	refVM, refTel, refErr := exec(ref.noBlock, ref.noChain, ref.noTLB, ref.noJIT)
 	for _, c := range fastPathConfigs[1:] {
-		gotVM, gotTel, gotErr := exec(c.noBlock, c.noChain, c.noTLB)
+		gotVM, gotTel, gotErr := exec(c.noBlock, c.noChain, c.noTLB, c.noJIT)
 		label := name + "/" + c.name
 		if (refErr == nil) != (gotErr == nil) {
 			t.Fatalf("%s: error divergence: ref %v, got %v", label, refErr, gotErr)
@@ -147,11 +162,11 @@ func TestFastPathForensicsIdentity(t *testing.T) {
 		v       *vm.VM
 		samples []vm.ProfSample
 	}
-	exec := func(noBlock, noChain, noTLB bool) forensicRun {
+	exec := func(noBlock, noChain, noTLB, noJIT bool) forensicRun {
 		prof := &vm.GuestProfiler{Interval: 64}
 		v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{
 			Input:        input,
-			NoBlockCache: noBlock, NoChain: noChain, NoTLB: noTLB,
+			NoBlockCache: noBlock, NoChain: noChain, NoTLB: noTLB, NoJIT: noJIT,
 			Forensics: true,
 			Profiler:  prof,
 		})
@@ -161,12 +176,12 @@ func TestFastPathForensicsIdentity(t *testing.T) {
 		return forensicRun{v: v, samples: prof.Samples()}
 	}
 	refCfg := fastPathConfigs[0]
-	ref := exec(refCfg.noBlock, refCfg.noChain, refCfg.noTLB)
+	ref := exec(refCfg.noBlock, refCfg.noChain, refCfg.noTLB, refCfg.noJIT)
 	if len(ref.v.Errors) == 0 {
 		t.Fatal("calculix run detected no errors; forensics path unexercised")
 	}
 	for _, c := range fastPathConfigs[1:] {
-		got := exec(c.noBlock, c.noChain, c.noTLB)
+		got := exec(c.noBlock, c.noChain, c.noTLB, c.noJIT)
 		if ref.v.Cycles != got.v.Cycles || ref.v.Insts != got.v.Insts {
 			t.Errorf("%s: cycles/insts differ: ref %d/%d, got %d/%d",
 				c.name, ref.v.Cycles, ref.v.Insts, got.v.Cycles, got.v.Insts)

@@ -59,6 +59,16 @@ type RunConfig struct {
 	// same identity guarantee as NoBlockCache.
 	NoTLB bool
 
+	// NoJIT disables the superblock tier (compiled traces over hot
+	// chained blocks), pinning execution to the block interpreter.
+	// Host-side validation knob, same identity guarantee as
+	// NoBlockCache.
+	NoJIT bool
+
+	// JITThreshold overrides the block-hotness threshold at which
+	// traces are compiled (0 keeps vm.DefaultJITThreshold).
+	JITThreshold uint64
+
 	// Forensics enables allocation-site backtrace capture in the bound
 	// allocator and guest-backtrace capture on trapped memory errors,
 	// feeding the forensic report builder. Host-side only: guest cycle
@@ -159,6 +169,8 @@ func RunBaseline(bin *relf.Binary, cfg RunConfig) (*vm.VM, error) {
 	v.MaxCycles = cfg.maxCycles()
 	v.NoBlockCache = cfg.NoBlockCache
 	v.NoChain = cfg.NoChain
+	v.NoJIT = cfg.NoJIT
+	v.JITThreshold = cfg.JITThreshold
 	m.NoTLB = cfg.NoTLB
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
@@ -184,6 +196,8 @@ func RunHardened(bin *relf.Binary, cfg RunConfig) (*vm.VM, *Runtime, error) {
 	v.AbortOnError = cfg.Abort
 	v.NoBlockCache = cfg.NoBlockCache
 	v.NoChain = cfg.NoChain
+	v.NoJIT = cfg.NoJIT
+	v.JITThreshold = cfg.JITThreshold
 	m.NoTLB = cfg.NoTLB
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
@@ -194,6 +208,7 @@ func RunHardened(bin *relf.Binary, cfg RunConfig) (*vm.VM, *Runtime, error) {
 		return v, nil, err
 	}
 	rt.AttachTelemetry(cfg.Metrics, cfg.EventTrace)
+	InstallInlineChecks(v, map[*relf.Binary]*Runtime{bin: rt})
 	env := Merge(LibC(h, m), rt.Bindings())
 	if err := v.Load(bin, env); err != nil {
 		return v, rt, err
@@ -219,6 +234,8 @@ func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, [
 	v.AbortOnError = cfg.Abort
 	v.NoBlockCache = cfg.NoBlockCache
 	v.NoChain = cfg.NoChain
+	v.NoJIT = cfg.NoJIT
+	v.JITThreshold = cfg.JITThreshold
 	m.NoTLB = cfg.NoTLB
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
@@ -227,6 +244,7 @@ func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, [
 	libc := LibC(h, m)
 
 	var rts []*Runtime
+	mods := make(map[*relf.Binary]*Runtime)
 	envFor := func(bin *relf.Binary) (vm.Bindings, error) {
 		if bin.Section(SitesSection) == nil {
 			return libc, nil // uninstrumented module: libc only
@@ -237,6 +255,7 @@ func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, [
 		}
 		rt.AttachTelemetry(cfg.Metrics, cfg.EventTrace)
 		rts = append(rts, rt)
+		mods[bin] = rt
 		return Merge(libc, rt.Bindings()), nil
 	}
 	for _, lib := range libs {
@@ -255,6 +274,7 @@ func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, [
 	if err := v.Load(main, env); err != nil {
 		return v, rts, err
 	}
+	InstallInlineChecks(v, mods)
 	err = v.Run()
 	return v, rts, err
 }

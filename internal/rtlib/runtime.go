@@ -129,6 +129,14 @@ func (rt *Runtime) Bindings() vm.Bindings {
 // handle is the instrumented check of paper Fig. 4, executed when a
 // trampoline's RTCALL fires. arg is the site index.
 func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
+	return rt.execSite(v, arg, nil)
+}
+
+// execSite is one full check execution. When o is non-nil (the site runs
+// as a fused superblock leader) the derived object base, fat outcomes,
+// metadata word and verdict class are published for elided followers;
+// behavior is otherwise identical to the trampoline path.
+func (rt *Runtime) execSite(v *vm.VM, arg uint32, o *vm.CheckOutcome) error {
 	if int(arg) >= len(rt.Checks) {
 		return &vm.MemError{Kind: vm.ErrCorruptMeta, PC: v.RIP,
 			Note: "check with invalid site index"}
@@ -162,6 +170,9 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 	}
 	v.Cycles += cf.costs[fatIdx(fat, fallbackFat)]
 	if base == 0 {
+		if o != nil {
+			*o = vm.CheckOutcome{} // both paths non-fat: followers early-exit too
+		}
 		rt.Stats[arg].NonFat++
 		if rt.tel != nil {
 			rt.tel.nonfat.Inc()
@@ -179,23 +190,30 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 		size, wild = 0, true
 	}
 
-	// STEP (4): the checks.
+	// STEP (4): the checks. The class abstracts the verdict for elided
+	// followers (it is a pure function of the access range and heap
+	// state); kind folds in this site's own read/write direction.
 	var kind vm.MemErrorKind
+	class := vm.CheckOK
 	bad := false
 	switch {
 	case cf.sizeCheck && lowfat.Size(base) != lowfat.SizeMax &&
 		size > lowfat.Size(base)-redzone.Size:
-		kind, bad = vm.ErrCorruptMeta, true
+		kind, bad, class = vm.ErrCorruptMeta, true, vm.CheckMeta
 	case size == 0:
 		// Free state is encoded as SIZE=0; the merged bounds check
 		// always fails, i.e. a use-after-free (or a wild pointer into
 		// an unallocated slot, which reads as zero).
-		kind, bad = vm.ErrUseAfterFree, true
+		kind, bad, class = vm.ErrUseAfterFree, true, vm.CheckUAF
 		if wild {
-			kind = cf.oobKind
+			kind, class = cf.oobKind, vm.CheckOOB
 		}
 	case lb < base+redzone.Size || ub > base+redzone.Size+size:
-		kind, bad = cf.oobKind, true
+		kind, bad, class = cf.oobKind, true, vm.CheckOOB
+	}
+	if o != nil {
+		*o = vm.CheckOutcome{Base: base, Fat: fat, FallbackFat: fallbackFat,
+			Size: size, Class: class}
 	}
 
 	// Attribute the verdict: a violation found via base(ptr) is the
@@ -243,6 +261,83 @@ func (rt *Runtime) handle(v *vm.VM, arg uint32) error {
 		Site:      arg,
 		Component: component,
 		Note:      rt.describe(c, base, size, lb),
+	})
+}
+
+// forwardSite replays a leading site's published outcome at an elided
+// follower. The superblock tier only elides a site when its access plan
+// is identical to the leader's and nothing between them wrote the plan
+// registers or guest memory, so the base derivation, metadata word and
+// verdict class are provably the leader's; what remains is this site's
+// own accounting — per-site stats, the charged cycle cost, telemetry,
+// and an error report with the site's own read/write kind and note.
+func (rt *Runtime) forwardSite(v *vm.VM, arg uint32, o *vm.CheckOutcome) error {
+	c := &rt.Checks[arg]
+	cf := &rt.fast[arg]
+	rt.Stats[arg].Execs++
+	if rt.tel != nil {
+		rt.tel.execs.Inc()
+	}
+	v.Cycles += cf.costs[fatIdx(o.Fat, o.FallbackFat)]
+	if !o.Fat && !o.FallbackFat {
+		rt.Stats[arg].NonFat++
+		if rt.tel != nil {
+			rt.tel.nonfat.Inc()
+		}
+		return nil
+	}
+	// The plan registers are unchanged since the leader ran, so this
+	// recomputes the leader's lb — two register reads, no base lookup.
+	_, lb, _ := cf.accessRange(v)
+
+	var kind vm.MemErrorKind
+	bad := o.Class != vm.CheckOK
+	switch o.Class {
+	case vm.CheckMeta:
+		kind = vm.ErrCorruptMeta
+	case vm.CheckUAF:
+		kind = vm.ErrUseAfterFree
+	case vm.CheckOOB:
+		kind = cf.oobKind
+	}
+
+	component := ""
+	if bad {
+		if o.Fat {
+			component = "lowfat"
+			rt.Stats[arg].LowFatFails++
+			if rt.tel != nil {
+				rt.tel.lowfatFail.Inc()
+			}
+		} else {
+			component = "redzone"
+			rt.Stats[arg].RedzoneFails++
+			if rt.tel != nil {
+				rt.tel.redzoneFail.Inc()
+			}
+		}
+		if rt.tracer != nil {
+			rt.tracer.RecordAt(telemetry.EvCheckFail, c.PC, lb, uint64(arg), v.Cycles)
+		}
+	} else {
+		if rt.tel != nil {
+			rt.tel.passes.Inc()
+		}
+		if rt.tracer != nil {
+			rt.tracer.RecordAt(telemetry.EvCheckPass, c.PC, lb, uint64(arg), v.Cycles)
+		}
+	}
+
+	if cf.profile || !bad {
+		return nil
+	}
+	return v.Report(vm.MemError{
+		Kind:      kind,
+		Addr:      lb,
+		PC:        c.PC,
+		Site:      arg,
+		Component: component,
+		Note:      rt.describe(c, o.Base, o.Size, lb),
 	})
 }
 

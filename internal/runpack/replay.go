@@ -321,6 +321,8 @@ func replayRun(p *Pack, man *Manifest) (*ReplayReport, error) {
 		AbortOnError: spec.Abort,
 		MaxCycles:    spec.MaxCycles,
 		Forensics:    spec.Forensics,
+		NoJIT:        spec.NoJIT,
+		JITThreshold: spec.JITThreshold,
 	})
 	if res == nil {
 		return nil, runErr

@@ -89,6 +89,12 @@ type RunSpec struct {
 	Abort     bool     `json:"abort,omitempty"`
 	MaxCycles uint64   `json:"max_cycles,omitempty"`
 	Forensics bool     `json:"forensics,omitempty"`
+	// Superblock-tier configuration: replay must execute under the
+	// recorded tier knobs so host-side dispatch matches the recording
+	// (guest results are identical regardless; this is provenance and
+	// belt-and-suspenders for replay).
+	NoJIT        bool   `json:"no_jit,omitempty"`
+	JITThreshold uint64 `json:"jit_threshold,omitempty"`
 }
 
 // KnobSpec is the decoded .rf.config hardening configuration: which

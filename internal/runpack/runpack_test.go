@@ -93,6 +93,69 @@ func TestRunPackVerifiesAndReplaysByteIdentical(t *testing.T) {
 	}
 }
 
+// TestRunSpecRecordsJITConfig packs a run under a non-default superblock
+// configuration, checks the tier knobs round-trip through the sealed
+// manifest, replays byte-identically under them, and rejects a tampered
+// tier field (the seal covers the run spec).
+func TestRunSpecRecordsJITConfig(t *testing.T) {
+	c := juliet.CVECases()[0]
+	_, hard, _ := hardenCase(t, c, redfat.Defaults())
+	spec := RunSpec{Input: juliet.Trigger(c), Hardened: true, Forensics: true,
+		JITThreshold: 2}
+	res, runErr := redfat.Run(hard, redfat.RunOptions{
+		Input: spec.Input, Hardened: true, Forensics: true,
+		NoJIT: spec.NoJIT, JITThreshold: spec.JITThreshold,
+	})
+	if res == nil {
+		t.Fatalf("run produced no result: %v", runErr)
+	}
+	hardData, err := hard.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "pack")
+	if err := PackRun(dir, []string{"-hardened", "-jit-threshold", "2", "prog.relf"},
+		hardData, hard, spec, res, runErr, nil); err != nil {
+		t.Fatal(err)
+	}
+	man, err := VerifyPath(dir)
+	if err != nil {
+		t.Fatalf("clean pack failed verify: %v", err)
+	}
+	if man.Run == nil || man.Run.NoJIT || man.Run.JITThreshold != 2 {
+		t.Fatalf("tier config did not round-trip: %+v", man.Run)
+	}
+	p, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(p, man)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("replay diverged in %v", rep.Mismatched)
+	}
+	// Flipping the recorded tier config must break the manifest seal.
+	bad := tamper(t, dir, func(t *testing.T, dir string) {
+		path := filepath.Join(dir, ManifestName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edited := bytes.Replace(data, []byte(`"jit_threshold": 2`), []byte(`"jit_threshold": 3`), 1)
+		if bytes.Equal(edited, data) {
+			t.Fatal("jit_threshold edit did not apply")
+		}
+		if err := os.WriteFile(path, edited, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, err := VerifyPath(bad); ExitCode(err) != ExitBadManifest {
+		t.Fatalf("tampered tier config: exit %d (%v), want %d", ExitCode(err), err, ExitBadManifest)
+	}
+}
+
 func TestRewritePackReplayAcrossKnobMatrix(t *testing.T) {
 	base := redfat.Defaults()
 	o0 := base

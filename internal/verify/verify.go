@@ -20,6 +20,11 @@
 //   - coverage: every memory operand the recorded policy selects for
 //     checking is protected by a check record at its own address or by
 //     an available dominating check (operands in .rf.unprot are exempt).
+//
+// The package also hosts the superblock certifier (superblock.go): a
+// run-time analogue of the same idea that re-derives every claim in a
+// compiled trace plan (vm.TraceInfo) from the guest image and the
+// single-step semantics, independently of the trace compiler.
 package verify
 
 import (
@@ -47,6 +52,7 @@ const (
 	KindSites    Kind = "sites"    // site table inconsistent with the trampolines
 	KindLiveness Kind = "liveness" // trampoline saves less state than is live
 	KindCoverage Kind = "coverage" // selected operand not protected by any check
+	KindTrace    Kind = "trace"    // superblock plan contradicts single-step semantics
 )
 
 // Violation is one validation failure, anchored at a guest address.
@@ -64,6 +70,12 @@ type Report struct {
 	Covered     int `json:"covered"`     // operands protected by a check
 	Exempt      int `json:"exempt"`      // operands exempted via .rf.unprot
 
+	// Superblock certification (Superblocks / CertifyTrace).
+	Traces      int `json:"traces,omitempty"`       // compiled trace plans certified
+	TraceSteps  int `json:"trace_steps,omitempty"`  // instructions across those plans
+	TraceChecks int `json:"trace_checks,omitempty"` // fused check sites
+	TraceElided int `json:"trace_elided,omitempty"` // fused sites forwarding a leader
+
 	Violations []Violation `json:"violations,omitempty"`
 }
 
@@ -78,6 +90,10 @@ func (r *Report) Render(w io.Writer) {
 	}
 	fmt.Fprintf(w, "verify: %s — %d trampolines, %d checks, %d/%d operands covered (%d exempt)\n",
 		status, r.Trampolines, r.Checks, r.Covered, r.Operands, r.Exempt)
+	if r.Traces > 0 {
+		fmt.Fprintf(w, "verify: %d superblocks — %d steps, %d fused checks (%d forwarded)\n",
+			r.Traces, r.TraceSteps, r.TraceChecks, r.TraceElided)
+	}
 	for _, v := range r.Violations {
 		fmt.Fprintf(w, "  [%s] %#x: %s\n", v.Kind, v.Addr, v.Detail)
 	}

@@ -63,6 +63,15 @@ type block struct {
 
 	takenPC uint64 // last observed non-fall-through exit target
 	taken   *block // its block (a one-entry BTB for indirect exits)
+
+	// Superblock tier state: hot counts dispatches to this block as a
+	// potential trace root; trace is the compiled superblock once the
+	// hotness threshold is crossed; noTrace pins the block to the
+	// interpreter after a failed compilation attempt. All three die with
+	// the cache generation on FlushICache.
+	hot     uint32
+	noTrace bool
+	trace   *trace
 }
 
 // codePage indexes the blocks that begin on one 4 KiB code page by page
@@ -144,6 +153,7 @@ func (v *VM) buildBlock(start uint64) (*block, error) {
 // blocks, following chained successors on block exit and touching the
 // block tables only on cold or re-targeted edges.
 func (v *VM) runBlocks() error {
+	jitOK := v.jitEnabled()
 	var b *block
 	for !v.Halted {
 		if b == nil {
@@ -153,6 +163,38 @@ func (v *VM) runBlocks() error {
 				return err
 			}
 			b = nb
+		}
+		// Superblock tier: once this block is hot, execute the compiled
+		// trace rooted here instead of interpreting. A nil exit means
+		// entry was refused (cycle budget too tight for a worst-case
+		// iteration) and the block is interpreted this round so the
+		// abort fires at the exact instruction.
+		if jitOK {
+			if t := v.jitTrace(b); t != nil {
+				e, err := v.runTrace(t)
+				if err != nil {
+					v.FlushTelemetry()
+					return err
+				}
+				if e != nil {
+					if v.Halted {
+						v.FlushTelemetry()
+						return nil
+					}
+					if e.next != nil && e.nextPC == v.RIP {
+						b = e.next
+						continue
+					}
+					nb, err := v.blockAt(v.RIP)
+					if err != nil {
+						v.FlushTelemetry()
+						return err
+					}
+					e.nextPC, e.next = v.RIP, nb
+					b = nb
+					continue
+				}
+			}
 		}
 		for i := 0; ; {
 			bi := &b.insts[i]

@@ -71,8 +71,12 @@ func logicFlags(r uint64, w uint16) Flags {
 	return Flags{ZF: r == 0, SF: signBit(r, w)}
 }
 
-func (v *VM) condition(op isa.Op) bool {
-	f := v.Flags
+func (v *VM) condition(op isa.Op) bool { return v.Flags.cond(op) }
+
+// cond evaluates a conditional-jump predicate against the flag state. It
+// is the shared implementation behind the interpreter's dispatch and the
+// JIT's emitted branch closures, so the two tiers cannot diverge.
+func (f Flags) cond(op isa.Op) bool {
 	switch op {
 	case isa.JE:
 		return f.ZF

@@ -1,0 +1,483 @@
+package vm
+
+// The superblock translation tier (tier 1).
+//
+// The interpreter pays a fixed per-instruction toll: the exec dispatch
+// switch, the cycle-budget poll, the Halted check, the telemetry
+// branches, and a RIP/Insts/Cycles update per retired instruction. Once
+// block chaining has linked a hot path into a stable straight line
+// (chain hit rate on the bench workloads is ~99.9%), that toll is almost
+// the entire cost. The superblock tier removes it: when a block's entry
+// counter crosses JITThreshold, the chained trace rooted at that block
+// is compiled into a sequence of specialized Go closures — one per
+// instruction, each a residual computation with every decode-dependent
+// decision (operand form, width, registers, immediates, branch targets,
+// check plans) folded away at compile time.
+//
+// Deferred state and the single spill. Inside a trace the VM defers
+// everything the interpreter updates per instruction: condition flags
+// live in a context register (jctx.flags), and RIP, the retired-
+// instruction count, the statically-known cycle total and the telemetry
+// deltas are materialized exactly once per trace exit from precomputed
+// per-exit records. The general-purpose register file deliberately stays
+// architectural (v.Regs): fused check handlers read registers directly
+// and error reports walk v.Regs[RSP], so spilling registers would buy
+// nothing and cost a copy. Dynamically-determined cycles (the per-site
+// check cost, which depends on the run-time fat/non-fat outcome) are
+// charged to v.Cycles by the check closure itself, so v.Cycles is the
+// interpreter's value at every materialization point.
+//
+// Check fusion and elision. An RTCALL that resolves (via VM.InlineCheck)
+// to an instrumented-check plan stays on-trace as a fused closure. When
+// two sites in one trace have the same access plan (same base/index
+// registers, scale, segment, static offset, length and mode) and no
+// instruction between them writes those registers or stores to guest
+// memory, the later site is elided: instead of recomputing the low-fat
+// base and reloading heap metadata it forwards the leader's outcome —
+// still charging its own cycle cost, updating its own site statistics
+// and reporting its own error — so guest-visible behaviour is
+// bit-identical while the redundant base derivation disappears.
+//
+// Exact semantics. The tier preserves, instruction for instruction:
+// cycle accounting (including partial charges on faulting instructions),
+// retired-instruction counts, telemetry counters, error report order and
+// content, the cycle-budget abort point (a trace is only entered when a
+// full worst-case iteration fits in the remaining budget, so aborts
+// always fire in the interpreter at the exact instruction), and the halt
+// protocol. Side exits (the unpredicted branch direction), dynamic exits
+// (indirect control flow), faults and detections all materialize full
+// state and deopt to the interpreter, which remains the always-correct
+// tier 0. Condition flags are exact at every resumable exit; after a
+// faulting exit the run terminates with an error and flags are not
+// observable.
+//
+// The compiler is two-phase: analyzeTrace derives a declarative plan
+// (TraceInfo — steps, costs, exits, flag-elision and check-elision
+// claims) and emitTrace generates closures from nothing but that plan.
+// internal/verify re-derives every claim independently and certifies the
+// plan against the single-step semantics (DESIGN.md §14).
+
+import (
+	"time"
+
+	"redfat/internal/isa"
+)
+
+// DefaultJITThreshold is the block entry count that triggers trace
+// compilation when VM.JITThreshold is zero. High enough that cold code
+// never pays compilation, low enough that the bench loops (thousands of
+// iterations) spend almost all their trips in compiled code.
+const DefaultJITThreshold = 64
+
+// maxTraceInsts bounds a trace; longer chains simply end in a fall exit
+// and the successor trace starts its own counter.
+const maxTraceInsts = 256
+
+// minTraceInsts is the shortest trace worth compiling: below this the
+// per-entry overhead (budget guard, materialization) eats the win.
+const minTraceInsts = 3
+
+// CheckClass abstracts a check verdict for forwarding: the class is a
+// pure function of the access range and heap metadata, which elision
+// guarantees are identical at leader and follower, while the concrete
+// error kind (read vs write) is the follower's own.
+type CheckClass uint8
+
+// Check outcome classes.
+const (
+	CheckOK   CheckClass = iota
+	CheckMeta            // corrupted metadata (size-check failure)
+	CheckUAF             // use-after-free (SIZE=0, mapped header)
+	CheckOOB             // out-of-bounds (incl. wild pointers, SIZE reads 0)
+)
+
+// CheckOutcome is what a leading check execution publishes for elided
+// followers: the derived object base, which derivation succeeded (the
+// cost-table index), the metadata size word, and the verdict class.
+type CheckOutcome struct {
+	Base        uint64
+	Fat         bool // base(ptr) succeeded (LowFat component)
+	FallbackFat bool // base(LB) fallback succeeded (Redzone component)
+	Size        uint64
+	Class       CheckClass
+}
+
+// JITCheck is the fusable plan of one instrumentation site, exported by
+// the runtime layer through VM.InlineCheck. The address-plan fields
+// mirror the site's precompiled operand plan and form the elision key;
+// Exec runs the full check and fills the outcome, Forward replays a
+// leader's outcome with the site's own accounting.
+type JITCheck struct {
+	BaseReg   isa.Reg
+	IndexReg  isa.Reg
+	Scale     uint64
+	Seg       isa.Seg
+	StaticOff uint64
+	Length    uint64
+	TryLowFat bool
+	SizeCheck bool
+	Profile   bool
+
+	// MaxCost bounds the guest cycles one execution can charge (the
+	// maximum over the site's cost table), for the budget guard.
+	MaxCost uint64
+
+	Exec    func(v *VM, o *CheckOutcome) error
+	Forward func(v *VM, o *CheckOutcome) error
+}
+
+// samePlan reports whether two sites share the elision key: identical
+// access plans checked under identical modes compute identical outcomes
+// from identical register and heap state.
+func (c *JITCheck) samePlan(o *JITCheck) bool {
+	return c.BaseReg == o.BaseReg && c.IndexReg == o.IndexReg &&
+		c.Scale == o.Scale && c.Seg == o.Seg &&
+		c.StaticOff == o.StaticOff && c.Length == o.Length &&
+		c.TryLowFat == o.TryLowFat && c.SizeCheck == o.SizeCheck &&
+		c.Profile == o.Profile
+}
+
+// ExitKind classifies how control leaves a compiled trace.
+type ExitKind uint8
+
+// Trace exit kinds.
+const (
+	ExitFall  ExitKind = iota // static successor off the trace end
+	ExitLoop                  // back edge to the trace entry (stay compiled)
+	ExitSide                  // unpredicted conditional-branch direction
+	ExitDyn                   // dynamic target (ret / indirect jmp / indirect call)
+	ExitHalt                  // HLT or RET to the exit sentinel
+	ExitFault                 // error: memory fault, div fault, or aborting detection
+)
+
+// String names the exit kind.
+func (k ExitKind) String() string {
+	switch k {
+	case ExitFall:
+		return "fall"
+	case ExitLoop:
+		return "loop"
+	case ExitSide:
+		return "side"
+	case ExitDyn:
+		return "dyn"
+	case ExitHalt:
+		return "halt"
+	case ExitFault:
+		return "fault"
+	}
+	return "exit?"
+}
+
+// TraceCheck is the declarative record of one fused check site inside a
+// TraceInfo: the site identity, the elision decision, and a copy of the
+// plan key so the certifier can match it against an independently
+// re-resolved plan.
+type TraceCheck struct {
+	Arg       uint32 // instrumentation-site index (RTCALL static argument)
+	ImportIdx int    // RTCALL import slot
+	Elided    bool   // true: forwards Leader's outcome instead of executing
+	Leader    int    // step index of the leading site (when Elided)
+	Slot      int    // outcome slot shared by leader and followers
+
+	// Plan key (mirrors JITCheck).
+	BaseReg   isa.Reg
+	IndexReg  isa.Reg
+	Scale     uint64
+	Seg       isa.Seg
+	StaticOff uint64
+	Length    uint64
+	TryLowFat bool
+	SizeCheck bool
+	Profile   bool
+	MaxCost   uint64
+}
+
+// TraceStep is one instruction of a compiled trace, with the claims the
+// emitter compiles from and the certifier re-proves: the static on-trace
+// successor, the continue-path cycle cost, and whether the flag update
+// was elided as dead.
+type TraceStep struct {
+	PC   uint64
+	Inst isa.Inst
+	Next uint64 // successor pc when the trace continues past this step
+	Cost uint64 // static cycles on the continue path (CostInst+overhead included)
+
+	// FlagsElided marks an instruction whose condition-flag update was
+	// proven dead within the trace (no flag it may write is observed
+	// before being unconditionally overwritten, on any resumable path).
+	FlagsElided bool
+
+	Check *TraceCheck // non-nil when the step is a fused check RTCALL
+}
+
+// TraceExit is one way control can leave the trace, with the exact state
+// the runner materializes: the resume RIP (or dynamic), and the retired
+// instructions and statically-charged cycles accumulated on that path.
+type TraceExit struct {
+	Step    int // index of the step this exit leaves at
+	Kind    ExitKind
+	Stage   uint8 // 0: after the step's effects; 1,2: n-th memory/fault point inside it
+	RIP     uint64
+	Dynamic bool   // resume RIP is run-time determined (jctx.dynRIP)
+	Retired uint64 // instructions retired when leaving here (always Step+1)
+	Cycles  uint64 // static cycles charged when leaving here
+}
+
+// TraceInfo is the declarative compilation plan of one superblock: the
+// certifiable contract between analyzeTrace (which derives it), emitTrace
+// (which compiles closures from it and nothing else), and the
+// internal/verify certifier (which re-derives and checks every claim).
+type TraceInfo struct {
+	EntryPC  uint64
+	Overhead uint64 // PerInstOverhead baked into step costs
+	MaxCost  uint64 // upper bound on cycles charged by one full iteration
+	Steps    []TraceStep
+	Exits    []TraceExit
+}
+
+// CompiledTraces returns the plans of every superblock compiled so far,
+// in compilation order (for the verify certifier and -stats reporting).
+func (v *VM) CompiledTraces() []*TraceInfo {
+	out := make([]*TraceInfo, len(v.traces))
+	for i, t := range v.traces {
+		out[i] = t.info
+	}
+	return out
+}
+
+// jctx is the deferred machine state threaded through a trace's step
+// closures: the cached condition flags and, for dynamic exits, the
+// run-time resume RIP. err carries the terminating error of a fault
+// exit.
+type jctx struct {
+	flags  Flags
+	dynRIP uint64
+	err    error
+}
+
+// jstep executes one compiled instruction against the deferred context.
+// It returns 0 to continue to the next step, or the 1-based index of the
+// taken exit.
+type jstep func(j *jctx) int
+
+// stepTel is the telemetry delta of one step (or of a partial, faulting
+// step): the retired opcode plus the load/store/branch/patch counter
+// increments the interpreter would have made.
+type stepTel struct {
+	op       isa.Op
+	loads    uint8
+	stores   uint8
+	branches uint8
+	patch    uint8
+}
+
+// telBatch is a precomputed aggregate of the per-step telemetry along
+// one exit path, applied with a handful of counter adds instead of a
+// per-step replay. Built only for the terminal (hot) exits.
+type telBatch struct {
+	loads, stores, branches, patch uint64
+	ops                            []opCount
+}
+
+// opCount is one per-opcode retirement total inside a telBatch.
+type opCount struct {
+	op isa.Op
+	n  uint64
+}
+
+// traceExit is the runner-side record of one exit: the materialization
+// constants from TraceExit plus the telemetry replay data and a
+// one-entry successor-block cache (the trace-level BTB).
+type traceExit struct {
+	kind    ExitKind
+	rip     uint64
+	dynamic bool
+	retired uint64
+	cycles  uint64
+	step    int
+	self    stepTel   // the exiting step's own (possibly partial) telemetry
+	batch   *telBatch // aggregate for terminal exits; nil → replay per-step meta
+
+	nextPC uint64 // last successor block resolved after this exit
+	next   *block
+}
+
+// trace is one compiled superblock.
+type trace struct {
+	entryPC  uint64
+	overhead uint64 // PerInstOverhead the costs were compiled against
+	maxCost  uint64
+	steps    []jstep
+	meta     []stepTel // continue-path telemetry per step
+	exits    []traceExit
+	outc     []CheckOutcome // leader→follower forwarding slots
+	ctx      jctx           // reused across entries (one VM, one goroutine)
+	info     *TraceInfo
+}
+
+// jitEnabled decides whether this run may use the superblock tier: the
+// tier needs the block cache with chaining (a trace is a chain) and no
+// per-instruction observers — trace/mem/block hooks, the event tracer
+// and the guest profiler all require interpreter-grain callbacks, so
+// any of them pins execution to tier 0.
+func (v *VM) jitEnabled() bool {
+	return !v.NoJIT && !v.NoChain && !v.NoBlockCache &&
+		v.TraceHook == nil && v.Tracer == nil && v.Profiler == nil &&
+		v.MemHook == nil && v.BlockHook == nil
+}
+
+// jitThreshold resolves the configured hotness threshold.
+func (v *VM) jitThreshold() uint32 {
+	if v.JITThreshold != 0 {
+		if v.JITThreshold > 1<<30 {
+			return 1 << 30
+		}
+		return uint32(v.JITThreshold)
+	}
+	return DefaultJITThreshold
+}
+
+// jitTrace returns the compiled trace rooted at b, counting entries and
+// compiling once the hotness threshold is crossed. nil while cold or
+// when b cannot root a trace.
+func (v *VM) jitTrace(b *block) *trace {
+	if b.trace != nil {
+		return b.trace
+	}
+	if b.noTrace {
+		return nil
+	}
+	b.hot++
+	if b.hot < v.jitThreshold() {
+		return nil
+	}
+	v.compileTrace(b)
+	if b.trace == nil {
+		b.noTrace = true
+	}
+	return b.trace
+}
+
+// compileTrace runs the two compiler phases for the trace rooted at b
+// and installs the result on the block.
+func (v *VM) compileTrace(b *block) {
+	var start time.Time
+	if v.tel != nil {
+		start = time.Now()
+	}
+	info, aux := v.analyzeTrace(b)
+	if info == nil {
+		return
+	}
+	t := v.emitTrace(info, aux)
+	if t == nil {
+		return
+	}
+	b.trace = t
+	v.traces = append(v.traces, t)
+	if v.tel != nil {
+		v.tel.jitCompiles.Inc()
+		v.tel.jitCompileNS.Observe(uint64(time.Since(start).Nanoseconds()))
+	}
+}
+
+// runTrace executes t until control leaves it. It returns (nil, nil)
+// when entry is refused — the remaining cycle budget cannot absorb a
+// worst-case iteration, or the overhead configuration changed — in which
+// case no state was touched and the caller interprets the block. On an
+// exit it returns the exit record with the VM state fully materialized;
+// err carries the fault of an ExitFault.
+func (v *VM) runTrace(t *trace) (*traceExit, error) {
+	if v.PerInstOverhead != t.overhead {
+		return nil, nil // costs were compiled for a different overhead
+	}
+	if v.MaxCycles != 0 && (v.Cycles > v.MaxCycles || v.MaxCycles-v.Cycles < t.maxCost) {
+		return nil, nil // budget too tight: abort must fire at the exact inst
+	}
+	j := &t.ctx
+	for {
+		if v.tel != nil {
+			v.tel.jitEnters.Inc()
+		}
+		j.flags = v.Flags
+		j.err = nil
+		var id int
+		for _, s := range t.steps {
+			if id = s(j); id != 0 {
+				break
+			}
+		}
+		e := &t.exits[id-1]
+		// The single spill: deferred flags, RIP, retired count and the
+		// statically-known cycle total materialize here. Dynamic cycles
+		// (check costs) were already charged by their closures.
+		v.Flags = j.flags
+		if e.dynamic {
+			v.RIP = j.dynRIP
+		} else {
+			v.RIP = e.rip
+		}
+		v.Cycles += e.cycles
+		v.Insts += e.retired
+		if v.tel != nil {
+			v.applyTraceTel(t, e)
+		}
+		if j.err != nil {
+			return e, j.err
+		}
+		if e.kind != ExitLoop {
+			return e, nil
+		}
+		// Back edge: state is fully materialized at the loop boundary,
+		// so re-check the budget guard before the next iteration.
+		if v.MaxCycles != 0 && v.MaxCycles-v.Cycles < t.maxCost {
+			return e, nil
+		}
+	}
+}
+
+// applyTraceTel replays the telemetry the interpreter would have
+// recorded along e's path: the precomputed aggregate for terminal exits,
+// or a per-step replay (plus the exiting step's partial delta) for side
+// and fault exits.
+func (v *VM) applyTraceTel(t *trace, e *traceExit) {
+	tel := v.tel
+	tel.retiredAll.Add(e.retired)
+	tel.jitInsts.Add(e.retired)
+	if e.kind == ExitSide || e.kind == ExitFault {
+		tel.jitDeopts.Inc()
+	}
+	if b := e.batch; b != nil {
+		for i := range b.ops {
+			tel.retired[b.ops[i].op].Add(b.ops[i].n)
+		}
+		tel.loads.Add(b.loads)
+		tel.stores.Add(b.stores)
+		tel.branches.Add(b.branches)
+		tel.patchHits.Add(b.patch)
+		return
+	}
+	for i := 0; i < e.step; i++ {
+		v.applyStepTel(&t.meta[i])
+	}
+	v.applyStepTel(&e.self)
+}
+
+// applyStepTel applies one step's counter deltas.
+func (v *VM) applyStepTel(m *stepTel) {
+	tel := v.tel
+	tel.retired[m.op].Inc()
+	if m.loads != 0 {
+		tel.loads.Add(uint64(m.loads))
+	}
+	if m.stores != 0 {
+		tel.stores.Add(uint64(m.stores))
+	}
+	if m.branches != 0 {
+		tel.branches.Add(uint64(m.branches))
+	}
+	if m.patch != 0 {
+		tel.patchHits.Add(uint64(m.patch))
+	}
+}

@@ -1,0 +1,1022 @@
+package vm
+
+// Phase two of the superblock compiler: compile a TraceInfo into step
+// closures. Every decode-dependent decision — operand form, width,
+// registers, immediates, effective-address shape, branch prediction,
+// check plans, flag elision — is resolved here, once, so the closures
+// are residual computations over v.Regs, guest memory and the deferred
+// jctx state.
+//
+// The closures deliberately bypass v.load/v.store/v.branchTo: those
+// helpers charge cycles and bump telemetry per event, which the trace
+// accounts statically per exit instead (tel replay data is prepared
+// here too, mirroring exactly which counters the interpreter would have
+// bumped on each partial path). Guest memory is accessed through the
+// same Mem.Load/Mem.Store primitives, so fault detection is identical.
+// jitEnabled guarantees no MemHook/BlockHook/Tracer/Profiler is
+// attached, which is what makes the bypass behaviour-preserving.
+
+import (
+	"fmt"
+
+	"redfat/internal/isa"
+)
+
+// emitEA compiles an effective-address computation, folding the
+// displacement (and the static next-RIP of RIP-relative operands) into
+// a constant and specializing on which components exist.
+func emitEA(m isa.Mem, next uint64) func(v *VM) uint64 {
+	off := uint64(int64(m.Disp))
+	base := m.Base
+	if base == isa.RIP {
+		off += next
+		base = isa.RegNone
+	}
+	idx, scale, seg := m.Index, uint64(m.Scale), m.Seg
+	switch {
+	case seg != isa.SegNone: // segment-relative: rare, keep general
+		return func(v *VM) uint64 {
+			a := off
+			if base != isa.RegNone {
+				a += v.Regs[base]
+			}
+			if idx != isa.RegNone {
+				a += v.Regs[idx] * scale
+			}
+			if seg == isa.SegFS {
+				a += v.FSBase
+			} else {
+				a += v.GSBase
+			}
+			return a
+		}
+	case base != isa.RegNone && idx != isa.RegNone:
+		return func(v *VM) uint64 { return v.Regs[base] + v.Regs[idx]*scale + off }
+	case base != isa.RegNone:
+		return func(v *VM) uint64 { return v.Regs[base] + off }
+	case idx != isa.RegNone:
+		return func(v *VM) uint64 { return v.Regs[idx]*scale + off }
+	default:
+		return func(v *VM) uint64 { return off }
+	}
+}
+
+// aluApply is the pure mirror of aluCompute: same results, same flags,
+// no cycle charges (the trace charges IMUL's CostMul statically).
+func aluApply(op isa.Op, a, b uint64, w uint16, cur Flags) (uint64, Flags) {
+	mask := widthMask(w)
+	switch op {
+	case isa.MOV, isa.MOVABS, isa.MOVZX:
+		return b & mask, cur
+	case isa.MOVSX:
+		r := b & mask
+		if signBit(r, w) {
+			r |= ^mask
+		}
+		return r, cur
+	case isa.ADD:
+		r := (a + b) & mask
+		return r, addFlags(a, b, r, w)
+	case isa.SUB:
+		r := (a - b) & mask
+		return r, subFlags(a, b, r, w)
+	case isa.CMP:
+		r := (a - b) & mask
+		return a & mask, subFlags(a, b, r, w)
+	case isa.AND, isa.TEST:
+		r := (a & b) & mask
+		if op == isa.TEST {
+			return a & mask, logicFlags(r, w)
+		}
+		return r, logicFlags(r, w)
+	case isa.OR:
+		r := (a | b) & mask
+		return r, logicFlags(r, w)
+	case isa.XOR:
+		r := (a ^ b) & mask
+		return r, logicFlags(r, w)
+	case isa.IMUL:
+		r := uint64(int64(a)*int64(b)) & mask
+		return r, logicFlags(r, w)
+	}
+	return 0, cur
+}
+
+// unaryApply is the pure mirror of stepUnary's compute.
+func unaryApply(op isa.Op, val uint64, w uint16, cur Flags) (uint64, Flags) {
+	mask := widthMask(w)
+	switch op {
+	case isa.INC:
+		r := (val + 1) & mask
+		fl := addFlags(val, 1, r, w)
+		fl.CF = cur.CF
+		return r, fl
+	case isa.DEC:
+		r := (val - 1) & mask
+		fl := subFlags(val, 1, r, w)
+		fl.CF = cur.CF
+		return r, fl
+	case isa.NEG:
+		r := (-val) & mask
+		fl := subFlags(0, val, r, w)
+		fl.CF = val&mask != 0
+		return r, fl
+	}
+	return (^val) & mask, cur // NOT: flags untouched
+}
+
+// emitALURR compiles a register-register ALU op (always 64-bit, like
+// aluRegFast). MOVZX/MOVSX degenerate to plain moves at width 8.
+func emitALURR(v *VM, op isa.Op, dst, src isa.Reg, elide bool, cont int) jstep {
+	switch op {
+	case isa.MOV, isa.MOVABS, isa.MOVZX, isa.MOVSX:
+		return func(j *jctx) int { v.Regs[dst] = v.Regs[src]; return cont }
+	case isa.ADD:
+		if elide {
+			return func(j *jctx) int { v.Regs[dst] += v.Regs[src]; return cont }
+		}
+		return func(j *jctx) int {
+			a, b := v.Regs[dst], v.Regs[src]
+			r := a + b
+			j.flags = addFlags(a, b, r, 8)
+			v.Regs[dst] = r
+			return cont
+		}
+	case isa.SUB:
+		if elide {
+			return func(j *jctx) int { v.Regs[dst] -= v.Regs[src]; return cont }
+		}
+		return func(j *jctx) int {
+			a, b := v.Regs[dst], v.Regs[src]
+			r := a - b
+			j.flags = subFlags(a, b, r, 8)
+			v.Regs[dst] = r
+			return cont
+		}
+	case isa.CMP:
+		if elide {
+			return func(j *jctx) int { return cont }
+		}
+		return func(j *jctx) int {
+			a, b := v.Regs[dst], v.Regs[src]
+			j.flags = subFlags(a, b, a-b, 8)
+			return cont
+		}
+	case isa.AND:
+		if elide {
+			return func(j *jctx) int { v.Regs[dst] &= v.Regs[src]; return cont }
+		}
+		return func(j *jctx) int {
+			r := v.Regs[dst] & v.Regs[src]
+			j.flags = logicFlags(r, 8)
+			v.Regs[dst] = r
+			return cont
+		}
+	case isa.OR:
+		if elide {
+			return func(j *jctx) int { v.Regs[dst] |= v.Regs[src]; return cont }
+		}
+		return func(j *jctx) int {
+			r := v.Regs[dst] | v.Regs[src]
+			j.flags = logicFlags(r, 8)
+			v.Regs[dst] = r
+			return cont
+		}
+	case isa.XOR:
+		if elide {
+			return func(j *jctx) int { v.Regs[dst] ^= v.Regs[src]; return cont }
+		}
+		return func(j *jctx) int {
+			r := v.Regs[dst] ^ v.Regs[src]
+			j.flags = logicFlags(r, 8)
+			v.Regs[dst] = r
+			return cont
+		}
+	case isa.TEST:
+		if elide {
+			return func(j *jctx) int { return cont }
+		}
+		return func(j *jctx) int {
+			j.flags = logicFlags(v.Regs[dst]&v.Regs[src], 8)
+			return cont
+		}
+	case isa.IMUL:
+		if elide {
+			return func(j *jctx) int {
+				v.Regs[dst] = uint64(int64(v.Regs[dst]) * int64(v.Regs[src]))
+				return cont
+			}
+		}
+		return func(j *jctx) int {
+			r := uint64(int64(v.Regs[dst]) * int64(v.Regs[src]))
+			j.flags = logicFlags(r, 8)
+			v.Regs[dst] = r
+			return cont
+		}
+	}
+	return nil
+}
+
+// emitALURI compiles a register-immediate ALU op (always 64-bit).
+func emitALURI(v *VM, op isa.Op, dst isa.Reg, imm uint64, elide bool, cont int) jstep {
+	switch op {
+	case isa.MOV, isa.MOVABS, isa.MOVZX, isa.MOVSX:
+		return func(j *jctx) int { v.Regs[dst] = imm; return cont }
+	case isa.ADD:
+		if elide {
+			return func(j *jctx) int { v.Regs[dst] += imm; return cont }
+		}
+		return func(j *jctx) int {
+			a := v.Regs[dst]
+			r := a + imm
+			j.flags = addFlags(a, imm, r, 8)
+			v.Regs[dst] = r
+			return cont
+		}
+	case isa.SUB:
+		if elide {
+			return func(j *jctx) int { v.Regs[dst] -= imm; return cont }
+		}
+		return func(j *jctx) int {
+			a := v.Regs[dst]
+			r := a - imm
+			j.flags = subFlags(a, imm, r, 8)
+			v.Regs[dst] = r
+			return cont
+		}
+	case isa.CMP:
+		if elide {
+			return func(j *jctx) int { return cont }
+		}
+		return func(j *jctx) int {
+			a := v.Regs[dst]
+			j.flags = subFlags(a, imm, a-imm, 8)
+			return cont
+		}
+	case isa.AND:
+		if elide {
+			return func(j *jctx) int { v.Regs[dst] &= imm; return cont }
+		}
+		return func(j *jctx) int {
+			r := v.Regs[dst] & imm
+			j.flags = logicFlags(r, 8)
+			v.Regs[dst] = r
+			return cont
+		}
+	case isa.OR:
+		if elide {
+			return func(j *jctx) int { v.Regs[dst] |= imm; return cont }
+		}
+		return func(j *jctx) int {
+			r := v.Regs[dst] | imm
+			j.flags = logicFlags(r, 8)
+			v.Regs[dst] = r
+			return cont
+		}
+	case isa.XOR:
+		if elide {
+			return func(j *jctx) int { v.Regs[dst] ^= imm; return cont }
+		}
+		return func(j *jctx) int {
+			r := v.Regs[dst] ^ imm
+			j.flags = logicFlags(r, 8)
+			v.Regs[dst] = r
+			return cont
+		}
+	case isa.TEST:
+		if elide {
+			return func(j *jctx) int { return cont }
+		}
+		return func(j *jctx) int {
+			j.flags = logicFlags(v.Regs[dst]&imm, 8)
+			return cont
+		}
+	case isa.IMUL:
+		if elide {
+			return func(j *jctx) int {
+				v.Regs[dst] = uint64(int64(v.Regs[dst]) * int64(imm))
+				return cont
+			}
+		}
+		return func(j *jctx) int {
+			r := uint64(int64(v.Regs[dst]) * int64(imm))
+			j.flags = logicFlags(r, 8)
+			v.Regs[dst] = r
+			return cont
+		}
+	}
+	return nil
+}
+
+// emitStep compiles one analyzed step into its closure. Returns nil on
+// an inconsistency between the analyzer and the emitter, which aborts
+// the whole compilation (the block is then pinned to the interpreter).
+func (v *VM) emitStep(t *trace, info *TraceInfo, aux []stepAux, i int) jstep {
+	st := &info.Steps[i]
+	in := &st.Inst
+	ax := &aux[i]
+	pc := st.PC
+	next := pc + uint64(in.Len)
+	cont := ax.contID
+	elide := st.FlagsElided
+
+	switch in.Op {
+	case isa.NOP:
+		return func(j *jctx) int { return cont }
+
+	case isa.CQO:
+		return func(j *jctx) int {
+			v.Regs[isa.RDX] = uint64(int64(v.Regs[isa.RAX]) >> 63)
+			return cont
+		}
+
+	case isa.XCHG:
+		r1, r2 := in.Reg, in.Reg2
+		return func(j *jctx) int {
+			v.Regs[r1], v.Regs[r2] = v.Regs[r2], v.Regs[r1]
+			return cont
+		}
+
+	case isa.LEA:
+		ea := emitEA(in.Mem, next)
+		dst := in.Reg
+		return func(j *jctx) int { v.Regs[dst] = ea(v); return cont }
+
+	case isa.MOV, isa.MOVABS, isa.MOVZX, isa.MOVSX,
+		isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.CMP, isa.TEST, isa.IMUL:
+		op := in.Op
+		w := uint16(in.Size)
+		if w == 0 {
+			w = 8
+		}
+		switch in.Form {
+		case isa.FRR:
+			return emitALURR(v, op, in.Reg, in.Reg2, elide, cont)
+		case isa.FRI:
+			return emitALURI(v, op, in.Reg, uint64(in.Imm), elide, cont)
+		case isa.FRM:
+			ea := emitEA(in.Mem, next)
+			dst := in.Reg
+			f1 := ax.exits[0]
+			if op == isa.MOV || op == isa.MOVZX {
+				return func(j *jctx) int {
+					b, err := v.Mem.Load(ea(v), w)
+					if err != nil {
+						j.err = err
+						return f1
+					}
+					v.Regs[dst] = b
+					return cont
+				}
+			}
+			wr := op != isa.CMP && op != isa.TEST
+			return func(j *jctx) int {
+				b, err := v.Mem.Load(ea(v), w)
+				if err != nil {
+					j.err = err
+					return f1
+				}
+				r, fl := aluApply(op, v.Regs[dst], b, w, j.flags)
+				if !elide {
+					j.flags = fl
+				}
+				if wr {
+					v.Regs[dst] = r
+				}
+				return cont
+			}
+		case isa.FMR, isa.FMI:
+			ea := emitEA(in.Mem, next)
+			f1 := ax.exits[0]
+			src := in.Reg
+			imm := uint64(in.Imm)
+			isImm := in.Form == isa.FMI
+			switch op {
+			case isa.MOV:
+				if isImm {
+					return func(j *jctx) int {
+						if err := v.Mem.Store(ea(v), w, imm); err != nil {
+							j.err = err
+							return f1
+						}
+						return cont
+					}
+				}
+				return func(j *jctx) int {
+					if err := v.Mem.Store(ea(v), w, v.Regs[src]); err != nil {
+						j.err = err
+						return f1
+					}
+					return cont
+				}
+			case isa.CMP, isa.TEST:
+				return func(j *jctx) int {
+					a, err := v.Mem.Load(ea(v), w)
+					if err != nil {
+						j.err = err
+						return f1
+					}
+					if !elide {
+						b := imm
+						if !isImm {
+							b = v.Regs[src]
+						}
+						_, fl := aluApply(op, a, b, w, j.flags)
+						j.flags = fl
+					}
+					return cont
+				}
+			default: // read-modify-write
+				f2 := ax.exits[1]
+				return func(j *jctx) int {
+					addr := ea(v)
+					a, err := v.Mem.Load(addr, w)
+					if err != nil {
+						j.err = err
+						return f1
+					}
+					b := imm
+					if !isImm {
+						b = v.Regs[src]
+					}
+					r, fl := aluApply(op, a, b, w, j.flags)
+					if !elide {
+						j.flags = fl // before the store, like stepALU
+					}
+					if err := v.Mem.Store(addr, w, r); err != nil {
+						j.err = err
+						return f2
+					}
+					return cont
+				}
+			}
+		}
+		return nil
+
+	case isa.PUSH:
+		f1 := ax.exits[0]
+		if in.Form == isa.FR {
+			src := in.Reg
+			return func(j *jctx) int {
+				val := v.Regs[src] // read before RSP moves (src may be RSP)
+				if err := v.push(val); err != nil {
+					j.err = err
+					return f1
+				}
+				return cont
+			}
+		}
+		ea := emitEA(in.Mem, next)
+		f2 := ax.exits[1]
+		return func(j *jctx) int {
+			val, err := v.Mem.Load(ea(v), 8)
+			if err != nil {
+				j.err = err
+				return f1
+			}
+			if err := v.push(val); err != nil {
+				j.err = err
+				return f2
+			}
+			return cont
+		}
+
+	case isa.PUSHF:
+		f1 := ax.exits[0]
+		return func(j *jctx) int {
+			if err := v.push(j.flags.pack()); err != nil {
+				j.err = err
+				return f1
+			}
+			return cont
+		}
+
+	case isa.POP:
+		f1 := ax.exits[0]
+		if in.Form == isa.FR {
+			dst := in.Reg
+			return func(j *jctx) int {
+				val, err := v.pop()
+				if err != nil {
+					j.err = err
+					return f1
+				}
+				v.Regs[dst] = val
+				return cont
+			}
+		}
+		ea := emitEA(in.Mem, next)
+		f2 := ax.exits[1]
+		return func(j *jctx) int {
+			val, err := v.pop()
+			if err != nil {
+				j.err = err
+				return f1
+			}
+			// EA after the pop: RSP-relative destinations see the
+			// incremented stack pointer, exactly like the interpreter.
+			if err := v.Mem.Store(ea(v), 8, val); err != nil {
+				j.err = err
+				return f2
+			}
+			return cont
+		}
+
+	case isa.POPF:
+		f1 := ax.exits[0]
+		return func(j *jctx) int {
+			val, err := v.pop()
+			if err != nil {
+				j.err = err
+				return f1
+			}
+			j.flags = unpackFlags(val)
+			return cont
+		}
+
+	case isa.INC, isa.DEC, isa.NEG, isa.NOT:
+		op := in.Op
+		if in.Form == isa.FR {
+			reg := in.Reg
+			return func(j *jctx) int {
+				r, fl := unaryApply(op, v.Regs[reg], 8, j.flags)
+				if !elide {
+					j.flags = fl
+				}
+				v.Regs[reg] = r
+				return cont
+			}
+		}
+		w := uint16(in.Size)
+		if w == 0 {
+			w = 8
+		}
+		ea := emitEA(in.Mem, next)
+		f1, f2 := ax.exits[0], ax.exits[1]
+		return func(j *jctx) int {
+			addr := ea(v)
+			val, err := v.Mem.Load(addr, w)
+			if err != nil {
+				j.err = err
+				return f1
+			}
+			r, fl := unaryApply(op, val, w, j.flags)
+			if !elide {
+				j.flags = fl
+			}
+			if err := v.Mem.Store(addr, w, r); err != nil {
+				j.err = err
+				return f2
+			}
+			return cont
+		}
+
+	case isa.SHL, isa.SHR, isa.SAR:
+		op := in.Op
+		reg := in.Reg
+		if in.Form == isa.FRI {
+			count := uint64(in.Imm) & 63
+			if count == 0 {
+				return func(j *jctx) int { return cont }
+			}
+			switch op {
+			case isa.SHL:
+				hi := uint64(1) << (64 - count)
+				if elide {
+					return func(j *jctx) int { v.Regs[reg] <<= count; return cont }
+				}
+				return func(j *jctx) int {
+					val := v.Regs[reg]
+					r := val << count
+					j.flags = Flags{ZF: r == 0, SF: signBit(r, 8), CF: val&hi != 0}
+					v.Regs[reg] = r
+					return cont
+				}
+			case isa.SHR:
+				lo := uint64(1) << (count - 1)
+				if elide {
+					return func(j *jctx) int { v.Regs[reg] >>= count; return cont }
+				}
+				return func(j *jctx) int {
+					val := v.Regs[reg]
+					r := val >> count
+					j.flags = Flags{ZF: r == 0, SF: signBit(r, 8), CF: val&lo != 0}
+					v.Regs[reg] = r
+					return cont
+				}
+			default: // SAR
+				lo := uint64(1) << (count - 1)
+				if elide {
+					return func(j *jctx) int {
+						v.Regs[reg] = uint64(int64(v.Regs[reg]) >> count)
+						return cont
+					}
+				}
+				return func(j *jctx) int {
+					val := v.Regs[reg]
+					r := uint64(int64(val) >> count)
+					j.flags = Flags{ZF: r == 0, SF: signBit(r, 8), CF: val&lo != 0}
+					v.Regs[reg] = r
+					return cont
+				}
+			}
+		}
+		// CL-count shift: everything is dynamic, mirror exec's body.
+		return func(j *jctx) int {
+			count := v.Regs[isa.RCX] & 63
+			val := v.Regs[reg]
+			if count > 0 {
+				var r uint64
+				var cf bool
+				switch op {
+				case isa.SHL:
+					cf = val&(1<<(64-count)) != 0
+					r = val << count
+				case isa.SHR:
+					cf = val&(1<<(count-1)) != 0
+					r = val >> count
+				default:
+					cf = val&(1<<(count-1)) != 0
+					r = uint64(int64(val) >> count)
+				}
+				if !elide {
+					j.flags = Flags{ZF: r == 0, SF: signBit(r, 8), CF: cf}
+				}
+				v.Regs[reg] = r
+			}
+			return cont
+		}
+
+	case isa.UDIV, isa.IDIV:
+		reg := in.Reg
+		f1 := ax.exits[0]
+		if in.Op == isa.UDIV {
+			return func(j *jctx) int {
+				d := v.Regs[reg]
+				if d == 0 {
+					j.err = fmt.Errorf("vm: division by zero at %#x", pc)
+					return f1
+				}
+				a := v.Regs[isa.RAX]
+				v.Regs[isa.RAX] = a / d
+				v.Regs[isa.RDX] = a % d
+				return cont
+			}
+		}
+		return func(j *jctx) int {
+			d := v.Regs[reg]
+			if d == 0 {
+				j.err = fmt.Errorf("vm: division by zero at %#x", pc)
+				return f1
+			}
+			sa, sd := int64(v.Regs[isa.RAX]), int64(d)
+			if sa == -1<<63 && sd == -1 {
+				j.err = fmt.Errorf("vm: division overflow at %#x", pc)
+				return f1
+			}
+			v.Regs[isa.RAX] = uint64(sa / sd)
+			v.Regs[isa.RDX] = uint64(sa % sd)
+			return cont
+		}
+
+	case isa.HLT:
+		halt := ax.exits[0]
+		return func(j *jctx) int {
+			v.Halted = true
+			v.ExitCode = v.Regs[isa.RAX]
+			return halt
+		}
+
+	case isa.TRAP:
+		// Patch target and cost are static; the dispatch is a no-op here.
+		return func(j *jctx) int { return cont }
+
+	case isa.JMP:
+		switch in.Form {
+		case isa.FRel8, isa.FRel32:
+			return func(j *jctx) int { return cont }
+		case isa.FR:
+			reg := in.Reg
+			dyn := ax.exits[0]
+			return func(j *jctx) int {
+				j.dynRIP = v.Regs[reg]
+				return dyn
+			}
+		case isa.FM:
+			ea := emitEA(in.Mem, next)
+			f1, dyn := ax.exits[0], ax.exits[1]
+			return func(j *jctx) int {
+				target, err := v.Mem.Load(ea(v), 8)
+				if err != nil {
+					j.err = err
+					return f1
+				}
+				j.dynRIP = target
+				return dyn
+			}
+		}
+		return nil
+
+	case isa.CALL:
+		switch in.Form {
+		case isa.FRel32:
+			f1 := ax.exits[0]
+			return func(j *jctx) int {
+				if err := v.push(next); err != nil {
+					j.err = err
+					return f1
+				}
+				return cont
+			}
+		case isa.FR:
+			reg := in.Reg
+			f1, dyn := ax.exits[0], ax.exits[1]
+			return func(j *jctx) int {
+				target := v.Regs[reg] // read before the push moves RSP
+				if err := v.push(next); err != nil {
+					j.err = err
+					return f1
+				}
+				j.dynRIP = target
+				return dyn
+			}
+		case isa.FM:
+			ea := emitEA(in.Mem, next)
+			f1, f2, dyn := ax.exits[0], ax.exits[1], ax.exits[2]
+			return func(j *jctx) int {
+				target, err := v.Mem.Load(ea(v), 8)
+				if err != nil {
+					j.err = err
+					return f1
+				}
+				if err := v.push(next); err != nil {
+					j.err = err
+					return f2
+				}
+				j.dynRIP = target
+				return dyn
+			}
+		}
+		return nil
+
+	case isa.RET:
+		f1, halt, dyn := ax.exits[0], ax.exits[1], ax.exits[2]
+		return func(j *jctx) int {
+			addr, err := v.pop()
+			if err != nil {
+				j.err = err
+				return f1
+			}
+			if addr == ExitSentinel {
+				v.Halted = true
+				v.ExitCode = v.Regs[isa.RAX]
+				return halt
+			}
+			j.dynRIP = addr
+			return dyn
+		}
+
+	case isa.RTCALL:
+		plan := ax.plan
+		c := st.Check
+		if plan == nil || c == nil {
+			return nil
+		}
+		exec := plan.Exec
+		if c.Elided {
+			exec = plan.Forward
+		}
+		o := &t.outc[c.Slot]
+		f1 := ax.exits[0]
+		return func(j *jctx) int {
+			v.RIP = next // handlers attribute errors to the resume RIP
+			before := v.Cycles
+			err := exec(v, o)
+			if v.tel != nil {
+				cost := v.Cycles - before
+				v.tel.rtcalls.Inc()
+				v.tel.rtcallCost.Add(cost)
+				v.tel.rtcallHist.Observe(cost)
+			}
+			if err != nil {
+				j.err = err
+				return f1
+			}
+			return cont
+		}
+
+	default:
+		if !in.Op.IsCondJump() {
+			return nil
+		}
+		op := in.Op
+		side := ax.exits[0]
+		if ax.onTaken {
+			return func(j *jctx) int {
+				if j.flags.cond(op) {
+					return cont
+				}
+				return side
+			}
+		}
+		return func(j *jctx) int {
+			if j.flags.cond(op) {
+				return side
+			}
+			return cont
+		}
+	}
+}
+
+// contStepTel computes the telemetry the interpreter records for one
+// instruction on its continue path (the per-opcode retirement plus
+// load/store/branch/patch increments).
+func contStepTel(st *TraceStep, ax *stepAux) stepTel {
+	in := &st.Inst
+	m := stepTel{op: in.Op}
+	switch in.Op {
+	case isa.MOV, isa.MOVABS, isa.MOVZX, isa.MOVSX,
+		isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.CMP, isa.TEST, isa.IMUL:
+		switch in.Form {
+		case isa.FRM:
+			m.loads = 1
+		case isa.FMR, isa.FMI:
+			switch in.Op {
+			case isa.MOV:
+				m.stores = 1
+			case isa.CMP, isa.TEST:
+				m.loads = 1
+			default:
+				m.loads, m.stores = 1, 1
+			}
+		}
+	case isa.PUSH:
+		if in.Form == isa.FM {
+			m.loads = 1 // the push itself is a raw store: no counter
+		}
+	case isa.POP:
+		if in.Form == isa.FM {
+			m.stores = 1 // the pop itself is a raw load: no counter
+		}
+	case isa.INC, isa.DEC, isa.NEG, isa.NOT:
+		if in.Form != isa.FR {
+			m.loads, m.stores = 1, 1
+		}
+	case isa.TRAP:
+		m.patch = 1
+	case isa.JMP, isa.CALL:
+		m.branches = 1
+		if in.Form == isa.FM {
+			m.loads = 1
+		}
+	case isa.RET:
+		m.branches = 1 // the non-sentinel path; halt/fault exits override
+	default:
+		if in.Op.IsCondJump() && ax.onTaken {
+			m.branches = 1
+		}
+	}
+	return m
+}
+
+// exitSelfTel computes the exiting step's own telemetry on one exit
+// path: the full continue delta for resumable terminal exits, a partial
+// delta for fault stages, and the unpredicted-direction delta for side
+// exits.
+func exitSelfTel(info *TraceInfo, aux []stepAux, e *TraceExit) stepTel {
+	st := &info.Steps[e.Step]
+	in := &st.Inst
+	ax := &aux[e.Step]
+	m := stepTel{op: in.Op}
+	switch e.Kind {
+	case ExitFall, ExitLoop, ExitDyn:
+		return contStepTel(st, ax)
+	case ExitHalt:
+		return m // HLT, or RET to the sentinel: no branch, no memory
+	case ExitSide:
+		if !ax.onTaken {
+			m.branches = 1 // side exit takes the branch
+		}
+		return m
+	}
+	// Fault stages: exactly the counters bumped before the fault.
+	switch in.Op {
+	case isa.MOV, isa.MOVABS, isa.MOVZX, isa.MOVSX,
+		isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.CMP, isa.TEST, isa.IMUL:
+		switch in.Form {
+		case isa.FRM:
+			m.loads = 1
+		case isa.FMR, isa.FMI:
+			switch in.Op {
+			case isa.MOV:
+				m.stores = 1
+			case isa.CMP, isa.TEST:
+				m.loads = 1
+			default:
+				m.loads = 1
+				if e.Stage == 2 {
+					m.stores = 1
+				}
+			}
+		}
+	case isa.PUSH:
+		if in.Form == isa.FM {
+			m.loads = 1 // both stages: the counted load happened or faulted
+		}
+	case isa.POP:
+		if in.Form == isa.FM && e.Stage == 2 {
+			m.stores = 1
+		}
+	case isa.INC, isa.DEC, isa.NEG, isa.NOT:
+		if in.Form != isa.FR {
+			m.loads = 1
+			if e.Stage == 2 {
+				m.stores = 1
+			}
+		}
+	case isa.JMP, isa.CALL:
+		if in.Form == isa.FM {
+			m.loads = 1 // target load counted; branch never taken
+		}
+	}
+	return m
+}
+
+// buildBatch aggregates the per-step telemetry along one exit path into
+// a handful of counter adds, preserving first-retirement opcode order.
+func buildBatch(t *trace, e *traceExit) *telBatch {
+	b := &telBatch{}
+	idx := make(map[isa.Op]int)
+	add := func(m *stepTel) {
+		k, ok := idx[m.op]
+		if !ok {
+			k = len(b.ops)
+			idx[m.op] = k
+			b.ops = append(b.ops, opCount{op: m.op})
+		}
+		b.ops[k].n++
+		b.loads += uint64(m.loads)
+		b.stores += uint64(m.stores)
+		b.branches += uint64(m.branches)
+		b.patch += uint64(m.patch)
+	}
+	for i := 0; i < e.step; i++ {
+		add(&t.meta[i])
+	}
+	add(&e.self)
+	return b
+}
+
+// emitTrace compiles a TraceInfo into an executable trace. Returns nil
+// if any step cannot be emitted (which pins the root block to the
+// interpreter).
+func (v *VM) emitTrace(info *TraceInfo, aux []stepAux) *trace {
+	t := &trace{
+		entryPC:  info.EntryPC,
+		overhead: info.Overhead,
+		maxCost:  info.MaxCost,
+		info:     info,
+	}
+	slots := 0
+	for i := range info.Steps {
+		if c := info.Steps[i].Check; c != nil && c.Slot+1 > slots {
+			slots = c.Slot + 1
+		}
+	}
+	t.outc = make([]CheckOutcome, slots)
+	t.meta = make([]stepTel, len(info.Steps))
+	for i := range info.Steps {
+		t.meta[i] = contStepTel(&info.Steps[i], &aux[i])
+	}
+	t.exits = make([]traceExit, len(info.Exits))
+	for i := range info.Exits {
+		e := &info.Exits[i]
+		t.exits[i] = traceExit{
+			kind:    e.Kind,
+			rip:     e.RIP,
+			dynamic: e.Dynamic,
+			retired: e.Retired,
+			cycles:  e.Cycles,
+			step:    e.Step,
+			self:    exitSelfTel(info, aux, e),
+		}
+	}
+	for i := range t.exits {
+		switch t.exits[i].kind {
+		case ExitFall, ExitLoop, ExitDyn, ExitHalt:
+			t.exits[i].batch = buildBatch(t, &t.exits[i])
+		}
+	}
+	t.steps = make([]jstep, len(info.Steps))
+	for i := range info.Steps {
+		s := v.emitStep(t, info, aux, i)
+		if s == nil {
+			return nil
+		}
+		t.steps[i] = s
+	}
+	return t
+}

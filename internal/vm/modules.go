@@ -144,6 +144,20 @@ func (v *VM) LoadLibrary(bin *relf.Binary, env Bindings) error {
 	return nil
 }
 
+// ModuleBinary returns the binary of the module containing pc, falling
+// back to the main executable. The runtime layer uses it to resolve
+// which site table an RTCALL at pc indexes when building JIT check
+// plans (per-DSO import tables, like moduleFor for bindings).
+func (v *VM) ModuleBinary(pc uint64) *relf.Binary {
+	for i := range v.modules {
+		m := &v.modules[i]
+		if pc >= m.lo && pc < m.hi {
+			return m.bin
+		}
+	}
+	return v.binary
+}
+
 // moduleFor returns the bindings of the module containing pc, falling
 // back to the main executable's bindings.
 func (v *VM) moduleFor(pc uint64) []HostFunc {

@@ -292,8 +292,32 @@ type VM struct {
 	// NoChain disables block chaining on the block-cache path: every
 	// block exit re-enters the per-page block tables instead of following
 	// cached successor pointers. An ablation knob; guest-visible
-	// behaviour is identical with chaining on or off.
+	// behaviour is identical with chaining on or off. A superblock trace
+	// is a chain, so NoChain also disables the JIT tier (see jit.go).
 	NoChain bool
+
+	// NoJIT disables the superblock translation tier: hot chained traces
+	// are never compiled and every instruction retires through the
+	// interpreter. An ablation knob with the same identity guarantee as
+	// NoChain — guest cycles, detections and exit codes are bit-identical
+	// with the tier on or off.
+	NoJIT bool
+
+	// JITThreshold is the number of block entries before a trace rooted
+	// at that block is compiled (0 selects DefaultJITThreshold).
+	JITThreshold uint64
+
+	// InlineCheck, when set by the runtime layer, resolves an RTCALL at
+	// pc (import importIdx, static argument arg) into a fusable check
+	// plan, or nil when the call is not an instrumented check. The JIT
+	// uses it to keep check sites on-trace; the interpreter never calls
+	// it.
+	InlineCheck func(v *VM, pc uint64, importIdx int, arg uint32) *JITCheck
+
+	// traces holds every compiled superblock, for the verify certifier
+	// (CompiledTraces) and -stats reporting. Cleared by FlushICache:
+	// traces embed predecoded instructions exactly like blocks do.
+	traces []*trace
 
 	icache map[uint64]*isa.Inst // legacy per-PC decode cache (Step)
 
@@ -336,6 +360,11 @@ type vmMetrics struct {
 	chainMisses  *telemetry.Counter // block exits that walked the block tables
 	exitCode     *telemetry.Gauge
 	cycleAborts  *telemetry.Counter
+	jitCompiles  *telemetry.Counter   // superblock traces compiled
+	jitEnters    *telemetry.Counter   // trace entries (incl. loop-back iterations)
+	jitInsts     *telemetry.Counter   // instructions retired inside traces
+	jitDeopts    *telemetry.Counter   // side-exit/fault deopts back to the interpreter
+	jitCompileNS *telemetry.Histogram // wall-clock nanoseconds per compile
 }
 
 // AttachTelemetry binds the VM's dispatch-level metrics to reg and its
@@ -365,6 +394,11 @@ func (v *VM) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		chainMisses:  reg.Counter("vm.icache.chain.misses"),
 		exitCode:     reg.Gauge("vm.exit.code"),
 		cycleAborts:  reg.Counter("vm.cycle.limit.aborts"),
+		jitCompiles:  reg.Counter("vm.jit.compile.count"),
+		jitEnters:    reg.Counter("vm.jit.enter.count"),
+		jitInsts:     reg.Counter("vm.jit.exec.insts"),
+		jitDeopts:    reg.Counter("vm.jit.deopt.count"),
+		jitCompileNS: reg.Histogram("vm.jit.compile.ns", telemetry.Pow2Bounds(10, 20)),
 	}
 	for op := 0; op < isa.NumOps; op++ {
 		t.retired[op] = reg.Counter("vm.retired." + isa.Op(op).String())
@@ -591,13 +625,17 @@ func (v *VM) fetch(addr uint64) (*isa.Inst, error) {
 // only ever reference blocks reachable from the per-page tables being
 // dropped here, so tables and chains are invalidated together (needed
 // only if code is modified after it has executed; offline rewriting does
-// not require it).
+// not require it). Compiled superblock traces embed the same predecoded
+// instructions, so they die with the cache generation too: the trace
+// list is cleared and every per-block trace pointer is unreachable once
+// the block tables are dropped.
 func (v *VM) FlushICache() {
 	v.icache = make(map[uint64]*isa.Inst, 4096)
 	v.bcache = make(map[uint64]*codePage)
 	v.bcPageIdx = ^uint64(0)
 	v.bcPage = nil
 	v.nBlocks, v.nBlockInsts = 0, 0
+	v.traces = nil
 }
 
 // NextInput returns the next value from the input vector (0 when

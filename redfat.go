@@ -244,6 +244,12 @@ type RunOptions struct {
 	// NoTLB disables the guest-memory software TLB, forcing every page
 	// access through the page-map lookup. Same identity guarantee.
 	NoTLB bool
+	// NoJIT disables the superblock tier (compiled traces over hot
+	// chained blocks). Same identity guarantee.
+	NoJIT bool
+	// JITThreshold overrides the block-hotness threshold before trace
+	// compilation (0 keeps the default).
+	JITThreshold uint64
 	// Forensics enables allocation-site tracking (guest backtraces per
 	// malloc/free) and error backtrace capture, and fills Result.Reports
 	// with fully resolved error reports. Host-side only: guest cycle
@@ -301,6 +307,8 @@ func Run(bin *Binary, opt RunOptions) (*Result, error) {
 		NoBlockCache:   opt.NoBlockCache,
 		NoChain:        opt.NoChain,
 		NoTLB:          opt.NoTLB,
+		NoJIT:          opt.NoJIT,
+		JITThreshold:   opt.JITThreshold,
 		Forensics:      opt.Forensics,
 		ForensicsDepth: opt.ForensicsDepth,
 		Profiler:       opt.Profiler,
@@ -374,6 +382,8 @@ func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
 		NoBlockCache:   opt.NoBlockCache,
 		NoChain:        opt.NoChain,
 		NoTLB:          opt.NoTLB,
+		NoJIT:          opt.NoJIT,
+		JITThreshold:   opt.JITThreshold,
 		Forensics:      opt.Forensics,
 		ForensicsDepth: opt.ForensicsDepth,
 		Profiler:       opt.Profiler,
