@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet rfvet build test race perf-smoke trace-smoke replay-smoke bench-smoke bench-host bench-history clean
+.PHONY: check fmt vet rfvet build test race perf-smoke trace-smoke replay-smoke obs-smoke bench-smoke bench-host bench-history clean
 
 # check is the tier-1 gate: formatting, static analysis (go vet plus the
 # repo-specific rfvet rules), build, tests (which include the TLB perf
 # smoke, see perf-smoke), a race-detector pass over the concurrent
-# harness (short mode), and the runpack replay smoke.
-check: fmt vet rfvet build test race replay-smoke
+# harness (short mode), the runpack replay smoke, and the live
+# introspection smoke.
+check: fmt vet rfvet build test race replay-smoke obs-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -34,12 +35,13 @@ race:
 
 # perf-smoke runs the host fast-path guards in isolation: the
 # software-TLB access path must not be slower than the raw page-map walk,
-# and the superblock tier must beat the block interpreter by ≥20%
+# the superblock tier must beat the block interpreter by ≥20%, and the
+# always-on flight recorder must stay within 3% of a bare hot loop
 # (relative comparisons, so they are stable on loaded CI hosts). The same
 # tests run as part of `make test` / `make check`; `-short` skips them.
 perf-smoke:
 	$(GO) test -run TestPerfSmokeTLB -v ./internal/mem/
-	$(GO) test -run TestPerfSmokeJIT -v ./internal/vm/
+	$(GO) test -run 'TestPerfSmokeJIT|TestPerfSmokeFlight' -v ./internal/vm/
 
 # trace-smoke drives the forensics/profiling CLI flags end to end and
 # validates that the emitted Chrome trace JSON and folded stacks parse.
@@ -53,6 +55,13 @@ trace-smoke:
 # mode fails verification with its documented exit code. See DESIGN.md §13.
 replay-smoke:
 	$(GO) test -run 'TestCLIRunpackSmoke|TestVerifyDetectsTampering|TestRunPackVerifiesAndReplaysByteIdentical' -v . ./internal/runpack/
+
+# obs-smoke exercises the live introspection surface: the golden-pinned
+# endpoint formats, the flight-recorder semantics, and a scrape of all
+# five endpoints on a live `rfvm -listen` process. See DESIGN.md §15.
+obs-smoke:
+	$(GO) test -run 'TestEndpoints|TestFlight|TestServerBeforePublish' -v ./internal/obs/
+	$(GO) test -run TestCLIObsSmoke -v .
 
 # bench-smoke regenerates a down-scaled Table 1 with JSON export, as a
 # fast end-to-end exercise of the experiment harness.

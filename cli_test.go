@@ -1,13 +1,17 @@
 package redfat_test
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildTools compiles the command-line tools once per test binary.
@@ -298,6 +302,213 @@ func TestCLIRunpackSmoke(t *testing.T) {
 	out, code = runTool(t, bin, "rfpack", "replay", rwDir)
 	if code != 0 || !strings.Contains(out, "byte-identical") {
 		t.Fatalf("rewrite replay: %d %s", code, out)
+	}
+}
+
+// obsProg is a hot hardened loop: enough iterations to compile a trace
+// at a low threshold, a checked store inside it, and a RET that ends the
+// trace with a halt deopt — so every introspection surface is non-empty.
+const obsProg = `
+.func main
+    mov $40, %rdi
+    call @malloc
+    mov %rax, %rbx
+    mov $0, %rcx
+loop:
+    mov %rcx, (%rbx)
+    add $1, %rcx
+    cmp $200, %rcx
+    jl loop
+    mov $0, %rax
+    ret
+`
+
+// TestCLIObsSmoke scrapes a live rfvm -listen process: it parses the
+// bound address off stderr, waits for the run-complete marker, then hits
+// all five introspection endpoints and checks each serves its documented
+// format with real run data (stripped metrics, a compiled trace with a
+// deopt histogram, a populated flight ring). `make obs-smoke` runs
+// exactly this test plus the internal/obs golden suite.
+func TestCLIObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI tools")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	src := filepath.Join(work, "prog.s")
+	if err := os.WriteFile(src, []byte(obsProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	relfPath := filepath.Join(work, "prog.relf")
+	hardPath := filepath.Join(work, "prog.hard.relf")
+	if out, code := runTool(t, bin, "rfasm", "-o", relfPath, src); code != 0 {
+		t.Fatal(out)
+	}
+	if out, code := runTool(t, bin, "redfat", "-o", hardPath, relfPath); code != 0 {
+		t.Fatal(out)
+	}
+
+	cmd := exec.Command(filepath.Join(bin, "rfvm"),
+		"-hardened", "-stats", "-jit-threshold", "2", "-listen", "127.0.0.1:0", hardPath)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The server announces its bound address, then the run-complete
+	// marker once the guest has finished and the final state is published.
+	var addr string
+	ready := false
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "rfvm: listening on http://"); ok {
+			addr = rest
+		}
+		if strings.Contains(line, "run complete; serving introspection") {
+			ready = true
+			break
+		}
+	}
+	if !ready || addr == "" {
+		t.Fatalf("no listen/ready markers on stderr (addr %q, err %v)", addr, sc.Err())
+	}
+
+	get := func(path string) []byte {
+		t.Helper()
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, %v: %s", path, resp.StatusCode, err, body)
+		}
+		return body
+	}
+
+	metrics := string(get("/metrics"))
+	if !strings.Contains(metrics, "# TYPE redfat_vm_retired_total counter") {
+		t.Errorf("/metrics is not Prometheus exposition:\n%s", metrics)
+	}
+	if strings.Contains(metrics, "_ns ") || strings.Contains(metrics, "_ms ") {
+		t.Errorf("/metrics leaks host wall-clock series:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "redfat_vm_jit_deopt_halt_count") {
+		t.Errorf("/metrics missing the per-reason deopt counters:\n%s", metrics)
+	}
+
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(get("/snapshot"), &snap); err != nil {
+		t.Fatalf("/snapshot does not parse: %v", err)
+	}
+	if snap.Counters["vm.retired.total"] == 0 || snap.Counters["check.execs"] == 0 {
+		t.Errorf("/snapshot counters empty: %v", snap.Counters)
+	}
+
+	var table struct {
+		SchemaVersion int `json:"schema_version"`
+		Traces        []struct {
+			Symbol  string `json:"symbol"`
+			Entries uint64 `json:"entries"`
+			Deopts  []struct {
+				Reason string `json:"reason"`
+				Count  uint64 `json:"count"`
+			} `json:"deopts"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(get("/traces"), &table); err != nil {
+		t.Fatalf("/traces does not parse: %v", err)
+	}
+	if len(table.Traces) == 0 {
+		t.Fatal("/traces empty after a hot loop at threshold 2")
+	}
+	if tr := table.Traces[0]; tr.Entries == 0 || len(tr.Deopts) == 0 ||
+		!strings.HasPrefix(tr.Symbol, "main") {
+		t.Errorf("/traces row lacks run data: %+v", tr)
+	}
+
+	// Guest profiling pins execution to tier 0, so it is off by default
+	// under -listen: /profile must answer, but empty.
+	if profile := get("/profile"); len(profile) != 0 {
+		t.Errorf("/profile non-empty without -profile-guest: %q", profile)
+	}
+
+	var dump struct {
+		Total  uint64 `json:"total"`
+		Events []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(get("/flight"), &dump); err != nil {
+		t.Fatalf("/flight does not parse: %v", err)
+	}
+	if dump.Total == 0 || len(dump.Events) == 0 {
+		t.Errorf("/flight ring empty after the run: %+v", dump)
+	}
+	kinds := map[string]bool{}
+	for _, e := range dump.Events {
+		kinds[e.Kind] = true
+	}
+	if !kinds["trace-enter"] || !kinds["deopt"] {
+		t.Errorf("/flight missing tier events, saw kinds %v", kinds)
+	}
+
+	// A second process with explicit profiling serves the folded
+	// flamegraph (and, being pinned to tier 0, an empty trace table).
+	cmd2 := exec.Command(filepath.Join(bin, "rfvm"),
+		"-hardened", "-profile-guest", "-profile-interval", "16",
+		"-listen", "127.0.0.1:0", hardPath)
+	stderr2, err := cmd2.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	addr = ""
+	ready = false
+	sc = bufio.NewScanner(stderr2)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "rfvm: listening on http://"); ok {
+			addr = rest
+		}
+		if strings.Contains(line, "run complete; serving introspection") {
+			ready = true
+			break
+		}
+	}
+	if !ready || addr == "" {
+		t.Fatalf("profiled process: no listen/ready markers (addr %q, err %v)", addr, sc.Err())
+	}
+	profile := strings.TrimSpace(string(get("/profile")))
+	if profile == "" {
+		t.Fatal("/profile empty with -profile-guest")
+	}
+	for _, line := range strings.Split(profile, "\n") {
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed folded profile line %q", line)
+		}
+		if _, err := strconv.ParseUint(line[i+1:], 10, 64); err != nil {
+			t.Errorf("folded count in %q: %v", line, err)
+		}
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -48,6 +49,7 @@ import (
 	"strings"
 
 	"redfat/internal/bench"
+	"redfat/internal/obs"
 	"redfat/internal/runpack"
 	"redfat/internal/telemetry"
 )
@@ -87,6 +89,7 @@ func run() error {
 	baseline := flag.String("baseline", "", "compare against a prior results JSON (BENCH_*.json file or runpack)")
 	regress := flag.Float64("regress", bench.DefaultRegressThreshold, "relative regression threshold for -baseline")
 	regressFail := flag.Bool("regress-fail", false, "with -baseline, exit nonzero when a delta exceeds the threshold")
+	listen := flag.String("listen", "", "serve live introspection HTTP (/metrics /snapshot ...) on ADDR after the run, until killed")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -136,8 +139,19 @@ func run() error {
 		jsonFile = f
 	}
 	needDoc := *jsonPath != "" || *packDir != "" || *historyDir != ""
-	if needDoc {
+	if needDoc || *listen != "" {
 		h.Metrics = telemetry.New()
+	}
+	// Bind the introspection listener up front so a bad -listen address
+	// fails before hours of experiments.
+	var obsLn net.Listener
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		obsLn = ln
+		fmt.Fprintf(os.Stderr, "rfbench: listening on http://%s\n", ln.Addr())
 	}
 	// Load the baseline up front too: a bad -baseline path should not cost
 	// a full experiment run before failing.
@@ -320,6 +334,14 @@ func run() error {
 			return fmt.Errorf("%d metric(s) regressed beyond ±%.1f%% of %s",
 				n, *regress*100, *baseline)
 		}
+	}
+	if obsLn != nil {
+		// Publish the aggregate snapshot (host wall-clock series stripped,
+		// so scrapes are deterministic) and serve until killed.
+		srv := obs.NewServer(nil)
+		srv.Publish(&obs.State{Telemetry: h.Metrics.Snapshot().StripHostTime()})
+		fmt.Fprintln(os.Stderr, "rfbench: run complete; serving introspection until killed")
+		return obs.Serve(obsLn, srv)
 	}
 	return nil
 }

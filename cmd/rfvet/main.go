@@ -5,10 +5,11 @@
 //
 //   - telemetry-name: every metric name passed as a string literal to
 //     telemetry Registry Counter/Gauge/Histogram must be a lowercase
-//     dotted path of two to four segments following the
-//     <pkg>.<noun>.<verb> convention, and all metrics registered by one
-//     package must share a single root segment (e.g. all of internal/vm
-//     registers under "vm.").
+//     dotted path of two to five segments following the
+//     <pkg>.<noun>.<verb> convention (five allows reason-split series
+//     like vm.jit.deopt.<reason>.count), and all metrics registered by
+//     one package must share a single root segment (e.g. all of
+//     internal/vm registers under "vm.").
 //
 //   - map-emit: table and report emitters must not write output from
 //     inside a `range` over a map — map iteration order is randomized,
@@ -18,7 +19,11 @@
 //     The same rule covers the runpack Builder's member-adding methods
 //     (AddBytes/AddJSON): member insertion order is part of a runpack's
 //     signed digest chain, so adding members from inside a map range
-//     would make the sealed manifest nondeterministic.
+//     would make the sealed manifest nondeterministic. It also covers
+//     the obs layer's emitters (Flight.Record, Server.Publish): flight
+//     rings are byte-compared across runs and sealed into runpacks, and
+//     published server states feed golden-tested endpoints, so feeding
+//     either from a map range would break their determinism contracts.
 //
 // Test files are exempt from both rules. Exit status is 1 when any
 // issue is found, 2 when the module cannot be loaded.
@@ -269,8 +274,8 @@ func (v *vetter) checkTelemetryNames(pf *pkgFiles) {
 				return true
 			}
 			segs := strings.Split(name, ".")
-			if len(segs) < 2 || len(segs) > 4 {
-				v.report(lit.Pos(), "telemetry-name: %q has %d segments, want 2-4 (<pkg>.<noun>.<verb>)",
+			if len(segs) < 2 || len(segs) > 5 {
+				v.report(lit.Pos(), "telemetry-name: %q has %d segments, want 2-5 (<pkg>.<noun>.<verb>)",
 					name, len(segs))
 				return true
 			}
@@ -355,6 +360,38 @@ var packCalls = map[string]bool{
 	"AddBytes": true, "AddJSON": true,
 }
 
+// obsCalls are obs-layer emitters. Flight rings are byte-compared across
+// runs and sealed into runpacks; published server states back the
+// golden-tested endpoints. Both must never be fed from a map range.
+var obsCalls = map[string]bool{
+	"Record": true, "Publish": true,
+}
+
+// isObsEmitter reports whether fun is a selector on the obs Flight or
+// Server type (or a pointer to either). Like isRegistry, missing type
+// information falls back to the conservative answer true.
+func (v *vetter) isObsEmitter(pf *pkgFiles, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pf.info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	name := n.Obj().Name()
+	return (name == "Flight" || name == "Server") &&
+		strings.HasSuffix(n.Obj().Pkg().Path(), "internal/obs")
+}
+
 // checkMapEmit flags emission from inside a range over a map, anywhere
 // in the package: collect-then-sort loops have no emit call in the body
 // and pass untouched.
@@ -391,6 +428,10 @@ func (v *vetter) checkMapEmit(pf *pkgFiles) {
 				} else if packCalls[name] && v.isPackBuilder(pf, call.Fun) {
 					v.report(call.Pos(),
 						"map-emit: runpack %s inside a range over a map packs members in nondeterministic order; collect keys, sort, then add",
+						name)
+				} else if obsCalls[name] && v.isObsEmitter(pf, call.Fun) {
+					v.report(call.Pos(),
+						"map-emit: obs %s inside a range over a map emits in nondeterministic order; collect keys, sort, then emit",
 						name)
 				}
 				return true

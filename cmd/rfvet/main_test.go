@@ -79,8 +79,9 @@ func TestTelemetryNameRules(t *testing.T) {
 import "tmpmod/internal/telemetry"
 func setup(reg *telemetry.Registry) {
 	reg.Counter("sub.ops.count")        // ok
+	reg.Histogram("sub.jit.deopt.side.count") // ok: 5 segments (reason-split series)
 	reg.Gauge("singlesegment")          // bad: 1 segment
-	reg.Histogram("sub.a.b.c.d")        // bad: 5 segments
+	reg.Histogram("sub.a.b.c.d.e")      // bad: 6 segments
 	reg.Counter("sub.BadCase.count")    // bad: uppercase segment
 	reg.Counter("other.ops.count")      // bad: second root in this package
 	reg.Counter("sub.dyn." + "suffix")  // skipped: not a literal
@@ -89,7 +90,7 @@ func setup(reg *telemetry.Registry) {
 	})
 	msgs := runVet(t, v)
 	wantIssue(t, msgs, `"singlesegment" has 1 segments`)
-	wantIssue(t, msgs, `"sub.a.b.c.d" has 5 segments`)
+	wantIssue(t, msgs, `"sub.a.b.c.d.e" has 6 segments`)
 	wantIssue(t, msgs, `segment "BadCase" is not lowercase`)
 	wantIssue(t, msgs, "multiple roots [other sub]")
 	if len(msgs) != 4 {
@@ -147,6 +148,58 @@ func sliceLoop(w io.Writer, xs []int) {
 	wantIssue(t, msgs, "map-emit: Fprintf inside a range over a map")
 	if len(msgs) != 1 {
 		t.Errorf("want exactly 1 issue, got %d: %v", len(msgs), msgs)
+	}
+}
+
+func TestMapEmitRuleCoversObsEmitters(t *testing.T) {
+	v := writeTree(t, map[string]string{
+		"internal/obs/obs.go": `package obs
+type Flight struct{}
+func (f *Flight) Record(kind, reason uint8, pc, arg uint64) {}
+type Server struct{}
+type State struct{}
+func (s *Server) Publish(st *State) {}
+`,
+		"internal/emit/emit.go": `package emit
+import (
+	"sort"
+	"tmpmod/internal/obs"
+)
+func RecordBad(f *obs.Flight, m map[uint64]uint64) {
+	for pc, arg := range m {
+		f.Record(0, 0, pc, arg) // ring content would be nondeterministic
+	}
+}
+func PublishBad(s *obs.Server, m map[string]*obs.State) {
+	for _, st := range m {
+		s.Publish(st) // last-published state would be nondeterministic
+	}
+}
+func RecordGood(f *obs.Flight, m map[uint64]uint64) {
+	pcs := make([]uint64, 0, len(m))
+	for pc := range m { // collect-only: allowed
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		f.Record(0, 0, pc, m[pc])
+	}
+}
+type other struct{}
+func (other) Record(kind, reason uint8, pc, arg uint64) {}
+func otherType(m map[uint64]uint64) {
+	var o other
+	for pc := range m {
+		o.Record(0, 0, pc, 0) // not an obs emitter: allowed
+	}
+}
+`,
+	})
+	msgs := runVet(t, v)
+	wantIssue(t, msgs, "map-emit: obs Record inside a range over a map")
+	wantIssue(t, msgs, "map-emit: obs Publish inside a range over a map")
+	if len(msgs) != 2 {
+		t.Errorf("want exactly 2 issues, got %d: %v", len(msgs), msgs)
 	}
 }
 

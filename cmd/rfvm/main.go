@@ -25,9 +25,22 @@
 //
 // Run artifacts: -runpack DIR captures the run as a digest-signed
 // runpack (the executed binary, replay spec, packed result, forensic
-// reports, telemetry) that `rfpack verify` integrity-checks and
-// `rfpack replay` reproduces byte-for-byte (DESIGN.md §13). -runpack
-// implies forensics so detection reports are packed.
+// reports, telemetry, flight-recorder dump) that `rfpack verify`
+// integrity-checks and `rfpack replay` reproduces byte-for-byte
+// (DESIGN.md §13). -runpack implies forensics so detection reports are
+// packed.
+//
+// Live introspection: -listen ADDR serves /metrics (Prometheus),
+// /snapshot (telemetry JSON), /traces (the JIT trace table with
+// per-reason deopt histograms), /profile (folded flamegraph) and
+// /flight (the flight-recorder ring) over HTTP, publishing the final
+// state after the run and serving until the process is killed
+// (DESIGN.md §15). An always-on flight recorder keeps the last -flight
+// events (block/trace entries, JIT compiles, deopts with reason, TLB
+// flushes, check failures, budget aborts) and dumps to stderr
+// automatically on a detection or budget abort. Both are host-side
+// knobs: guest cycles are bit-identical with them on or off, and
+// neither enters the runpack RunSpec.
 //
 // Exit codes are stable so runpack replay and CI scripts can assert on
 // the detection kind:
@@ -48,9 +61,11 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -82,6 +97,8 @@ func main() {
 	jitThreshold := flag.Uint64("jit-threshold", 0, "block hotness before trace compilation (0 = default)")
 	doVerify := flag.Bool("verify", false, "with -hardened, structurally validate the binary before running it")
 	packDir := flag.String("runpack", "", "capture the run as a digest-signed runpack in this directory (implies forensics)")
+	listen := flag.String("listen", "", "serve live introspection HTTP (/metrics /snapshot /traces /profile /flight) on ADDR until killed")
+	flightCap := flag.Int("flight", 0, "flight-recorder ring capacity in events (0 = default)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rfvm [flags] prog.relf\n")
 		flag.PrintDefaults()
@@ -150,10 +167,37 @@ func main() {
 		ro.EventTrace = tracer
 	}
 	ro.Forensics = *forensic || *packDir != ""
+	// The guest profiler needs interpreter-grain sampling, which pins
+	// execution to tier 0 — so -listen alone must NOT enable it, or the
+	// /traces endpoint would always be empty. /profile serves data only
+	// when profiling is explicitly requested.
 	var prof *redfat.GuestProfiler
 	if *profGuest || *folded != "" || *traceOut != "" {
 		prof = redfat.NewGuestProfiler(*profInterval)
 		ro.Profiler = prof
+	}
+	// The flight recorder is always on: it costs nothing off the hot path
+	// and its ring is deterministic in guest cycles.
+	flight := redfat.NewFlight(*flightCap)
+	ro.Flight = flight
+	var srv *redfat.ObsServer
+	if *listen != "" {
+		if reg == nil {
+			reg = redfat.NewMetrics()
+			ro.Metrics = reg
+		}
+		ln, lerr := net.Listen("tcp", *listen)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		srv = redfat.NewObsServer(flight)
+		srv.Publish(&redfat.ObsState{Telemetry: reg.Snapshot().StripHostTime()})
+		fmt.Fprintf(os.Stderr, "rfvm: listening on http://%s\n", ln.Addr())
+		go func() {
+			if serr := redfat.ServeObs(ln, srv); serr != nil {
+				fmt.Fprintln(os.Stderr, "rfvm: introspection server:", serr)
+			}
+		}()
 	}
 	res, err := redfat.Run(bin, ro)
 	if res != nil {
@@ -184,6 +228,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rfvm: %d memory error(s) at %d distinct site(s)\n",
 				n, redfat.DistinctErrorSites(res.Errors))
 		}
+		// Dump the flight ring automatically when something went wrong:
+		// a detection or a cycle-budget abort.
+		var cle *redfat.CycleLimitError
+		if len(res.Errors) > 0 || errors.As(err, &cle) {
+			if werr := flight.Dump().WriteText(os.Stderr); werr != nil {
+				fatal(werr)
+			}
+		}
 		fmt.Printf("exit=%d cycles=%d instructions=%d\n", res.ExitCode, res.Cycles, res.Insts)
 		if *stats && *top > 0 && len(res.Checks) > 0 {
 			fmt.Printf("coverage %.1f%%; hottest checks:\n", res.Coverage*100)
@@ -201,8 +253,14 @@ func main() {
 			tracer.WriteText(os.Stdout)
 		}
 		if reg != nil {
+			// Host wall-clock series (.ns/.ms) are stripped so -stats output
+			// depends only on guest-deterministic quantities.
 			fmt.Println("--- telemetry ---")
-			reg.WriteText(os.Stdout)
+			reg.Snapshot().StripHostTime().WriteText(os.Stdout)
+			if rows := redfat.TraceRows(res.Traces, sym); len(rows) > 0 {
+				fmt.Println("--- jit traces ---")
+				writeTraceTable(os.Stdout, rows)
+			}
 		}
 		if prof != nil && *profGuest {
 			if werr := redfat.WriteHotSites(os.Stdout, prof, sym, *top); werr != nil {
@@ -223,6 +281,19 @@ func main() {
 				fatal(werr)
 			}
 		}
+		if srv != nil {
+			st := &redfat.ObsState{
+				Telemetry: reg.Snapshot().StripHostTime(),
+				Traces:    redfat.TraceRows(res.Traces, sym),
+			}
+			if prof != nil {
+				var fb bytes.Buffer
+				if werr := redfat.WriteFolded(&fb, prof, sym); werr == nil {
+					st.Profile = fb.String()
+				}
+			}
+			srv.Publish(st)
+		}
 	}
 	if *packDir != "" && res != nil {
 		raw, rerr := os.ReadFile(flag.Arg(0))
@@ -239,10 +310,17 @@ func main() {
 			NoJIT:        *noJIT,
 			JITThreshold: *jitThreshold,
 		}
-		if perr := runpack.PackRun(*packDir, os.Args[1:], raw, bin, spec, res, err, reg); perr != nil {
+		if perr := runpack.PackRun(*packDir, os.Args[1:], raw, bin, spec, res, err, reg, flight.Dump()); perr != nil {
 			fatal(perr)
 		}
 		fmt.Fprintf(os.Stderr, "rfvm: runpack written to %s\n", *packDir)
+	}
+	if srv != nil {
+		// Keep serving the published final state until the process is
+		// killed; the marker line lets scrapers synchronize on run
+		// completion.
+		fmt.Fprintln(os.Stderr, "rfvm: run complete; serving introspection until killed")
+		select {}
 	}
 	// Stable exit codes: detections and cycle-budget aborts map to their
 	// documented codes (see the package comment); other failures exit 1;
@@ -261,6 +339,20 @@ func main() {
 		}
 	}
 	os.Exit(runpack.RunExit(guest, errs, err))
+}
+
+// writeTraceTable renders the JIT trace table: one line per compiled
+// superblock, slice-ordered (compilation order), with nonzero per-reason
+// deopt counts appended in reason-enum order.
+func writeTraceTable(f *os.File, rows []redfat.TraceRow) {
+	for _, r := range rows {
+		fmt.Fprintf(f, "  %#x-%#x %-24s steps=%-3d checks=%-3d elided=%-3d entries=%d",
+			r.EntryPC, r.EndPC, r.Symbol, r.Steps, r.Checks, r.Elided, r.Entries)
+		for _, d := range r.Deopts {
+			fmt.Fprintf(f, " deopt.%s=%d", d.Reason, d.Count)
+		}
+		fmt.Fprintln(f)
+	}
 }
 
 func writeFile(path string, fill func(*os.File) error) error {

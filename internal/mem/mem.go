@@ -30,6 +30,8 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+
+	"redfat/internal/obs"
 )
 
 // PageShift and PageSize define the 4 KiB page geometry.
@@ -159,6 +161,12 @@ type Memory struct {
 	tlbHits   uint64
 	tlbMisses uint64
 
+	// Flight, when set, records TLB invalidations into the flight
+	// recorder. Invalidation is already off the access fast path (it runs
+	// on Map/Unmap/Protect, never on loads or stores), so recording adds
+	// nothing to the hot probe. Nil-safe.
+	Flight *obs.Flight
+
 	mapped uint64 // number of mapped pages, for accounting
 
 	// slab is the bump allocator behind materialized page frames: frames
@@ -208,6 +216,7 @@ func (m *Memory) flushTLB() {
 // Small ranges are evicted entry by entry; ranges at least as large as the
 // TLB flush everything (cheaper than probing each index).
 func (m *Memory) invalidate(first, last uint64) {
+	m.Flight.Record(obs.EvTLBFlush, 0, first<<PageShift, last-first+1)
 	if last-first >= TLBSize-1 {
 		m.flushTLB()
 		return

@@ -158,6 +158,7 @@ func Run(bin *relf.Binary, cfg rtlib.RunConfig) (*vm.VM, error) {
 	v.NoBlockCache = cfg.NoBlockCache
 	v.NoChain = cfg.NoChain
 	m.NoTLB = cfg.NoTLB
+	cfg.AttachFlight(v, m)
 	cfg.AttachTrace(v)
 
 	w := NewWrapper(heap.New(m))

@@ -1,0 +1,250 @@
+// Package obs is the live-observability layer: an always-on flight
+// recorder (a fixed-size, allocation-free ring of recent VM events) and
+// an HTTP introspection server that exposes telemetry, the JIT trace
+// table, the guest profile and the flight ring over five endpoints.
+//
+// The package is a leaf — it depends only on the standard library and
+// internal/telemetry — so the VM and guest-memory layers can record into
+// a Flight without import cycles. Everything recorded is keyed to guest
+// cycles, never host time, so the ring's content is a pure function of
+// the binary, input and knobs: attaching a recorder perturbs neither
+// guest cycle accounting nor detections (the same bit-identity contract
+// telemetry and forensics already uphold), and two runs of the same work
+// dump byte-identical rings.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion versions the flight-dump and trace-table JSON shapes.
+const SchemaVersion = 1
+
+// EventKind classifies one flight-recorder event.
+type EventKind uint8
+
+// Flight event kinds. Reason and Arg are kind-specific (documented per
+// kind); PC is the guest PC the event is attributed to, 0 when none
+// applies.
+const (
+	EvBlockEntry EventKind = iota // a basic block was looked up uncached (Arg: build=1, cache hit=0)
+	EvTraceEnter                  // dispatch entered a compiled trace (PC: trace entry)
+	EvJITCompile                  // a trace was compiled (PC: entry, Arg: steps)
+	EvDeopt                       // a trace deopted to the interpreter (Reason: vm.DeoptReason, PC: resume RIP, Arg: trace entry)
+	EvTLBFlush                    // guest-memory TLB invalidation (PC: first affected address, Arg: pages)
+	EvICacheGen                   // icache generation bump: blocks, chains and traces dropped
+	EvCheckFail                   // a memory error was reported (Reason: vm.MemErrorKind, PC: fault site, Arg: fault address)
+	EvBudgetPoll                  // the cycle budget expired (PC: abort RIP, Arg: cycles at abort)
+	numEventKinds
+)
+
+// String names the event kind as the dump renders it.
+func (k EventKind) String() string {
+	switch k {
+	case EvBlockEntry:
+		return "block-entry"
+	case EvTraceEnter:
+		return "trace-enter"
+	case EvJITCompile:
+		return "jit-compile"
+	case EvDeopt:
+		return "deopt"
+	case EvTLBFlush:
+		return "tlb-flush"
+	case EvICacheGen:
+		return "icache-gen"
+	case EvCheckFail:
+		return "check-fail"
+	case EvBudgetPoll:
+		return "budget-abort"
+	}
+	return "event?"
+}
+
+// Event is one recorded occurrence. Cycles is the guest cycle counter at
+// record time (0 before the VM binds it), so ordering and spacing are
+// meaningful in guest time, not wall time.
+type Event struct {
+	Seq    uint64
+	Cycles uint64
+	Kind   EventKind
+	Reason uint8
+	PC     uint64
+	Arg    uint64
+}
+
+// DefaultFlightCapacity sizes the ring when the caller passes none. 1024
+// events (~48 KiB) comfortably covers the window between "something went
+// wrong" and the dump.
+const DefaultFlightCapacity = 1024
+
+// Flight is the always-on flight recorder: a preallocated ring that
+// overwrites oldest-first. Record is allocation-free and safe on a nil
+// receiver, so the VM hot paths can call it unconditionally. A Flight is
+// single-goroutine like the VM it observes; dump under the same
+// discipline (after Run, or from the VM goroutine).
+type Flight struct {
+	ring    []Event
+	seq     uint64
+	cycles  *uint64
+	labeler func(kind EventKind, reason uint8) string
+}
+
+// NewFlight returns a recorder with the given ring capacity (≤ 0 selects
+// DefaultFlightCapacity).
+func NewFlight(capacity int) *Flight {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &Flight{ring: make([]Event, capacity)}
+}
+
+// BindCycles points the recorder at the guest cycle counter so every
+// subsequent event is stamped in guest time. The VM binds its own
+// counter at Run; events recorded earlier (load-time TLB shootdowns)
+// carry cycle 0.
+func (f *Flight) BindCycles(c *uint64) {
+	if f != nil {
+		f.cycles = c
+	}
+}
+
+// SetLabeler installs the reason-name resolver used when dumping (the VM
+// installs one that names deopt reasons and memory-error kinds; obs
+// cannot import those enums itself).
+func (f *Flight) SetLabeler(fn func(kind EventKind, reason uint8) string) {
+	if f != nil {
+		f.labeler = fn
+	}
+}
+
+// Record appends one event, overwriting the oldest when the ring is
+// full. Nil-safe and allocation-free: one bounds-checked store and two
+// increments on the hot path.
+func (f *Flight) Record(kind EventKind, reason uint8, pc, arg uint64) {
+	if f == nil {
+		return
+	}
+	var cyc uint64
+	if f.cycles != nil {
+		cyc = *f.cycles
+	}
+	f.ring[f.seq%uint64(len(f.ring))] = Event{
+		Seq:    f.seq,
+		Cycles: cyc,
+		Kind:   kind,
+		Reason: reason,
+		PC:     pc,
+		Arg:    arg,
+	}
+	f.seq++
+}
+
+// Capacity reports the ring size.
+func (f *Flight) Capacity() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.ring)
+}
+
+// Total reports how many events were ever recorded (≥ the ring's
+// retained window).
+func (f *Flight) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq
+}
+
+// Events copies the retained window, oldest first.
+func (f *Flight) Events() []Event {
+	if f == nil || f.seq == 0 {
+		return nil
+	}
+	n := uint64(len(f.ring))
+	if f.seq < n {
+		return append([]Event(nil), f.ring[:f.seq]...)
+	}
+	out := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, f.ring[(f.seq+i)%n])
+	}
+	return out
+}
+
+// FlightEvent is the exported form of one event: the kind and reason are
+// rendered as names so dumps read without the enum tables.
+type FlightEvent struct {
+	Seq    uint64 `json:"seq"`
+	Cycles uint64 `json:"cycles"`
+	Kind   string `json:"kind"`
+	Reason string `json:"reason,omitempty"`
+	PC     uint64 `json:"pc,omitempty"`
+	Arg    uint64 `json:"arg,omitempty"`
+}
+
+// FlightDump is the stable JSON projection of the ring: schema-versioned
+// and byte-deterministic (slices in ring order, struct key order), so it
+// can join a runpack's digest chain.
+type FlightDump struct {
+	SchemaVersion int           `json:"schema_version"`
+	Capacity      int           `json:"capacity"`
+	Total         uint64        `json:"total"`
+	Events        []FlightEvent `json:"events"`
+}
+
+// Dump snapshots the ring into its exportable form. Nil-safe: a nil
+// recorder dumps an empty window.
+func (f *Flight) Dump() *FlightDump {
+	d := &FlightDump{SchemaVersion: SchemaVersion, Capacity: f.Capacity(),
+		Total: f.Total(), Events: []FlightEvent{}}
+	for _, e := range f.Events() {
+		fe := FlightEvent{
+			Seq:    e.Seq,
+			Cycles: e.Cycles,
+			Kind:   e.Kind.String(),
+			PC:     e.PC,
+			Arg:    e.Arg,
+		}
+		if f.labeler != nil {
+			fe.Reason = f.labeler(e.Kind, e.Reason)
+		}
+		d.Events = append(d.Events, fe)
+	}
+	return d
+}
+
+// WriteJSON writes the dump as indented JSON with a trailing newline —
+// the exact bytes runpacks seal as flight.json and /flight serves.
+func (d *FlightDump) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteText renders the window as one line per event for terminal dumps
+// (the rfvm crash dump): sequence, guest cycle, kind, reason, PC, arg.
+func (d *FlightDump) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "flight recorder: %d events recorded, last %d retained\n",
+		d.Total, len(d.Events)); err != nil {
+		return err
+	}
+	for i := range d.Events {
+		e := &d.Events[i]
+		reason := e.Reason
+		if reason != "" {
+			reason = " " + reason
+		}
+		if _, err := fmt.Fprintf(w, "  #%-6d cyc=%-12d %-12s%s pc=%#x arg=%#x\n",
+			e.Seq, e.Cycles, e.Kind, reason, e.PC, e.Arg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

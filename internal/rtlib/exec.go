@@ -8,6 +8,7 @@ import (
 	"redfat/internal/isa"
 	"redfat/internal/lowfat"
 	"redfat/internal/mem"
+	"redfat/internal/obs"
 	"redfat/internal/redzone"
 	"redfat/internal/relf"
 	"redfat/internal/telemetry"
@@ -81,6 +82,14 @@ type RunConfig struct {
 	// Profiler, when set, samples guest execution by cycle budget from
 	// the dispatch loop (see vm.GuestProfiler). Host-side only.
 	Profiler *vm.GuestProfiler
+
+	// Flight, when set, is the always-on flight recorder fed by the VM
+	// and guest memory (dispatch events, deopts with reason, TLB flushes,
+	// check failures, budget aborts). Unlike Profiler and the hooks it
+	// never disables the superblock tier, and the ring's content is
+	// guest-deterministic. Host-side only: a deliberately un-replayed
+	// knob, absent from runpack RunSpecs.
+	Flight *obs.Flight
 }
 
 // defaultForensicsDepth is the backtrace depth used when Forensics is on
@@ -116,6 +125,13 @@ func (c *RunConfig) attachTelemetry(v *vm.VM) {
 	if c.Metrics != nil || c.EventTrace != nil {
 		v.AttachTelemetry(c.Metrics, c.EventTrace)
 	}
+}
+
+// AttachFlight wires the flight recorder into a VM and its memory.
+// Exported for runner packages (memcheck) that build their own VM.
+func (c *RunConfig) AttachFlight(v *vm.VM, m *mem.Memory) {
+	v.Flight = c.Flight
+	m.Flight = c.Flight
 }
 
 // AttachTrace installs the execution tracer on v if configured.
@@ -172,6 +188,7 @@ func RunBaseline(bin *relf.Binary, cfg RunConfig) (*vm.VM, error) {
 	v.NoJIT = cfg.NoJIT
 	v.JITThreshold = cfg.JITThreshold
 	m.NoTLB = cfg.NoTLB
+	cfg.AttachFlight(v, m)
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
 	h := heap.New(m)
@@ -199,6 +216,7 @@ func RunHardened(bin *relf.Binary, cfg RunConfig) (*vm.VM, *Runtime, error) {
 	v.NoJIT = cfg.NoJIT
 	v.JITThreshold = cfg.JITThreshold
 	m.NoTLB = cfg.NoTLB
+	cfg.AttachFlight(v, m)
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
 	h := cfg.newHeap(m)
@@ -237,6 +255,7 @@ func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, [
 	v.NoJIT = cfg.NoJIT
 	v.JITThreshold = cfg.JITThreshold
 	m.NoTLB = cfg.NoTLB
+	cfg.AttachFlight(v, m)
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
 	h := cfg.newHeap(m)

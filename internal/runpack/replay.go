@@ -9,6 +9,7 @@ import (
 
 	"redfat"
 	"redfat/internal/forensics"
+	"redfat/internal/obs"
 	"redfat/internal/profile"
 	core "redfat/internal/redfat"
 	"redfat/internal/relf"
@@ -25,6 +26,7 @@ const (
 	MemberResult    = "result.json"   // run packs: RunResult
 	MemberReports   = "reports.json"  // run packs: forensic error reports
 	MemberTelemetry = "telemetry.json"
+	MemberFlight    = "flight.json"    // run packs: flight-recorder dump
 	MemberProfile   = "profile.folded" // run packs: guest profile (folded stacks)
 	MemberBench     = "bench.json"     // bench packs: bench.Results document
 	MemberAllowList = "allowlist.txt"  // rewrite packs: profiling allow-list
@@ -190,10 +192,14 @@ func buildRewriteReport(rep *redfat.Report) *RewriteReport {
 
 // PackRun writes a sealed run pack: the executed binary image (as loaded
 // from disk), the replay spec, the packed result, forensic reports when
-// the run collected them, and — when a registry is attached — the
-// telemetry snapshot.
+// the run collected them, and — when attached — the telemetry snapshot
+// and the flight-recorder dump. flight.json participates in the digest
+// chain like every member (tampering is detected), but replay does not
+// re-derive it: the flight ring is a host-side observability artifact,
+// and its knobs are deliberately absent from the RunSpec.
 func PackRun(dir string, args []string, binData []byte, bin *relf.Binary,
-	spec RunSpec, res *redfat.Result, runErr error, metrics *telemetry.Registry) error {
+	spec RunSpec, res *redfat.Result, runErr error, metrics *telemetry.Registry,
+	flight *obs.FlightDump) error {
 	b, err := NewBuilder(dir, KindRun, "rfvm", args)
 	if err != nil {
 		return err
@@ -218,6 +224,13 @@ func PackRun(dir string, args []string, binData []byte, bin *relf.Binary,
 	}
 	if metrics != nil {
 		b.AddJSON(MemberTelemetry, metrics.Snapshot())
+	}
+	if flight != nil {
+		flightData, err := stableJSON(flight)
+		if err != nil {
+			return err
+		}
+		b.AddBytes(MemberFlight, flightData)
 	}
 	return b.Seal()
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,15 +29,16 @@ func hardenCase(t *testing.T, c *juliet.Case, opt redfat.Options) (orig, hard *r
 	return bin, h, r
 }
 
-// makeRunPack executes a hardened detection case with forensics on and
-// packs the run into a fresh directory.
+// makeRunPack executes a hardened detection case with forensics and the
+// flight recorder on and packs the run into a fresh directory.
 func makeRunPack(t *testing.T) (dir string, res *redfat.Result, runErr error) {
 	t.Helper()
 	c := juliet.CVECases()[0]
 	_, hard, _ := hardenCase(t, c, redfat.Defaults())
 	spec := RunSpec{Input: juliet.Trigger(c), Hardened: true, Forensics: true}
+	flight := redfat.NewFlight(0)
 	res, runErr = redfat.Run(hard, redfat.RunOptions{
-		Input: spec.Input, Hardened: true, Forensics: true,
+		Input: spec.Input, Hardened: true, Forensics: true, Flight: flight,
 	})
 	if res == nil {
 		t.Fatalf("run produced no result: %v", runErr)
@@ -49,7 +51,7 @@ func makeRunPack(t *testing.T) (dir string, res *redfat.Result, runErr error) {
 		t.Fatal(err)
 	}
 	dir = filepath.Join(t.TempDir(), "pack")
-	if err := PackRun(dir, []string{"-hardened", "prog.relf"}, hardData, hard, spec, res, runErr, nil); err != nil {
+	if err := PackRun(dir, []string{"-hardened", "prog.relf"}, hardData, hard, spec, res, runErr, nil, flight.Dump()); err != nil {
 		t.Fatal(err)
 	}
 	return dir, res, runErr
@@ -115,7 +117,7 @@ func TestRunSpecRecordsJITConfig(t *testing.T) {
 	}
 	dir := filepath.Join(t.TempDir(), "pack")
 	if err := PackRun(dir, []string{"-hardened", "-jit-threshold", "2", "prog.relf"},
-		hardData, hard, spec, res, runErr, nil); err != nil {
+		hardData, hard, spec, res, runErr, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	man, err := VerifyPath(dir)
@@ -250,6 +252,17 @@ func TestVerifyDetectsTampering(t *testing.T) {
 				t.Fatal(err)
 			}
 		}},
+		{"flipped-flight-byte", ExitBadDigest, func(t *testing.T, dir string) {
+			path := filepath.Join(dir, MemberFlight)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
 		{"truncated-member", ExitBadDigest, func(t *testing.T, dir string) {
 			path := filepath.Join(dir, MemberBinary)
 			data, err := os.ReadFile(path)
@@ -318,6 +331,47 @@ func TestVerifyDetectsTampering(t *testing.T) {
 				t.Fatalf("exit code %d (%v), want %d", got, err, tc.want)
 			}
 		})
+	}
+}
+
+// TestFlightIsHostOnly pins the observability knobs outside the replay
+// contract: flight.json is sealed in the pack (the tamper matrix covers
+// it) but the RunSpec carries no flight or listen field, so replay —
+// which runs without any recorder or server attached — still reproduces
+// the packed result byte-for-byte and never re-derives the flight dump.
+func TestFlightIsHostOnly(t *testing.T) {
+	dir, _, _ := makeRunPack(t)
+	p, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := Verify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReadMember(MemberFlight); err != nil {
+		t.Fatalf("flight.json not packed: %v", err)
+	}
+	specJSON, err := json.Marshal(man.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, knob := range []string{"flight", "listen"} {
+		if strings.Contains(strings.ToLower(string(specJSON)), knob) {
+			t.Errorf("run spec leaks host-only knob %q: %s", knob, specJSON)
+		}
+	}
+	rep, err := Replay(p, man)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("replay diverged in %v", rep.Mismatched)
+	}
+	for _, name := range rep.Compared {
+		if name == MemberFlight {
+			t.Fatal("replay re-derived flight.json; it must stay un-replayed")
+		}
 	}
 }
 

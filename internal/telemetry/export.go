@@ -96,30 +96,33 @@ func promName(name string) string {
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (histograms as cumulative _bucket/_sum/_count series).
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	if r == nil {
-		return nil
-	}
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (histograms as cumulative _bucket/_sum/_count series).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for _, name := range sortedKeys(r.counters) {
+	for _, name := range sortedKeys(s.Counters) {
 		pn := promName(name)
-		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, r.counters[name].v)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
 	}
-	for _, name := range sortedKeys(r.gauges) {
+	for _, name := range sortedKeys(s.Gauges) {
 		pn := promName(name)
-		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", pn, pn, r.gauges[name].v)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name])
 	}
-	for _, name := range sortedKeys(r.hists) {
-		h := r.hists[name]
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
 		pn := promName(name)
 		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
 		cum := uint64(0)
-		for i, b := range h.bounds {
-			cum += h.counts[i]
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
 			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", pn, b, cum)
 		}
-		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.count)
-		fmt.Fprintf(bw, "%s_sum %d\n", pn, h.sum)
-		fmt.Fprintf(bw, "%s_count %d\n", pn, h.count)
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
 	}
 	return bw.Flush()
 }
@@ -127,33 +130,74 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // WriteText writes a compact human-readable report: non-zero counters,
 // all gauges, and histogram summaries, sorted by name.
 func (r *Registry) WriteText(w io.Writer) error {
-	if r == nil {
-		return nil
-	}
+	return r.Snapshot().WriteText(w)
+}
+
+// WriteText writes the snapshot as a compact human-readable report:
+// non-zero counters, all gauges, and histogram summaries, sorted by name.
+func (s *Snapshot) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for _, name := range sortedKeys(r.counters) {
-		if v := r.counters[name].v; v != 0 {
+	for _, name := range sortedKeys(s.Counters) {
+		if v := s.Counters[name]; v != 0 {
 			fmt.Fprintf(bw, "%-32s %12d\n", name, v)
 		}
 	}
-	for _, name := range sortedKeys(r.gauges) {
-		fmt.Fprintf(bw, "%-32s %12d\n", name, r.gauges[name].v)
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(bw, "%-32s %12d\n", name, s.Gauges[name])
 	}
-	for _, name := range sortedKeys(r.hists) {
-		h := r.hists[name]
-		if h.count == 0 {
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if h.Count == 0 {
 			continue
 		}
 		fmt.Fprintf(bw, "%-32s %12d observations, mean %.1f\n",
-			name, h.count, float64(h.sum)/float64(h.count))
-		for i, b := range h.bounds {
-			if h.counts[i] != 0 {
-				fmt.Fprintf(bw, "    ≤ %-12d %12d\n", b, h.counts[i])
+			name, h.Count, float64(h.Sum)/float64(h.Count))
+		for i, b := range h.Bounds {
+			if h.Counts[i] != 0 {
+				fmt.Fprintf(bw, "    ≤ %-12d %12d\n", b, h.Counts[i])
 			}
 		}
-		if n := len(h.bounds); n > 0 && h.counts[n] != 0 {
-			fmt.Fprintf(bw, "    > %-12d %12d\n", h.bounds[n-1], h.counts[n])
+		if n := len(h.Bounds); n > 0 && h.Counts[n] != 0 {
+			fmt.Fprintf(bw, "    > %-12d %12d\n", h.Bounds[n-1], h.Counts[n])
 		}
 	}
 	return bw.Flush()
+}
+
+// hostTimeSuffixes mark series measured in host wall-clock units. Any
+// new host-time metric must use one of these suffixes so every consumer
+// that needs guest-deterministic output (rfvm -stats, /snapshot,
+// identity tests) strips it through this one filter.
+var hostTimeSuffixes = []string{".ns", ".ms"}
+
+// isHostTime reports whether a metric name denotes host wall-clock time.
+func isHostTime(name string) bool {
+	for _, suf := range hostTimeSuffixes {
+		if strings.HasSuffix(name, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// StripHostTime removes every host-wall-clock series (".ns"/".ms"
+// suffixed) from the snapshot in place, leaving only guest-deterministic
+// data: the shared filter behind rfvm -stats and the /snapshot endpoint.
+func (s *Snapshot) StripHostTime() *Snapshot {
+	for name := range s.Counters {
+		if isHostTime(name) {
+			delete(s.Counters, name)
+		}
+	}
+	for name := range s.Gauges {
+		if isHostTime(name) {
+			delete(s.Gauges, name)
+		}
+	}
+	for name := range s.Histograms {
+		if isHostTime(name) {
+			delete(s.Histograms, name)
+		}
+	}
+	return s
 }

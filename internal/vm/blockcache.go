@@ -34,6 +34,7 @@ import (
 
 	"redfat/internal/isa"
 	"redfat/internal/mem"
+	"redfat/internal/obs"
 )
 
 // maxBlockInsts bounds eager decode-ahead so a pathological straight-line
@@ -109,6 +110,11 @@ func (v *VM) blockAt(pc uint64) (*block, error) {
 		cp.blocks[pc&pageOffMask] = b
 		v.nBlocks++
 		v.nBlockInsts += len(b.insts)
+		v.Flight.Record(obs.EvBlockEntry, 0, pc, 1)
+	} else {
+		// Table walk on a cold or re-targeted edge (chain hits never get
+		// here, so this stays off the per-instruction fast path).
+		v.Flight.Record(obs.EvBlockEntry, 0, pc, 0)
 	}
 	return b, nil
 }
@@ -203,6 +209,7 @@ func (v *VM) runBlocks() error {
 				return err
 			}
 			if v.MaxCycles != 0 && v.Cycles > v.MaxCycles {
+				v.Flight.Record(obs.EvBudgetPoll, 0, v.RIP, v.Cycles)
 				if v.tel != nil {
 					v.tel.cycleAborts.Inc()
 				}

@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"redfat/internal/isa"
+	"redfat/internal/obs"
 )
 
 // DefaultJITThreshold is the block entry count that triggers trace
@@ -149,6 +150,45 @@ const (
 	ExitHalt                  // HLT or RET to the exit sentinel
 	ExitFault                 // error: memory fault, div fault, or aborting detection
 )
+
+// DeoptReason classifies why control left the compiled tier for the
+// interpreter. Side exits and dynamic transfers are the benign steady-
+// state reasons; faults and traps mean the trace hit an error or an
+// aborting detection; halt means the program ended inside the trace;
+// budget means the cycle-budget guard refused or curtailed an entry so
+// the abort could fire at the exact instruction. ExitFall and ExitLoop
+// are not deopts: control stays in (or re-enters) compiled code.
+type DeoptReason uint8
+
+// Deopt reasons, the buckets behind vm.jit.deopt.<reason>.count.
+const (
+	DeoptSide       DeoptReason = iota // unpredicted conditional-branch direction
+	DeoptDyn                           // dynamic transfer (ret / indirect jmp / indirect call)
+	DeoptHalt                          // HLT or RET to the exit sentinel inside the trace
+	DeoptFault                         // memory or divide fault on a plain instruction
+	DeoptTrap                          // fused check reported an aborting detection
+	DeoptBudget                        // cycle-budget guard refused or curtailed the trace
+	NumDeoptReasons = int(iota)
+)
+
+// String names the reason as telemetry and flight dumps render it.
+func (r DeoptReason) String() string {
+	switch r {
+	case DeoptSide:
+		return "side"
+	case DeoptDyn:
+		return "dyn"
+	case DeoptHalt:
+		return "halt"
+	case DeoptFault:
+		return "fault"
+	case DeoptTrap:
+		return "trap"
+	case DeoptBudget:
+		return "budget"
+	}
+	return "deopt?"
+}
 
 // String names the exit kind.
 func (k ExitKind) String() string {
@@ -299,6 +339,12 @@ type traceExit struct {
 	self    stepTel   // the exiting step's own (possibly partial) telemetry
 	batch   *telBatch // aggregate for terminal exits; nil → replay per-step meta
 
+	// deopt marks exits that leave the compiled tier; reason is the
+	// attribution bucket (computed once at emit time, so the runner pays
+	// one branch, not a classification).
+	deopt  bool
+	reason DeoptReason
+
 	nextPC uint64 // last successor block resolved after this exit
 	next   *block
 }
@@ -314,6 +360,55 @@ type trace struct {
 	outc     []CheckOutcome // leader→follower forwarding slots
 	ctx      jctx           // reused across entries (one VM, one goroutine)
 	info     *TraceInfo
+
+	// Per-trace runtime history for the /traces table and -stats:
+	// guest-deterministic (counted in dispatch, not sampled), kept even
+	// without a telemetry registry.
+	entries uint64
+	deopts  [NumDeoptReasons]uint64
+}
+
+// TraceStat is the exported runtime record of one compiled trace: its
+// shape plus its entry count and per-reason deopt histogram.
+type TraceStat struct {
+	EntryPC uint64
+	EndPC   uint64 // PC of the last step
+	Steps   int
+	Checks  int // fused check sites
+	Elided  int // of which forwarded a leader's outcome
+	Entries uint64
+	Deopts  [NumDeoptReasons]uint64
+}
+
+// TraceStats reports every compiled trace's runtime history, in
+// compilation order (deterministic: compilation order is a function of
+// guest execution).
+func (v *VM) TraceStats() []TraceStat {
+	if len(v.traces) == 0 {
+		return nil
+	}
+	out := make([]TraceStat, len(v.traces))
+	for i, t := range v.traces {
+		s := TraceStat{
+			EntryPC: t.entryPC,
+			Steps:   len(t.info.Steps),
+			Entries: t.entries,
+			Deopts:  t.deopts,
+		}
+		if n := len(t.info.Steps); n > 0 {
+			s.EndPC = t.info.Steps[n-1].PC
+		}
+		for j := range t.info.Steps {
+			if c := t.info.Steps[j].Check; c != nil {
+				s.Checks++
+				if c.Elided {
+					s.Elided++
+				}
+			}
+		}
+		out[i] = s
+	}
+	return out
 }
 
 // jitEnabled decides whether this run may use the superblock tier: the
@@ -376,10 +471,24 @@ func (v *VM) compileTrace(b *block) {
 	}
 	b.trace = t
 	v.traces = append(v.traces, t)
+	v.Flight.Record(obs.EvJITCompile, 0, t.entryPC, uint64(len(t.steps)))
 	if v.tel != nil {
 		v.tel.jitCompiles.Inc()
 		v.tel.jitCompileNS.Observe(uint64(time.Since(start).Nanoseconds()))
 	}
+}
+
+// noteBudgetDeopt attributes one budget-guard refusal (or loop-exit
+// curtailment): the trace was hot but the remaining cycle budget could
+// not absorb a worst-case iteration, so the interpreter runs the block
+// to make the abort land on the exact instruction.
+func (v *VM) noteBudgetDeopt(t *trace) {
+	t.deopts[DeoptBudget]++
+	if v.tel != nil {
+		v.tel.jitDeopts.Inc()
+		v.tel.jitDeoptBy[DeoptBudget].Inc()
+	}
+	v.Flight.Record(obs.EvDeopt, uint8(DeoptBudget), v.RIP, t.entryPC)
 }
 
 // runTrace executes t until control leaves it. It returns (nil, nil)
@@ -393,10 +502,13 @@ func (v *VM) runTrace(t *trace) (*traceExit, error) {
 		return nil, nil // costs were compiled for a different overhead
 	}
 	if v.MaxCycles != 0 && (v.Cycles > v.MaxCycles || v.MaxCycles-v.Cycles < t.maxCost) {
+		v.noteBudgetDeopt(t)
 		return nil, nil // budget too tight: abort must fire at the exact inst
 	}
+	v.Flight.Record(obs.EvTraceEnter, 0, t.entryPC, 0)
 	j := &t.ctx
 	for {
+		t.entries++
 		if v.tel != nil {
 			v.tel.jitEnters.Inc()
 		}
@@ -420,6 +532,10 @@ func (v *VM) runTrace(t *trace) (*traceExit, error) {
 		}
 		v.Cycles += e.cycles
 		v.Insts += e.retired
+		if e.deopt {
+			t.deopts[e.reason]++
+			v.Flight.Record(obs.EvDeopt, uint8(e.reason), v.RIP, t.entryPC)
+		}
 		if v.tel != nil {
 			v.applyTraceTel(t, e)
 		}
@@ -432,6 +548,7 @@ func (v *VM) runTrace(t *trace) (*traceExit, error) {
 		// Back edge: state is fully materialized at the loop boundary,
 		// so re-check the budget guard before the next iteration.
 		if v.MaxCycles != 0 && v.MaxCycles-v.Cycles < t.maxCost {
+			v.noteBudgetDeopt(t)
 			return e, nil
 		}
 	}
@@ -445,8 +562,9 @@ func (v *VM) applyTraceTel(t *trace, e *traceExit) {
 	tel := v.tel
 	tel.retiredAll.Add(e.retired)
 	tel.jitInsts.Add(e.retired)
-	if e.kind == ExitSide || e.kind == ExitFault {
+	if e.deopt {
 		tel.jitDeopts.Inc()
+		tel.jitDeoptBy[e.reason].Inc()
 	}
 	if b := e.batch; b != nil {
 		for i := range b.ops {

@@ -1003,6 +1003,24 @@ func (v *VM) emitTrace(info *TraceInfo, aux []stepAux) *trace {
 			step:    e.Step,
 			self:    exitSelfTel(info, aux, e),
 		}
+		// Attribute the deopt reason once, at compile time. Fall and
+		// loop exits keep control in compiled code and are not deopts;
+		// a fault exit at a fused-check step is a trap (an aborting
+		// detection), every other fault is a machine fault.
+		switch e.Kind {
+		case ExitSide:
+			t.exits[i].deopt, t.exits[i].reason = true, DeoptSide
+		case ExitDyn:
+			t.exits[i].deopt, t.exits[i].reason = true, DeoptDyn
+		case ExitHalt:
+			t.exits[i].deopt, t.exits[i].reason = true, DeoptHalt
+		case ExitFault:
+			if info.Steps[e.Step].Check != nil {
+				t.exits[i].deopt, t.exits[i].reason = true, DeoptTrap
+			} else {
+				t.exits[i].deopt, t.exits[i].reason = true, DeoptFault
+			}
+		}
 	}
 	for i := range t.exits {
 		switch t.exits[i].kind {

@@ -19,6 +19,7 @@ import (
 
 	"redfat/internal/isa"
 	"redfat/internal/mem"
+	"redfat/internal/obs"
 	"redfat/internal/relf"
 	"redfat/internal/telemetry"
 )
@@ -215,6 +216,17 @@ type VM struct {
 	// a profiler attached.
 	Profiler *GuestProfiler
 
+	// Flight, when set, records dispatch-level events (trace entries,
+	// compiles, deopts with reason, icache generations, check failures,
+	// budget aborts) into the always-on flight recorder. Unlike the
+	// per-instruction hooks it never pins execution to the interpreter:
+	// every record point is off the per-instruction fast path, events are
+	// stamped in guest cycles, and the ring's content is deterministic —
+	// guest cycles, detections and telemetry are bit-identical with a
+	// recorder attached or not. Nil-safe: all record calls go through
+	// obs.Flight's nil receiver.
+	Flight *obs.Flight
+
 	// TraceHook, if set, is invoked before every instruction retires
 	// (single-step debugging / execution tracing).
 	TraceHook func(v *VM, pc uint64, in *isa.Inst)
@@ -360,10 +372,11 @@ type vmMetrics struct {
 	chainMisses  *telemetry.Counter // block exits that walked the block tables
 	exitCode     *telemetry.Gauge
 	cycleAborts  *telemetry.Counter
-	jitCompiles  *telemetry.Counter   // superblock traces compiled
-	jitEnters    *telemetry.Counter   // trace entries (incl. loop-back iterations)
-	jitInsts     *telemetry.Counter   // instructions retired inside traces
-	jitDeopts    *telemetry.Counter   // side-exit/fault deopts back to the interpreter
+	jitCompiles  *telemetry.Counter // superblock traces compiled
+	jitEnters    *telemetry.Counter // trace entries (incl. loop-back iterations)
+	jitInsts     *telemetry.Counter // instructions retired inside traces
+	jitDeopts    *telemetry.Counter // deopts back to the interpreter (all reasons)
+	jitDeoptBy   [NumDeoptReasons]*telemetry.Counter
 	jitCompileNS *telemetry.Histogram // wall-clock nanoseconds per compile
 }
 
@@ -402,6 +415,9 @@ func (v *VM) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	}
 	for op := 0; op < isa.NumOps; op++ {
 		t.retired[op] = reg.Counter("vm.retired." + isa.Op(op).String())
+	}
+	for r := DeoptReason(0); int(r) < NumDeoptReasons; r++ {
+		t.jitDeoptBy[r] = reg.Counter("vm.jit.deopt." + r.String() + ".count")
 	}
 	v.tel = t
 }
@@ -481,6 +497,7 @@ func (v *VM) Report(e MemError) error {
 		e.Stack = v.Backtrace(v.ErrorStackDepth)
 	}
 	v.Errors = append(v.Errors, e)
+	v.Flight.Record(obs.EvCheckFail, uint8(e.Kind), e.PC, e.Addr)
 	if v.tel != nil {
 		v.tel.memErrors.Inc()
 	}
@@ -578,6 +595,10 @@ func (e *CycleLimitError) Error() string {
 // legacy per-instruction path; both retire the same instruction stream
 // with identical cycle accounting.
 func (v *VM) Run() error {
+	if v.Flight != nil {
+		v.Flight.BindCycles(&v.Cycles)
+		v.Flight.SetLabeler(flightLabel)
+	}
 	if !v.NoBlockCache {
 		return v.runBlocks()
 	}
@@ -587,6 +608,7 @@ func (v *VM) Run() error {
 			return err
 		}
 		if v.MaxCycles != 0 && v.Cycles > v.MaxCycles {
+			v.Flight.Record(obs.EvBudgetPoll, 0, v.RIP, v.Cycles)
 			if v.tel != nil {
 				v.tel.cycleAborts.Inc()
 			}
@@ -596,6 +618,19 @@ func (v *VM) Run() error {
 	}
 	v.FlushTelemetry()
 	return nil
+}
+
+// flightLabel names the kind-specific reason bytes of flight events: the
+// deopt-reason enum for deopts and the memory-error kind for check
+// failures (obs cannot import these enums itself).
+func flightLabel(kind obs.EventKind, reason uint8) string {
+	switch kind {
+	case obs.EvDeopt:
+		return DeoptReason(reason).String()
+	case obs.EvCheckFail:
+		return MemErrorKind(reason).String()
+	}
+	return ""
 }
 
 // fetch decodes (with caching) the instruction at addr.
@@ -630,6 +665,7 @@ func (v *VM) fetch(addr uint64) (*isa.Inst, error) {
 // list is cleared and every per-block trace pointer is unreachable once
 // the block tables are dropped.
 func (v *VM) FlushICache() {
+	v.Flight.Record(obs.EvICacheGen, 0, v.RIP, uint64(v.nBlocks))
 	v.icache = make(map[uint64]*isa.Inst, 4096)
 	v.bcache = make(map[uint64]*codePage)
 	v.bcPageIdx = ^uint64(0)

@@ -25,12 +25,14 @@ package redfat
 import (
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"sort"
 
 	"redfat/internal/asm"
 	"redfat/internal/forensics"
 	"redfat/internal/memcheck"
+	"redfat/internal/obs"
 	"redfat/internal/profile"
 	core "redfat/internal/redfat"
 	"redfat/internal/relf"
@@ -57,6 +59,9 @@ type AllowList = profile.AllowList
 // MemError is a detected memory error.
 type MemError = vm.MemError
 
+// CycleLimitError reports that execution exceeded the cycle budget.
+type CycleLimitError = vm.CycleLimitError
+
 // Metrics is a telemetry registry: counters, gauges and histograms filled
 // in by the instrumented layers (VM dispatch, allocators, checks). Create
 // one with NewMetrics, pass it in RunOptions, then export it with its
@@ -72,6 +77,31 @@ type EventTracer = telemetry.Tracer
 // the VM dispatch loop. Create one with NewGuestProfiler, pass it in
 // RunOptions, then export it with WriteFolded/WriteHotSites.
 type GuestProfiler = vm.GuestProfiler
+
+// Flight is the always-on flight recorder: a fixed-size, allocation-free
+// ring of recent VM events (block/trace entries, JIT compiles, deopts
+// with reason, TLB flushes, icache generations, check failures, budget
+// aborts), stamped in guest cycles. Create one with NewFlight, pass it
+// in RunOptions, then export it with Dump. Host-side only: guest cycle
+// accounting is bit-identical with it on or off.
+type Flight = obs.Flight
+
+// FlightDump is a flight recorder's serializable dump (see obs.FlightDump).
+type FlightDump = obs.FlightDump
+
+// TraceStat reports one compiled superblock's shape and runtime
+// behaviour, including its per-reason deopt counts.
+type TraceStat = vm.TraceStat
+
+// ObsServer is the live introspection HTTP server serving /metrics,
+// /snapshot, /traces, /profile and /flight from published State.
+type ObsServer = obs.Server
+
+// ObsState is one published introspection snapshot.
+type ObsState = obs.State
+
+// TraceRow is one row of the /traces table.
+type TraceRow = obs.TraceRow
 
 // ErrorReport is a fully resolved memory error: symbolized PCs, guest
 // stacks, and owning-object attribution (see internal/forensics).
@@ -99,6 +129,46 @@ func NewGuestProfiler(interval uint64) *GuestProfiler {
 // NewSymbolizer builds a symbolizer over the given modules (stripped
 // modules degrade to raw "<0x...>" addresses).
 func NewSymbolizer(bins ...*Binary) *Symbolizer { return forensics.NewSymbolizer(bins...) }
+
+// NewFlight creates a flight recorder retaining the last capacity events
+// (0 = the default capacity).
+func NewFlight(capacity int) *Flight { return obs.NewFlight(capacity) }
+
+// NewObsServer creates a live introspection server over the given flight
+// recorder (nil is allowed: /flight serves an empty dump). Publish State
+// to it and mount its Handler (or use ServeObs).
+func NewObsServer(f *Flight) *ObsServer { return obs.NewServer(f) }
+
+// ServeObs serves the introspection endpoints on l until the listener
+// closes (blocking; run it in a goroutine alongside the guest).
+func ServeObs(l net.Listener, s *ObsServer) error { return obs.Serve(l, s) }
+
+// TraceRows converts per-trace JIT statistics into /traces table rows,
+// symbolizing entry PCs via sym (nil leaves rows unsymbolized) and
+// expanding each trace's nonzero deopt counters in reason-enum order.
+func TraceRows(stats []TraceStat, sym *Symbolizer) []TraceRow {
+	rows := make([]TraceRow, 0, len(stats))
+	for _, st := range stats {
+		row := TraceRow{
+			EntryPC: st.EntryPC,
+			EndPC:   st.EndPC,
+			Steps:   st.Steps,
+			Checks:  st.Checks,
+			Elided:  st.Elided,
+			Entries: st.Entries,
+		}
+		if sym != nil {
+			row.Symbol = sym.Format(st.EntryPC)
+		}
+		for r := vm.DeoptReason(0); int(r) < vm.NumDeoptReasons; r++ {
+			if n := st.Deopts[r]; n != 0 {
+				row.Deopts = append(row.Deopts, obs.DeoptCount{Reason: r.String(), Count: n})
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
 
 // WriteFolded renders a profiler's aggregated stacks in folded
 // (flamegraph) format, one "frames... cycles" line per unique stack.
@@ -260,6 +330,11 @@ type RunOptions struct {
 	// Profiler, when set, samples guest execution by cycle budget from
 	// the VM dispatch loop. Host-side only.
 	Profiler *GuestProfiler
+	// Flight, when set, is the always-on flight recorder fed by the VM
+	// and guest memory. Unlike NoJIT/Profiler it never changes which
+	// execution tier runs, and its ring content is deterministic in
+	// guest cycles. Host-side only.
+	Flight *Flight
 }
 
 // CheckStat reports one instrumentation site's runtime behaviour.
@@ -291,6 +366,10 @@ type Result struct {
 	// Reports are the forensic resolutions of Errors, in the same order
 	// (only set when RunOptions.Forensics is on).
 	Reports []*ErrorReport
+	// Traces holds per-trace superblock statistics (compilation order),
+	// including per-reason deopt counts; nil when the JIT compiled
+	// nothing.
+	Traces []TraceStat
 }
 
 // Run executes a binary on the RF64 VM.
@@ -312,6 +391,7 @@ func Run(bin *Binary, opt RunOptions) (*Result, error) {
 		Forensics:      opt.Forensics,
 		ForensicsDepth: opt.ForensicsDepth,
 		Profiler:       opt.Profiler,
+		Flight:         opt.Flight,
 	}
 	var (
 		v   *vm.VM
@@ -335,6 +415,7 @@ func Run(bin *Binary, opt RunOptions) (*Result, error) {
 		res.Insts = v.Insts
 		res.Output = v.Output
 		res.Errors = v.Errors
+		res.Traces = v.TraceStats()
 		if opt.Forensics {
 			res.Reports = buildReports(v, bin)
 		}
@@ -387,6 +468,7 @@ func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
 		Forensics:      opt.Forensics,
 		ForensicsDepth: opt.ForensicsDepth,
 		Profiler:       opt.Profiler,
+		Flight:         opt.Flight,
 	}
 	v, rts, err := rtlib.RunLinked(main, libs, cfg)
 	res := &Result{}
@@ -396,6 +478,7 @@ func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
 		res.Insts = v.Insts
 		res.Output = v.Output
 		res.Errors = v.Errors
+		res.Traces = v.TraceStats()
 		if opt.Forensics {
 			res.Reports = buildReports(v, append([]*Binary{main}, libs...)...)
 		}
