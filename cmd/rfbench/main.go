@@ -89,7 +89,7 @@ func run() error {
 	baseline := flag.String("baseline", "", "compare against a prior results JSON (BENCH_*.json file or runpack)")
 	regress := flag.Float64("regress", bench.DefaultRegressThreshold, "relative regression threshold for -baseline")
 	regressFail := flag.Bool("regress-fail", false, "with -baseline, exit nonzero when a delta exceeds the threshold")
-	listen := flag.String("listen", "", "serve live introspection HTTP (/metrics /snapshot ...) on ADDR after the run, until killed")
+	listen := flag.String("listen", "", "serve live introspection HTTP (/metrics /snapshot ...) on ADDR during and after the run, until killed")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -143,15 +143,22 @@ func run() error {
 		h.Metrics = telemetry.New()
 	}
 	// Bind the introspection listener up front so a bad -listen address
-	// fails before hours of experiments.
-	var obsLn net.Listener
+	// fails before hours of experiments, and start serving immediately —
+	// mid-run scrapes answer with the empty pre-run snapshot instead of
+	// hanging in the accept backlog until the experiments finish.
+	var obsSrv *obs.Server
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			return err
 		}
-		obsLn = ln
+		obsSrv = obs.NewServer()
 		fmt.Fprintf(os.Stderr, "rfbench: listening on http://%s\n", ln.Addr())
+		go func() {
+			if serr := obs.Serve(ln, obsSrv); serr != nil {
+				fmt.Fprintln(os.Stderr, "rfbench: introspection server:", serr)
+			}
+		}()
 	}
 	// Load the baseline up front too: a bad -baseline path should not cost
 	// a full experiment run before failing.
@@ -335,13 +342,12 @@ func run() error {
 				n, *regress*100, *baseline)
 		}
 	}
-	if obsLn != nil {
+	if obsSrv != nil {
 		// Publish the aggregate snapshot (host wall-clock series stripped,
 		// so scrapes are deterministic) and serve until killed.
-		srv := obs.NewServer(nil)
-		srv.Publish(&obs.State{Telemetry: h.Metrics.Snapshot().StripHostTime()})
+		obsSrv.Publish(&obs.State{Telemetry: h.Metrics.Snapshot().StripHostTime()})
 		fmt.Fprintln(os.Stderr, "rfbench: run complete; serving introspection until killed")
-		return obs.Serve(obsLn, srv)
+		select {}
 	}
 	return nil
 }

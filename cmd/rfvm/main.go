@@ -35,7 +35,11 @@
 // per-reason deopt histograms), /profile (folded flamegraph) and
 // /flight (the flight-recorder ring) over HTTP, publishing the final
 // state after the run and serving until the process is killed
-// (DESIGN.md §15). An always-on flight recorder keeps the last -flight
+// (DESIGN.md §15). The server comes up before the run, serving the
+// empty pre-run snapshot (handlers only ever read published immutable
+// state, never the live ring or registry, so mid-run scrapes are
+// safe); a run that fails outright reports its error and exits
+// instead of serving. An always-on flight recorder keeps the last -flight
 // events (block/trace entries, JIT compiles, deopts with reason, TLB
 // flushes, check failures, budget aborts) and dumps to stderr
 // automatically on a detection or budget abort. Both are host-side
@@ -190,7 +194,7 @@ func main() {
 		if lerr != nil {
 			fatal(lerr)
 		}
-		srv = redfat.NewObsServer(flight)
+		srv = redfat.NewObsServer()
 		srv.Publish(&redfat.ObsState{Telemetry: reg.Snapshot().StripHostTime()})
 		fmt.Fprintf(os.Stderr, "rfvm: listening on http://%s\n", ln.Addr())
 		go func() {
@@ -285,6 +289,7 @@ func main() {
 			st := &redfat.ObsState{
 				Telemetry: reg.Snapshot().StripHostTime(),
 				Traces:    redfat.TraceRows(res.Traces, sym),
+				Flight:    flight.Dump(),
 			}
 			if prof != nil {
 				var fb bytes.Buffer
@@ -315,12 +320,28 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "rfvm: runpack written to %s\n", *packDir)
 	}
+	if err != nil {
+		// Detections were already rendered from res.Errors; anything else
+		// (cycle budget, runtime failure) is reported here — before the
+		// serve-forever branch, so -listen never swallows the diagnostic.
+		var me *redfat.MemError
+		if !errors.As(err, &me) {
+			fmt.Fprintln(os.Stderr, "rfvm:", err)
+		}
+	}
 	if srv != nil {
-		// Keep serving the published final state until the process is
-		// killed; the marker line lets scrapers synchronize on run
-		// completion.
-		fmt.Fprintln(os.Stderr, "rfvm: run complete; serving introspection until killed")
-		select {}
+		if res == nil {
+			// The run died before producing a result: there is nothing to
+			// publish, so exit with the failure instead of serving the
+			// empty pre-run snapshot forever.
+			fmt.Fprintln(os.Stderr, "rfvm: run failed; not serving introspection")
+		} else {
+			// Keep serving the published final state until the process is
+			// killed; the marker line lets scrapers synchronize on run
+			// completion.
+			fmt.Fprintln(os.Stderr, "rfvm: run complete; serving introspection until killed")
+			select {}
+		}
 	}
 	// Stable exit codes: detections and cycle-budget aborts map to their
 	// documented codes (see the package comment); other failures exit 1;
@@ -329,14 +350,6 @@ func main() {
 	var errs []redfat.MemError
 	if res != nil {
 		guest, errs = res.ExitCode, res.Errors
-	}
-	if err != nil {
-		// Detections were already rendered from res.Errors; anything else
-		// (cycle budget, runtime failure) is reported here.
-		var me *redfat.MemError
-		if !errors.As(err, &me) {
-			fmt.Fprintln(os.Stderr, "rfvm:", err)
-		}
 	}
 	os.Exit(runpack.RunExit(guest, errs, err))
 }

@@ -104,8 +104,8 @@ func TestEventKindStringsAreDistinct(t *testing.T) {
 
 // testState builds a fixed introspection state: a telemetry registry with
 // every series type (including a host wall-clock series that must be
-// stripped), a two-trace table, and a small folded profile.
-func testState(t *testing.T) (*State, *Flight) {
+// stripped), a two-trace table, a small folded profile, and a flight dump.
+func testState(t *testing.T) *State {
 	t.Helper()
 	reg := telemetry.New()
 	reg.Counter("vm.retired.total").Add(1234)
@@ -144,8 +144,9 @@ func testState(t *testing.T) (*State, *Flight) {
 				Elided: 0, Entries: 9},
 		},
 		Profile: "main;loop 900\nmain;leaf 100\n",
+		Flight:  flight.Dump(),
 	}
-	return st, flight
+	return st
 }
 
 // TestEndpointsMatchGolden byte-compares every introspection endpoint
@@ -153,9 +154,8 @@ func testState(t *testing.T) (*State, *Flight) {
 // -run Golden -update`), pinning the wire format the smoke target and
 // external scrapers rely on.
 func TestEndpointsMatchGolden(t *testing.T) {
-	st, flight := testState(t)
-	srv := NewServer(flight)
-	srv.Publish(st)
+	srv := NewServer()
+	srv.Publish(testState(t))
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -193,9 +193,8 @@ func TestEndpointsMatchGolden(t *testing.T) {
 }
 
 func TestEndpointsAreValidAndStripped(t *testing.T) {
-	st, flight := testState(t)
-	srv := NewServer(flight)
-	srv.Publish(st)
+	srv := NewServer()
+	srv.Publish(testState(t))
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -253,7 +252,7 @@ func TestEndpointsAreValidAndStripped(t *testing.T) {
 // endpoint must answer (the server comes up before the guest runs), just
 // with empty documents.
 func TestServerBeforePublishServesEmpty(t *testing.T) {
-	srv := NewServer(nil)
+	srv := NewServer()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	var table TraceTable
@@ -278,6 +277,51 @@ func TestServerBeforePublishServesEmpty(t *testing.T) {
 	srv.Publish(nil) // must not clobber the state
 	if body, _ := get(t, ts.URL+"/snapshot"); !json.Valid(body) {
 		t.Errorf("/snapshot after Publish(nil) is not JSON: %s", body)
+	}
+}
+
+// TestFlightScrapeDuringRecordIsRaceFree pins the concurrency contract:
+// /flight serves only the published dump, never the live ring, so
+// scraping while the VM goroutine is still recording is well-defined
+// (the race detector fails this test if a handler ever reads the ring).
+func TestFlightScrapeDuringRecordIsRaceFree(t *testing.T) {
+	flight := NewFlight(64)
+	var cyc uint64
+	flight.BindCycles(&cyc)
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(0); i < 5000; i++ {
+			cyc = i
+			flight.Record(EvBlockEntry, 0, 0x1000+i, i)
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		var dump FlightDump
+		body, _ := get(t, ts.URL+"/flight")
+		if err := json.Unmarshal(body, &dump); err != nil {
+			t.Fatalf("/flight mid-run: %v", err)
+		}
+		if dump.Total != 0 {
+			t.Fatalf("mid-run /flight served the live ring (total %d), want the published empty window", dump.Total)
+		}
+	}
+	<-done
+
+	// After the recording goroutine is done, the owner dumps and
+	// publishes; the endpoint now serves the full window.
+	srv.Publish(&State{Flight: flight.Dump()})
+	var dump FlightDump
+	body, _ := get(t, ts.URL+"/flight")
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Total != 5000 || len(dump.Events) != 64 {
+		t.Errorf("published dump total %d / %d events, want 5000 / 64", dump.Total, len(dump.Events))
 	}
 }
 

@@ -46,22 +46,27 @@ type State struct {
 	Telemetry *telemetry.Snapshot // served by /metrics and /snapshot
 	Traces    []TraceRow          // served by /traces
 	Profile   string              // folded stacks, served by /profile
+	Flight    *FlightDump         // served by /flight
 }
 
 // Server is the live introspection endpoint. Publish replaces the
 // current State atomically (publish immutable snapshots — handlers read
-// them concurrently without copying); the Flight ring, if any, is dumped
-// on demand by /flight.
+// them concurrently without copying). The server never touches a live
+// Flight ring: a Flight is single-goroutine like the VM it observes, so
+// the owner dumps it (on the VM goroutine, or after Run) and publishes
+// the dump in State.Flight; until then /flight serves the empty window.
 type Server struct {
-	mu     sync.RWMutex
-	state  *State
-	flight *Flight
+	mu    sync.RWMutex
+	state *State
 }
 
-// NewServer returns a server over the given flight recorder (nil is
-// valid: /flight serves an empty window).
-func NewServer(flight *Flight) *Server {
-	return &Server{state: &State{Telemetry: (*telemetry.Registry)(nil).Snapshot()}, flight: flight}
+// NewServer returns a server holding an empty pre-run snapshot, so every
+// endpoint answers (with empty documents) before the first Publish.
+func NewServer() *Server {
+	return &Server{state: &State{
+		Telemetry: (*telemetry.Registry)(nil).Snapshot(),
+		Flight:    (*Flight)(nil).Dump(),
+	}}
 }
 
 // Publish installs a new snapshot for the read endpoints. The caller
@@ -72,6 +77,9 @@ func (s *Server) Publish(st *State) {
 	}
 	if st.Telemetry == nil {
 		st.Telemetry = (*telemetry.Registry)(nil).Snapshot()
+	}
+	if st.Flight == nil {
+		st.Flight = (*Flight)(nil).Dump()
 	}
 	s.mu.Lock()
 	s.state = st
@@ -91,7 +99,7 @@ func (s *Server) current() *State {
 //	/snapshot — the published telemetry snapshot as stable JSON
 //	/traces   — the JIT trace table (TraceTable JSON)
 //	/profile  — the guest profile as folded stacks (text)
-//	/flight   — the current flight-recorder window (FlightDump JSON)
+//	/flight   — the published flight-recorder window (FlightDump JSON)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -123,7 +131,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		s.flight.Dump().WriteJSON(w)
+		s.current().Flight.WriteJSON(w)
 	})
 	return mux
 }

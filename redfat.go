@@ -97,7 +97,8 @@ type TraceStat = vm.TraceStat
 // /snapshot, /traces, /profile and /flight from published State.
 type ObsServer = obs.Server
 
-// ObsState is one published introspection snapshot.
+// ObsState is one published introspection snapshot (telemetry, trace
+// table, folded profile, flight dump).
 type ObsState = obs.State
 
 // TraceRow is one row of the /traces table.
@@ -134,10 +135,12 @@ func NewSymbolizer(bins ...*Binary) *Symbolizer { return forensics.NewSymbolizer
 // (0 = the default capacity).
 func NewFlight(capacity int) *Flight { return obs.NewFlight(capacity) }
 
-// NewObsServer creates a live introspection server over the given flight
-// recorder (nil is allowed: /flight serves an empty dump). Publish State
-// to it and mount its Handler (or use ServeObs).
-func NewObsServer(f *Flight) *ObsServer { return obs.NewServer(f) }
+// NewObsServer creates a live introspection server. Publish State to it
+// and mount its Handler (or use ServeObs). Endpoints serve only the
+// published immutable snapshot — to expose a flight ring, dump it on the
+// VM goroutine (or after Run) and publish the dump in ObsState.Flight;
+// handlers never read the live ring, so scraping mid-run is safe.
+func NewObsServer() *ObsServer { return obs.NewServer() }
 
 // ServeObs serves the introspection endpoints on l until the listener
 // closes (blocking; run it in a goroutine alongside the guest).
