@@ -37,11 +37,14 @@ race:
 # software-TLB access path must not be slower than the raw page-map walk,
 # the superblock tier must beat the block interpreter by ≥20%, and the
 # always-on flight recorder must stay within 3% of a bare hot loop
-# (relative comparisons, so they are stable on loaded CI hosts). The same
-# tests run as part of `make test` / `make check`; `-short` skips them.
+# (relative comparisons, so they are stable on loaded CI hosts), and the
+# span-checked memcpy intrinsic must beat the per-access-checked guest
+# loop by ≥5x in deterministic guest cycles. The same tests run as part
+# of `make test` / `make check`; `-short` skips them.
 perf-smoke:
 	$(GO) test -run TestPerfSmokeTLB -v ./internal/mem/
 	$(GO) test -run 'TestPerfSmokeJIT|TestPerfSmokeFlight' -v ./internal/vm/
+	$(GO) test -run TestPerfSmokeLibcSpan -v ./internal/bench/
 
 # trace-smoke drives the forensics/profiling CLI flags end to end and
 # validates that the emitted Chrome trace JSON and folded stacks parse.

@@ -41,6 +41,7 @@ func main() {
 	merge := flag.Bool("merge", true, "enable check merging")
 	elimDom := flag.Bool("elimdom", true, "enable dominator-based redundant-check elimination")
 	localLive := flag.Bool("local-liveness", false, "restrict liveness to block-local scans (ablation)")
+	noLibc := flag.Bool("nolibccheck", false, "record that the binary deploys without the hardened libc intrinsics")
 	o0 := flag.Bool("O0", false, "disable all optimizations")
 	profileMode := flag.Bool("profile", false, "build the profiling-phase binary")
 	allowPath := flag.String("allowlist", "", "allow-list file from the profiling phase")
@@ -75,6 +76,7 @@ func main() {
 		LocalLiveness: *localLive,
 		Profile:       *profileMode,
 		MaxBatch:      *maxBatch,
+		NoLibcCheck:   *noLibc,
 	}
 	var allowData []byte
 	if *allowPath != "" {

@@ -98,6 +98,30 @@ func setup(reg *telemetry.Registry) {
 	}
 }
 
+// TestTelemetryNameCoversLibcSpanCounters pins the rule to the libc
+// span-check series: the shipped vm.libc.span.{check,fail}.count names
+// must pass as-is (5 segments, one "vm" root), and near-miss variants a
+// refactor could plausibly introduce must still be flagged.
+func TestTelemetryNameCoversLibcSpanCounters(t *testing.T) {
+	v := writeTree(t, map[string]string{
+		"internal/vmx/vmx.go": `package vmx
+import "tmpmod/internal/telemetry"
+func setup(reg *telemetry.Registry) {
+	reg.Counter("vm.libc.span.check.count")    // ok: shipped name
+	reg.Counter("vm.libc.span.fail.count")     // ok: shipped name
+	reg.Counter("vm.libc.span.fail.oob.count") // bad: 6 segments
+	reg.Counter("libc.span.check.count")       // bad: second root in this package
+}
+`,
+	})
+	msgs := runVet(t, v)
+	wantIssue(t, msgs, `"vm.libc.span.fail.oob.count" has 6 segments`)
+	wantIssue(t, msgs, "multiple roots [libc vm]")
+	if len(msgs) != 2 {
+		t.Errorf("want exactly 2 issues, got %d: %v", len(msgs), msgs)
+	}
+}
+
 func TestTelemetryNameIgnoresOtherTypes(t *testing.T) {
 	v := writeTree(t, map[string]string{
 		"internal/sub/sub.go": `package sub

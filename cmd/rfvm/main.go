@@ -99,6 +99,10 @@ func main() {
 	noTLB := flag.Bool("notlb", false, "disable the guest-memory software TLB (host A/B validation)")
 	noJIT := flag.Bool("nojit", false, "disable the superblock trace tier (host A/B validation)")
 	jitThreshold := flag.Uint64("jit-threshold", 0, "block hotness before trace compilation (0 = default)")
+	noLibc := flag.Bool("nolibccheck", false, "disable the hardened libc span intrinsics (ablation; guest-visible)")
+	quarantine := flag.Int64("quarantine", 0, "free-quarantine byte budget (-1 disables, 0 default; hardened runs)")
+	canary := flag.Bool("canary", false, "arm canary-poisoned redzones (verified on free and span checks; hardened runs)")
+	underAlloc := flag.Uint64("underalloc", 0, "self-test: under-allocate ~1 in N heap objects by one byte (0 = off; hardened runs)")
 	doVerify := flag.Bool("verify", false, "with -hardened, structurally validate the binary before running it")
 	packDir := flag.String("runpack", "", "capture the run as a digest-signed runpack in this directory (implies forensics)")
 	listen := flag.String("listen", "", "serve live introspection HTTP (/metrics /snapshot /traces /profile /flight) on ADDR until killed")
@@ -150,6 +154,11 @@ func main() {
 		NoTLB:        *noTLB,
 		NoJIT:        *noJIT,
 		JITThreshold: *jitThreshold,
+
+		NoLibcCheck:     *noLibc,
+		QuarantineBytes: *quarantine,
+		Canary:          *canary,
+		UnderAllocEvery: *underAlloc,
 	}
 	if *trace > 0 {
 		ro.Trace = os.Stderr
@@ -314,6 +323,11 @@ func main() {
 			Forensics:    true,
 			NoJIT:        *noJIT,
 			JITThreshold: *jitThreshold,
+
+			NoLibcCheck:     *noLibc,
+			QuarantineBytes: *quarantine,
+			Canary:          *canary,
+			UnderAllocEvery: *underAlloc,
 		}
 		if perr := runpack.PackRun(*packDir, os.Args[1:], raw, bin, spec, res, err, reg, flight.Dump()); perr != nil {
 			fatal(perr)

@@ -428,14 +428,19 @@ func (h *Harness) detectAll(what string, cases []*juliet.Case) ([]detection, err
 		})
 }
 
-// Table2 runs the CVE models and the Juliet CWE-122 suite under both
-// tools (§7.2). Every case is one pool unit.
+// Table2 runs the CVE models, the Juliet CWE-122 suite, and the
+// OOB-through-libc suite under both tools (§7.2). Every case is one pool
+// unit. The libc rows isolate overflows performed inside interposed
+// routines: per-access instrumentation never sees those bytes move, so a
+// RedFat hit there proves the intrinsic span checks specifically.
 func (h *Harness) Table2(w io.Writer) ([]Table2Row, error) {
 	cves := juliet.CVECases()
 	jcs := juliet.JulietCases()
-	cases := make([]*juliet.Case, 0, len(cves)+len(jcs))
+	lcs := juliet.LibcCases()
+	cases := make([]*juliet.Case, 0, len(cves)+len(jcs)+len(lcs))
 	cases = append(cases, cves...)
 	cases = append(cases, jcs...)
+	cases = append(cases, lcs...)
 	dets, err := h.detectAll("table2", cases)
 	if err != nil {
 		return nil, err
@@ -446,11 +451,16 @@ func (h *Harness) Table2(w io.Writer) ([]Table2Row, error) {
 			Total: 1, Memcheck: b2i(dets[i].memcheck), RedFat: b2i(dets[i].redfat)})
 	}
 	jr := Table2Row{ID: "CWE-122-Heap-Buffer (Juliet)", Total: juliet.NumJuliet}
-	for _, d := range dets[len(cves):] {
+	for _, d := range dets[len(cves) : len(cves)+len(jcs)] {
 		jr.Memcheck += b2i(d.memcheck)
 		jr.RedFat += b2i(d.redfat)
 	}
 	rows = append(rows, jr)
+	for i, c := range lcs {
+		d := dets[len(cves)+len(jcs)+i]
+		rows = append(rows, Table2Row{ID: c.ID + " (libredfat)",
+			Total: 1, Memcheck: b2i(d.memcheck), RedFat: b2i(d.redfat)})
+	}
 	renderTable2(rows, w)
 	return rows, nil
 }

@@ -100,19 +100,31 @@ func TestTable2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("rows = %d, want 5", len(rows))
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(rows))
 	}
 	for _, r := range rows {
 		if r.RedFat != r.Total {
 			t.Errorf("%s: RedFat %d/%d, want 100%%", r.ID, r.RedFat, r.Total)
 		}
-		if r.Memcheck != 0 {
-			t.Errorf("%s: Memcheck %d/%d, want 0%%", r.ID, r.Memcheck, r.Total)
+		// Non-incremental overflows (CVE + Juliet rows) skip the redzone:
+		// Memcheck misses all of them. The libc rows overflow contiguously
+		// through an interposed routine: Memcheck's mem* wrappers catch
+		// those, but it does not wrap the string routines, so the strcpy
+		// overflow is a RedFat-only detection.
+		wantMC := 0
+		if strings.HasPrefix(r.ID, "LIBC-mem") {
+			wantMC = r.Total
+		}
+		if r.Memcheck != wantMC {
+			t.Errorf("%s: Memcheck %d/%d, want %d", r.ID, r.Memcheck, r.Total, wantMC)
 		}
 	}
 	if !strings.Contains(sb.String(), "Juliet") {
 		t.Error("rendering missing Juliet row")
+	}
+	if !strings.Contains(sb.String(), "LIBC-strcpy-write") {
+		t.Error("rendering missing libc rows")
 	}
 }
 

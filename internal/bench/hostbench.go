@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"redfat/internal/mem"
+	"redfat/internal/redfat"
 	"redfat/internal/relf"
 	"redfat/internal/rtlib"
 	"redfat/internal/telemetry"
@@ -68,6 +69,22 @@ type VMJITHostBench struct {
 	CompiledShare  float64 `json:"compiled_share"` // insts retired in compiled code / all
 }
 
+// LibcSpanTwinBench is one loop/intrinsic twin pair under full hardening:
+// the same byte traffic checked per access (guest loop) vs once per libc
+// call (span-checked intrinsic). Guest cycles are deterministic — the
+// cycle ratio is the modelled libredfat win; the wall-clock columns show
+// the host-side effect of retiring fewer guest instructions.
+type LibcSpanTwinBench struct {
+	Name        string  `json:"name"`
+	LoopCycles  uint64  `json:"loop_cycles"`
+	IntrCycles  uint64  `json:"intr_cycles"`
+	CycleRatio  float64 `json:"cycle_ratio"` // loop / intrinsic guest cycles
+	LoopNs      int64   `json:"loop_ns"`
+	IntrNs      int64   `json:"intr_ns"`
+	WallSpeedup float64 `json:"wall_speedup"`
+	SpanChecks  uint64  `json:"span_checks"` // vm.libc.span.check.count, intrinsic run
+}
+
 // Table1HostBench compares serial and parallel wall-clock for the Table 1
 // pipeline at a reduced scale.
 type Table1HostBench struct {
@@ -89,6 +106,7 @@ type HostBenchResult struct {
 	MemTLB     MemTLBHostBench     `json:"mem_tlb"`
 	BlockChain BlockChainHostBench `json:"block_chain"`
 	VMJIT      VMJITHostBench      `json:"vm_jit"`
+	LibcSpan   []LibcSpanTwinBench `json:"libc_span"`
 	Table1     Table1HostBench     `json:"table1_parallel"`
 }
 
@@ -115,6 +133,9 @@ func RunHostBench(parallel int, scale float64) (*HostBenchResult, error) {
 		return nil, err
 	}
 	if err := res.measureVMJIT(bin, input); err != nil {
+		return nil, err
+	}
+	if err := res.measureLibcSpan(); err != nil {
 		return nil, err
 	}
 	if err := res.measureTable1(parallel, scale); err != nil {
@@ -307,6 +328,82 @@ func (r *HostBenchResult) measureVMJIT(bin *relf.Binary, input []uint64) error {
 	return nil
 }
 
+// measureLibcSpan runs the libc twin pairs under full hardening and
+// records cycle ratios (deterministic) and wall-clock (informational).
+// The exit checksums of each pair are asserted equal — the twins do the
+// same work, or the comparison is meaningless.
+func (r *HostBenchResult) measureLibcSpan() error {
+	hardened := func(bm *workload.Benchmark) (*relf.Binary, []uint64, error) {
+		bin, err := bm.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		hard, _, err := redfat.Harden(bin, redfat.Defaults())
+		if err != nil {
+			return nil, nil, err
+		}
+		return hard, bm.RefInput(), nil
+	}
+	timeHardened := func(bin *relf.Binary, input []uint64, runErr *error) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := rtlib.RunHardened(bin, rtlib.RunConfig{Input: input}); err != nil {
+					*runErr = err
+					return
+				}
+			}
+		})
+	}
+	for _, tw := range workload.LibcTwins() {
+		loopBin, loopIn, err := hardened(tw.Loop)
+		if err != nil {
+			return err
+		}
+		intrBin, intrIn, err := hardened(tw.Intr)
+		if err != nil {
+			return err
+		}
+		lv, _, err := rtlib.RunHardened(loopBin, rtlib.RunConfig{Input: loopIn})
+		if err != nil {
+			return err
+		}
+		reg := telemetry.New()
+		iv, _, err := rtlib.RunHardened(intrBin, rtlib.RunConfig{Input: intrIn, Metrics: reg})
+		if err != nil {
+			return err
+		}
+		if lv.ExitCode != iv.ExitCode {
+			return fmt.Errorf("libc_span %s: twin checksums differ: loop %d, intrinsic %d",
+				tw.Name, lv.ExitCode, iv.ExitCode)
+		}
+		if len(lv.Errors) != 0 || len(iv.Errors) != 0 {
+			return fmt.Errorf("libc_span %s: twin run reported memory errors", tw.Name)
+		}
+		var runErr error
+		loopRes := timeHardened(loopBin, loopIn, &runErr)
+		intrRes := timeHardened(intrBin, intrIn, &runErr)
+		if runErr != nil {
+			return runErr
+		}
+		row := LibcSpanTwinBench{
+			Name:       tw.Name,
+			LoopCycles: lv.Cycles,
+			IntrCycles: iv.Cycles,
+			LoopNs:     loopRes.NsPerOp(),
+			IntrNs:     intrRes.NsPerOp(),
+			SpanChecks: reg.Snapshot().Counters["vm.libc.span.check.count"],
+		}
+		if iv.Cycles > 0 {
+			row.CycleRatio = float64(lv.Cycles) / float64(iv.Cycles)
+		}
+		if intrRes.NsPerOp() > 0 {
+			row.WallSpeedup = float64(loopRes.NsPerOp()) / float64(intrRes.NsPerOp())
+		}
+		r.LibcSpan = append(r.LibcSpan, row)
+	}
+	return nil
+}
+
 func (r *HostBenchResult) measureTable1(parallel int, scale float64) error {
 	var runErr error
 	measure := func(width int) testing.BenchmarkResult {
@@ -378,6 +475,12 @@ func (r *HostBenchResult) Render(w io.Writer) {
 		r.VMJIT.NoJITNsPerInst, r.VMJIT.NoJITMIPS)
 	fmt.Fprintf(w, "  compiled      %7.1f ns/inst  %7.1f guest MIPS  (%.1f%% faster)\n",
 		r.VMJIT.JITNsPerInst, r.VMJIT.JITMIPS, 100*r.VMJIT.Improvement)
+	for _, tw := range r.LibcSpan {
+		fmt.Fprintf(w, "libc span twin %s (%d span checks):\n", tw.Name, tw.SpanChecks)
+		fmt.Fprintf(w, "  checked loop  %12d cycles %10d ns\n", tw.LoopCycles, tw.LoopNs)
+		fmt.Fprintf(w, "  intrinsic     %12d cycles %10d ns  (%.1fx cycles, %.1fx wall)\n",
+			tw.IntrCycles, tw.IntrNs, tw.CycleRatio, tw.WallSpeedup)
+	}
 	fmt.Fprintf(w, "table1 (scale %.2f):\n", r.Table1.Scale)
 	fmt.Fprintf(w, "  serial        %12d ns\n", r.Table1.SerialNs)
 	fmt.Fprintf(w, "  parallel %-4d %12d ns  (%.2fx speedup)\n",

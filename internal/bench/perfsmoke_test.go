@@ -1,0 +1,58 @@
+package bench_test
+
+import (
+	"testing"
+
+	"redfat/internal/redfat"
+	"redfat/internal/rtlib"
+	"redfat/internal/workload"
+)
+
+// TestPerfSmokeLibcSpan guards the tentpole win of the libc span
+// intrinsics: under full hardening, copying through the span-checked
+// memcpy intrinsic must cost at least 5x fewer guest cycles than the
+// same copy through a per-access-checked guest byte loop. Guest cycles
+// are deterministic, so unlike the wall-clock smokes this bound is exact
+// and safe on loaded CI hosts.
+func TestPerfSmokeLibcSpan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke")
+	}
+	run := func(bm *workload.Benchmark) (cycles uint64, exit uint64) {
+		t.Helper()
+		bin, err := bm.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		hard, _, err := redfat.Harden(bin, redfat.Defaults())
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		v, _, err := rtlib.RunHardened(hard, rtlib.RunConfig{Input: bm.RefInput()})
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		if len(v.Errors) != 0 {
+			t.Fatalf("%s: false positives: %v", bm.Name, v.Errors)
+		}
+		return v.Cycles, v.ExitCode
+	}
+	for _, tw := range workload.LibcTwins() {
+		loopCycles, loopExit := run(tw.Loop)
+		intrCycles, intrExit := run(tw.Intr)
+		if loopExit != intrExit {
+			t.Errorf("%s: twin checksums differ: loop %d, intrinsic %d",
+				tw.Name, loopExit, intrExit)
+		}
+		ratio := float64(loopCycles) / float64(intrCycles)
+		t.Logf("%s: loop %d cycles, intrinsic %d cycles (%.1fx)",
+			tw.Name, loopCycles, intrCycles, ratio)
+		if tw.Name == "memcpy" && ratio < 5 {
+			t.Errorf("%s: intrinsic only %.1fx faster than checked loop, want >= 5x",
+				tw.Name, ratio)
+		}
+		if ratio < 1 {
+			t.Errorf("%s: intrinsic slower than the checked loop (%.2fx)", tw.Name, ratio)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package juliet
+
+import (
+	"redfat/internal/asm"
+	"redfat/internal/isa"
+	"redfat/internal/relf"
+)
+
+// Libc cases: out-of-bounds accesses that happen *inside* an interposed
+// libc routine rather than in guest instructions. Per-access hardening
+// cannot see them (the bytes move in the host-side binding); detection
+// relies on the libredfat-style span check each hardened intrinsic runs
+// over its operands. The str* rows double as the Memcheck contrast:
+// Memcheck wraps the mem* entry points but not the string routines, so
+// only the span-checked intrinsics catch the strcpy overflow.
+
+// libcCopyRead builds a bad-variant read overflow through copy(dst, src, n):
+// src is a 64-byte buffer, n = 64 + input, dst is large enough that only
+// the source span is out of bounds.
+func libcCopyRead(fn string) func(bool) (*relf.Binary, error) {
+	return func(good bool) (*relf.Binary, error) {
+		b := asm.NewBuilder(asm.Options{})
+		b.Func("main")
+		emitVictimPair(b, 64)
+		b.MovRI(isa.RDI, 256) // dst: big enough for the overlong read
+		b.CallImport("malloc")
+		b.MovRR(isa.R12, isa.RAX)
+		b.CallImport("rf_input") // extra bytes past the end (bad) or n (good)
+		if !good {
+			b.AluRI(isa.ADD, isa.RAX, 64) // n = size + extra
+		}
+		b.MovRR(isa.RDX, isa.RAX) // n
+		b.MovRR(isa.RDI, isa.R12) // dst
+		b.MovRR(isa.RSI, isa.RBX) // src
+		b.CallImport(fn)
+		b.MovRI(isa.RAX, 0)
+		b.Ret()
+		return b.Build()
+	}
+}
+
+// libcMemsetWrite builds a bad-variant write overflow through
+// memset(buf, 0x41, 64+input) on a 64-byte buffer.
+func libcMemsetWrite(good bool) (*relf.Binary, error) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	emitVictimPair(b, 64)
+	b.CallImport("rf_input")
+	if !good {
+		b.AluRI(isa.ADD, isa.RAX, 64) // n = size + extra
+	}
+	b.MovRR(isa.RDX, isa.RAX) // n
+	b.MovRR(isa.RDI, isa.RBX)
+	b.MovRI(isa.RSI, 0x41)
+	b.CallImport("memset")
+	b.MovRI(isa.RAX, 0)
+	b.Ret()
+	return b.Build()
+}
+
+// libcStrcpyWrite builds the classic unbounded-string-copy overflow:
+// strcpy of an input-length string (filled in a 64-byte source) into a
+// 32-byte destination. Input > 31 overflows the destination; the good
+// input fits. Both variants are the same program — the input alone
+// decides, exactly as in the real CWE-121/787 strcpy idiom.
+func libcStrcpyWrite(good bool) (*relf.Binary, error) {
+	_ = good
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.MovRI(isa.RDI, 32) // dst
+	b.CallImport("malloc")
+	b.MovRR(isa.RBX, isa.RAX)
+	b.MovRI(isa.RDI, 64) // src
+	b.CallImport("malloc")
+	b.MovRR(isa.R13, isa.RAX)
+	b.CallImport("rf_input") // string length (≤ 63)
+	b.MovRR(isa.R14, isa.RAX)
+	// Fill src with R14 non-NUL bytes, then the terminator.
+	b.MovRI(isa.RCX, 0)
+	b.Label("fill")
+	b.AluRR(isa.CMP, isa.RCX, isa.R14)
+	b.Jcc(isa.JGE, "copy")
+	b.MovRI(isa.RDX, 0x41)
+	b.StoreM(asm.MemBID(isa.R13, isa.RCX, 1, 0), isa.RDX, 1)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.Jmp("fill")
+	b.Label("copy")
+	b.StoreMI(asm.MemBID(isa.R13, isa.R14, 1, 0), 0, 1)
+	b.MovRR(isa.RDI, isa.RBX) // dst
+	b.MovRR(isa.RSI, isa.R13) // src
+	b.CallImport("strcpy")
+	b.MovRI(isa.RAX, 0)
+	b.Ret()
+	return b.Build()
+}
+
+// LibcCases returns the OOB-through-libc suite: overflows whose faulting
+// access is performed by an interposed libc routine. They are not part of
+// CVECases/JulietCases, so the seeded Table 2 rows are unchanged; the
+// bench layer appends them as their own rows.
+func LibcCases() []*Case {
+	return []*Case{
+		{
+			ID: "LIBC-memcpy-read", Group: "Libc", Write: false,
+			Input: []uint64{24}, // bytes past the end of the 64-byte source
+			build: libcCopyRead("memcpy"),
+		},
+		{
+			ID: "LIBC-memmove-read", Group: "Libc", Write: false,
+			Input: []uint64{24},
+			build: libcCopyRead("memmove"),
+		},
+		{
+			ID: "LIBC-memset-write", Group: "Libc", Write: true,
+			Input: []uint64{24}, // bytes past the end of the 64-byte buffer
+			build: libcMemsetWrite,
+		},
+		{
+			ID: "LIBC-strcpy-write", Group: "Libc", Write: true,
+			Input: []uint64{48}, // string length: 49 bytes into a 32-byte dst
+			build: libcStrcpyWrite,
+		},
+	}
+}

@@ -166,22 +166,48 @@ func Run(bin *relf.Binary, cfg rtlib.RunConfig) (*vm.VM, error) {
 	env := rtlib.LibC(w, m)
 
 	// libc-style bulk operations are checked too (Valgrind intercepts
-	// them): wrap memset/memcpy with shadow checks.
-	baseMemset, baseMemcpy := env["memset"], env["memcpy"]
-	env["memset"] = func(v *vm.VM, arg uint32) error {
-		if err := checkRange(v, w, v.Regs[isa.RDI], v.Regs[isa.RDX], true); err != nil {
-			return err
+	// them): wrap the mem* span operations with shadow checks. The
+	// NoLibcCheck ablation removes the interposition, modelling a run
+	// without the replacement library. String functions are deliberately
+	// not wrapped — Memcheck's str* interceptors only handle overlap, so
+	// OOB through str* stays a modelled miss (Table 2 contrast with the
+	// hardened span intrinsics).
+	if !cfg.NoLibcCheck {
+		baseMemset, baseMemcpy := env["memset"], env["memcpy"]
+		baseMemmove, baseMemcmp := env["memmove"], env["memcmp"]
+		env["memset"] = func(v *vm.VM, arg uint32) error {
+			if err := checkRange(v, w, v.Regs[isa.RDI], v.Regs[isa.RDX], true); err != nil {
+				return err
+			}
+			return baseMemset(v, arg)
 		}
-		return baseMemset(v, arg)
-	}
-	env["memcpy"] = func(v *vm.VM, arg uint32) error {
-		if err := checkRange(v, w, v.Regs[isa.RSI], v.Regs[isa.RDX], false); err != nil {
-			return err
+		env["memcpy"] = func(v *vm.VM, arg uint32) error {
+			if err := checkRange(v, w, v.Regs[isa.RSI], v.Regs[isa.RDX], false); err != nil {
+				return err
+			}
+			if err := checkRange(v, w, v.Regs[isa.RDI], v.Regs[isa.RDX], true); err != nil {
+				return err
+			}
+			return baseMemcpy(v, arg)
 		}
-		if err := checkRange(v, w, v.Regs[isa.RDI], v.Regs[isa.RDX], true); err != nil {
-			return err
+		env["memmove"] = func(v *vm.VM, arg uint32) error {
+			if err := checkRange(v, w, v.Regs[isa.RSI], v.Regs[isa.RDX], false); err != nil {
+				return err
+			}
+			if err := checkRange(v, w, v.Regs[isa.RDI], v.Regs[isa.RDX], true); err != nil {
+				return err
+			}
+			return baseMemmove(v, arg)
 		}
-		return baseMemcpy(v, arg)
+		env["memcmp"] = func(v *vm.VM, arg uint32) error {
+			if err := checkRange(v, w, v.Regs[isa.RDI], v.Regs[isa.RDX], false); err != nil {
+				return err
+			}
+			if err := checkRange(v, w, v.Regs[isa.RSI], v.Regs[isa.RDX], false); err != nil {
+				return err
+			}
+			return baseMemcmp(v, arg)
+		}
 	}
 
 	// DBI overheads.

@@ -38,6 +38,7 @@ const (
 	cfgNoClobberSpec = 1 << iota
 	cfgLocalLiveness
 	cfgAllowList
+	cfgNoLibcCheck
 )
 
 // EncodeConfig serializes the policy-relevant subset of opt.
@@ -59,6 +60,7 @@ func EncodeConfig(opt Options) []byte {
 	set(&f2, cfgNoClobberSpec, opt.NoClobberSpec)
 	set(&f2, cfgLocalLiveness, opt.LocalLiveness)
 	set(&f2, cfgAllowList, opt.AllowList != nil)
+	set(&f2, cfgNoLibcCheck, opt.NoLibcCheck)
 	out := make([]byte, 5)
 	out[0] = configVersion
 	out[1] = f1
@@ -88,6 +90,7 @@ func DecodeConfig(data []byte) (opt Options, hasAllowList bool, err error) {
 	opt.Merge = f1&cfgMerge != 0
 	opt.NoClobberSpec = f2&cfgNoClobberSpec != 0
 	opt.LocalLiveness = f2&cfgLocalLiveness != 0
+	opt.NoLibcCheck = f2&cfgNoLibcCheck != 0
 	opt.MaxBatch = int(binary.LittleEndian.Uint16(data[3:]))
 	return opt, f2&cfgAllowList != 0, nil
 }

@@ -26,6 +26,7 @@
 package redzone
 
 import (
+	"errors"
 	"fmt"
 
 	"redfat/internal/lowfat"
@@ -35,6 +36,27 @@ import (
 
 // Size is the redzone size in bytes (which is also the metadata size).
 const Size = 16
+
+// CanaryByte is the pattern the canary mode writes into slot slack (the
+// bytes between the object end and the end of its low-fat slot). An
+// overwrite that stays inside the slot — invisible to the merged bounds
+// check, which only knows the slot geometry via SIZE — still destroys
+// the pattern and is caught on free and on span-check crossings.
+const CanaryByte = 0xA5
+
+// CanaryError reports a smashed canary discovered while freeing an
+// object. The free itself still completes (the detection must not leak
+// the slot); callers translate the error into a corrupted-metadata
+// report.
+type CanaryError struct {
+	Addr uint64 // first smashed slack byte
+	Ptr  uint64 // the object pointer being freed
+}
+
+// Error implements the error interface.
+func (e *CanaryError) Error() string {
+	return fmt.Sprintf("redzone: canary smashed at %#x (detected freeing %#x)", e.Addr, e.Ptr)
+}
 
 // State is an object state, as encoded in the redzone metadata.
 type State uint8
@@ -73,6 +95,26 @@ type Heap struct {
 	// use-after-free detection, like ASAN's quarantine. Zero disables.
 	QuarantineBytes uint64
 
+	// Canary poisons the slot slack (object end → slot end) with
+	// CanaryByte on every allocation and verifies it on free; span
+	// checks additionally verify it when they cross an object. Guest
+	// visible (slack bytes read back as the pattern), so the mode is
+	// recorded in runpack RunSpecs.
+	Canary bool
+
+	// UnderAllocEvery enables the REDFAT_TEST-style self-test mode:
+	// roughly one in every UnderAllocEvery allocations records SIZE one
+	// byte short of the request, so a legitimate full-extent access
+	// trips the bounds check and proves the detection machinery live.
+	// Zero disables. Requires Rand; induced reports carry a
+	// "self-test under-allocation" note tag.
+	UnderAllocEvery uint64
+
+	// Rand supplies the deterministic randomness for UnderAllocEvery
+	// (the runtime layer wires it to vm.NextRand so replays reproduce
+	// the same under-allocation sequence).
+	Rand func() uint64
+
 	quarantine      []uint64 // FIFO of slot bases awaiting real free
 	quarantineUsage uint64
 	nextID          uint64
@@ -102,6 +144,9 @@ type rzMetrics struct {
 	mallocErrors    *telemetry.Counter
 	quarantineBytes *telemetry.Gauge
 	quarantineObjs  *telemetry.Gauge
+	canaryFills     *telemetry.Counter // slots armed with the canary pattern
+	canarySmashes   *telemetry.Counter // canary verifications that found an overwrite
+	underAllocs     *telemetry.Counter // self-test under-allocations handed out
 }
 
 // AttachTelemetry binds the redzone wrapper's counters to reg and
@@ -115,6 +160,9 @@ func (h *Heap) AttachTelemetry(reg *telemetry.Registry) {
 		mallocErrors:    reg.Counter("redzone.malloc.errors"),
 		quarantineBytes: reg.Gauge("redzone.quarantine.bytes"),
 		quarantineObjs:  reg.Gauge("redzone.quarantine.objects"),
+		canaryFills:     reg.Counter("redzone.canary.fills"),
+		canarySmashes:   reg.Counter("redzone.canary.smashes"),
+		underAllocs:     reg.Counter("redzone.underalloc.allocs"),
 	}
 	h.LF.AttachTelemetry(reg)
 }
@@ -132,11 +180,16 @@ func (h *Heap) noteMallocError() {
 // when Heap.SiteDepth is set.
 type AllocRecord struct {
 	PC    uint64   // guest PC of the allocating call site
-	Size  uint64   // requested size
+	Size  uint64   // recorded SIZE (requested, minus one when under-allocated)
 	Stack []uint64 // guest backtrace at allocation (nil unless SiteDepth > 0)
 
 	FreePC    uint64   // guest PC of the free call, 0 while live
 	FreeStack []uint64 // guest backtrace at free (nil unless captured)
+
+	// UnderAlloc marks a self-test under-allocation: the object's SIZE
+	// was recorded one byte short of the request, so the detection it
+	// induces can be tagged and filtered from false-positive counts.
+	UnderAlloc bool
 }
 
 // NewHeap creates a RedFat heap over the given allocator and memory.
@@ -176,26 +229,46 @@ func (h *Heap) RecordOf(id uint64) (AllocRecord, bool) {
 }
 
 // Malloc allocates size bytes and returns the object pointer (BASE+16).
+// In self-test mode (UnderAllocEvery) the recorded SIZE is randomly one
+// byte short of the request; in canary mode the slot slack is filled
+// with the canary pattern.
 func (h *Heap) Malloc(size uint64) (uint64, error) {
 	slot, err := h.LF.Alloc(size + Size)
 	if err != nil {
 		return 0, err
 	}
+	stored, under := size, false
+	if h.UnderAllocEvery > 0 && size > 0 && h.Rand != nil &&
+		h.Rand()%h.UnderAllocEvery == 0 {
+		stored, under = size-1, true
+		if h.tel != nil {
+			h.tel.underAllocs.Inc()
+		}
+	}
 	h.nextID++
-	if err := h.Mem.Store(slot, 8, size); err != nil {
+	if err := h.Mem.Store(slot, 8, stored); err != nil {
 		return 0, fmt.Errorf("redzone: header write: %w", err)
 	}
 	if err := h.Mem.Store(slot+8, 8, h.nextID); err != nil {
 		return 0, err
 	}
-	h.allocPC[h.nextID] = AllocRecord{PC: h.notedPC, Size: size, Stack: h.notedStack}
+	h.allocPC[h.nextID] = AllocRecord{PC: h.notedPC, Size: stored,
+		Stack: h.notedStack, UnderAlloc: under}
 	if h.tel != nil {
 		h.tel.poisonOps.Inc() // armed the redzone metadata for this object
+	}
+	if h.Canary {
+		if err := h.armCanary(slot, stored); err != nil {
+			return 0, err
+		}
 	}
 	return slot + Size, nil
 }
 
-// Calloc allocates zeroed memory for n objects of the given size.
+// Calloc allocates zeroed memory for n objects of the given size. Only
+// the recorded SIZE is zeroed: an under-allocated object must not have
+// its missing last byte zeroed through the slack (that would smash the
+// canary and over-promise addressability the checks will deny).
 func (h *Heap) Calloc(n, size uint64) (uint64, error) {
 	total := n * size
 	if size != 0 && total/size != n {
@@ -205,10 +278,83 @@ func (h *Heap) Calloc(n, size uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := h.Mem.Memset(ptr, 0, total); err != nil {
+	zero := total
+	if stored, err := h.Mem.Load(ptr-Size, 8); err == nil && stored < zero {
+		zero = stored
+	}
+	if err := h.Mem.Memset(ptr, 0, zero); err != nil {
 		return 0, err
 	}
 	return ptr, nil
+}
+
+// armCanary fills the slot slack [object end, slot end) with CanaryByte.
+// Legacy (non-low-fat) slots have no slot geometry to bound the slack
+// and are skipped.
+func (h *Heap) armCanary(slot, stored uint64) error {
+	slotSize := lowfat.Size(slot)
+	if slotSize == lowfat.SizeMax {
+		return nil
+	}
+	start, end := slot+Size+stored, slot+slotSize
+	if start >= end {
+		return nil
+	}
+	if err := h.Mem.Memset(start, CanaryByte, end-start); err != nil {
+		return err
+	}
+	if h.tel != nil {
+		h.tel.canaryFills.Inc()
+	}
+	return nil
+}
+
+// CheckCanary verifies the canary slack of the allocated object in the
+// slot at base, returning the address of the first smashed byte when
+// the pattern was overwritten. It reports ok for freed slots, legacy
+// slots and when the mode is off.
+func (h *Heap) CheckCanary(base uint64) (uint64, bool) {
+	if !h.Canary {
+		return 0, true
+	}
+	size, err := h.Mem.Load(base, 8)
+	if err != nil || size == 0 {
+		return 0, true // freed or never handed out: nothing armed
+	}
+	return h.checkCanarySlack(base, size)
+}
+
+// checkCanarySlack scans the slack of an allocated slot for the first
+// byte that no longer carries the canary pattern.
+func (h *Heap) checkCanarySlack(base, size uint64) (uint64, bool) {
+	slotSize := lowfat.Size(base)
+	if slotSize == lowfat.SizeMax {
+		return 0, true
+	}
+	addr, end := base+Size+size, base+slotSize
+	for addr < end {
+		span, err := h.Mem.LoadSlice(addr, int(end-addr))
+		if err != nil {
+			return 0, true // slack page unmapped: nothing to verify
+		}
+		for i, b := range span {
+			if b != CanaryByte {
+				if h.tel != nil {
+					h.tel.canarySmashes.Inc()
+				}
+				return addr + uint64(i), false
+			}
+		}
+		addr += uint64(len(span))
+	}
+	return 0, true
+}
+
+// UnderAllocated reports whether the object with the given id was
+// deliberately under-allocated by the self-test mode.
+func (h *Heap) UnderAllocated(id uint64) bool {
+	s, ok := h.allocPC[id]
+	return ok && s.UnderAlloc
 }
 
 // Free releases the object at ptr. Freeing a non-object pointer or an
@@ -233,6 +379,15 @@ func (h *Heap) Free(ptr uint64) error {
 		h.noteMallocError()
 		return fmt.Errorf("redzone: double free of %#x", ptr)
 	}
+	// Canary mode: verify the slack before poisoning the header. A smash
+	// is reported after the free completes — the detection must not leak
+	// the slot or perturb quarantine accounting.
+	var canaryErr error
+	if h.Canary {
+		if addr, ok := h.checkCanarySlack(base, size); !ok {
+			canaryErr = &CanaryError{Addr: addr, Ptr: ptr}
+		}
+	}
 	// Mark Free: SIZE=0 merges the free state into the bounds check
 	// (paper §4.2, "Mergeable code").
 	if err := h.Mem.Store(base, 8, 0); err != nil {
@@ -249,7 +404,10 @@ func (h *Heap) Free(ptr uint64) error {
 		}
 	}
 	if h.QuarantineBytes == 0 {
-		return h.LF.Free(base)
+		if err := h.LF.Free(base); err != nil {
+			return err
+		}
+		return canaryErr
 	}
 	h.quarantine = append(h.quarantine, base)
 	h.quarantineUsage += lowfat.Size(base)
@@ -265,7 +423,7 @@ func (h *Heap) Free(ptr uint64) error {
 		h.tel.quarantineBytes.Set(h.quarantineUsage)
 		h.tel.quarantineObjs.Set(uint64(len(h.quarantine)))
 	}
-	return nil
+	return canaryErr
 }
 
 // Realloc resizes an allocation, copying the contents.
@@ -293,6 +451,10 @@ func (h *Heap) Realloc(ptr, size uint64) (uint64, error) {
 		return 0, err
 	}
 	if err := h.Free(ptr); err != nil {
+		var ce *CanaryError
+		if errors.As(err, &ce) {
+			return np, err // the resize succeeded; surface the detection
+		}
 		return 0, err
 	}
 	return np, nil

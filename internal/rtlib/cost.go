@@ -29,6 +29,15 @@ const (
 	costProfileAcc = 4
 )
 
+// Hardened-libc span-check costs (span.go): one object resolution
+// validates an entire [p, p+n) operand, so the cost is O(1) in n — the
+// same step sequence as a full per-access check, minus the register
+// save/restore (the handler already owns the register file).
+const (
+	costSpanCheckFat    = costAddrCalc + costBasePtr + costHeaderLoad + costSizeCheck + costBoundsCmp
+	costSpanCheckNonFat = costAddrCalc + costBasePtr
+)
+
 // checkCost returns the cycle cost of executing the check c once, given
 // whether the pointer turned out to be low-fat (the non-fat fallback path
 // costs one more base computation but skips the rest when LB is also

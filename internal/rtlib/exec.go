@@ -29,6 +29,24 @@ type RunConfig struct {
 	// the quarantine entirely, 0 keeps the default).
 	QuarantineBytes int64
 
+	// NoLibcCheck disables the hardened libc span intrinsics, reverting
+	// the modelled libc to its unchecked baseline bindings. Unlike the
+	// NoTLB/NoJIT family this knob is guest-visible — span checks charge
+	// cycles and produce detections — so it is recorded in runpack
+	// RunSpecs and replayed.
+	NoLibcCheck bool
+
+	// Canary arms canary-poisoned redzones: allocation slack is filled
+	// with redzone.CanaryByte, verified on free and on span-check
+	// crossings (libredfat's REDFAT_CANARY mode).
+	Canary bool
+
+	// UnderAllocEvery, when >0, under-allocates roughly one in every N
+	// heap objects by a single byte (libredfat's REDFAT_TEST self-test
+	// mode, deterministic via vm.NextRand). Induced detections carry a
+	// "self-test under-allocation" note tag.
+	UnderAllocEvery uint64
+
 	// TraceWriter, when set, receives one line per executed instruction
 	// (address and disassembly), up to TraceLimit lines (0 = 10000).
 	TraceWriter io.Writer
@@ -153,8 +171,9 @@ func (c *RunConfig) AttachTrace(v *vm.VM) {
 	}
 }
 
-// newHeap builds the RedFat heap for a hardened run.
-func (c *RunConfig) newHeap(m *mem.Memory) *redzone.Heap {
+// newHeap builds the RedFat heap for a hardened run. The VM supplies the
+// deterministic random stream for the under-allocation self-test mode.
+func (c *RunConfig) newHeap(v *vm.VM, m *mem.Memory) *redzone.Heap {
 	lf := lowfat.New(m)
 	lf.Randomize = c.RandomizeHeap
 	h := redzone.NewHeap(lf, m)
@@ -163,6 +182,11 @@ func (c *RunConfig) newHeap(m *mem.Memory) *redzone.Heap {
 		h.QuarantineBytes = 0
 	case c.QuarantineBytes > 0:
 		h.QuarantineBytes = uint64(c.QuarantineBytes)
+	}
+	h.Canary = c.Canary
+	if c.UnderAllocEvery > 0 {
+		h.UnderAllocEvery = c.UnderAllocEvery
+		h.Rand = v.NextRand
 	}
 	h.AttachTelemetry(c.Metrics)
 	return h
@@ -219,7 +243,7 @@ func RunHardened(bin *relf.Binary, cfg RunConfig) (*vm.VM, *Runtime, error) {
 	cfg.AttachFlight(v, m)
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
-	h := cfg.newHeap(m)
+	h := cfg.newHeap(v, m)
 	cfg.AttachForensics(v, h)
 	rt, err := NewRuntime(bin, h)
 	if err != nil {
@@ -227,7 +251,11 @@ func RunHardened(bin *relf.Binary, cfg RunConfig) (*vm.VM, *Runtime, error) {
 	}
 	rt.AttachTelemetry(cfg.Metrics, cfg.EventTrace)
 	InstallInlineChecks(v, map[*relf.Binary]*Runtime{bin: rt})
-	env := Merge(LibC(h, m), rt.Bindings())
+	env := LibC(h, m)
+	if !cfg.NoLibcCheck {
+		env = Merge(env, SpanLibC(h, m))
+	}
+	env = Merge(env, rt.Bindings())
 	if err := v.Load(bin, env); err != nil {
 		return v, rt, err
 	}
@@ -258,9 +286,12 @@ func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, [
 	cfg.AttachFlight(v, m)
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
-	h := cfg.newHeap(m)
+	h := cfg.newHeap(v, m)
 	cfg.AttachForensics(v, h)
 	libc := LibC(h, m)
+	if !cfg.NoLibcCheck {
+		libc = Merge(libc, SpanLibC(h, m))
+	}
 
 	var rts []*Runtime
 	mods := make(map[*relf.Binary]*Runtime)

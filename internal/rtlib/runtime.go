@@ -353,9 +353,13 @@ func (rt *Runtime) describe(c *Check, base, size, lb uint64) string {
 	if !ok {
 		return desc
 	}
+	tag := ""
+	if rt.Heap.UnderAllocated(id) {
+		tag = " (self-test under-allocation)"
+	}
 	if size == 0 && freePC != 0 {
-		return fmt.Sprintf("%s; object (%d bytes, allocated at %#x) freed at %#x",
-			desc, objSize, allocPC, freePC)
+		return fmt.Sprintf("%s; object (%d bytes, allocated at %#x) freed at %#x%s",
+			desc, objSize, allocPC, freePC, tag)
 	}
 	off := int64(lb) - int64(base+redzone.Size)
 	var where string
@@ -367,8 +371,8 @@ func (rt *Runtime) describe(c *Check, base, size, lb uint64) string {
 	default:
 		where = fmt.Sprintf("%d bytes into", off)
 	}
-	return fmt.Sprintf("%s; access %s a %d-byte object allocated at %#x",
-		desc, where, objSize, allocPC)
+	return fmt.Sprintf("%s; access %s a %d-byte object allocated at %#x%s",
+		desc, where, objSize, allocPC, tag)
 }
 
 // Coverage returns the dynamic full-check coverage: the fraction of

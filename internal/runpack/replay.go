@@ -128,6 +128,7 @@ func KnobsFromOptions(opt redfat.Options) *KnobSpec {
 		Profile:       opt.Profile,
 		MaxBatch:      opt.MaxBatch,
 		AllowList:     opt.AllowList != nil,
+		NoLibcCheck:   opt.NoLibcCheck,
 		ConfigHex:     hex.EncodeToString(core.EncodeConfig(opt)),
 	}
 }
@@ -328,14 +329,18 @@ func replayRun(p *Pack, man *Manifest) (*ReplayReport, error) {
 	}
 	spec := man.Run
 	res, runErr := redfat.Run(bin, redfat.RunOptions{
-		Input:        spec.Input,
-		Hardened:     spec.Hardened,
-		Memcheck:     spec.Memcheck,
-		AbortOnError: spec.Abort,
-		MaxCycles:    spec.MaxCycles,
-		Forensics:    spec.Forensics,
-		NoJIT:        spec.NoJIT,
-		JITThreshold: spec.JITThreshold,
+		Input:           spec.Input,
+		Hardened:        spec.Hardened,
+		Memcheck:        spec.Memcheck,
+		AbortOnError:    spec.Abort,
+		MaxCycles:       spec.MaxCycles,
+		Forensics:       spec.Forensics,
+		NoJIT:           spec.NoJIT,
+		JITThreshold:    spec.JITThreshold,
+		NoLibcCheck:     spec.NoLibcCheck,
+		QuarantineBytes: spec.QuarantineBytes,
+		Canary:          spec.Canary,
+		UnderAllocEvery: spec.UnderAllocEvery,
 	})
 	if res == nil {
 		return nil, runErr

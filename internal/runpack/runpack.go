@@ -95,6 +95,13 @@ type RunSpec struct {
 	// belt-and-suspenders for replay).
 	NoJIT        bool   `json:"no_jit,omitempty"`
 	JITThreshold uint64 `json:"jit_threshold,omitempty"`
+	// Libc-interposition and allocator hardening modes. Unlike the tier
+	// knobs these are guest-visible (they change cycles and detections),
+	// so replay must restore them exactly.
+	NoLibcCheck     bool   `json:"no_libc_check,omitempty"`
+	QuarantineBytes int64  `json:"quarantine_bytes,omitempty"`
+	Canary          bool   `json:"canary,omitempty"`
+	UnderAllocEvery uint64 `json:"under_alloc_every,omitempty"`
 }
 
 // KnobSpec is the decoded .rf.config hardening configuration: which
@@ -114,6 +121,7 @@ type KnobSpec struct {
 	Profile       bool   `json:"profile,omitempty"`
 	MaxBatch      int    `json:"max_batch"`
 	AllowList     bool   `json:"allow_list,omitempty"`
+	NoLibcCheck   bool   `json:"no_libc_check,omitempty"`
 	ConfigHex     string `json:"config_hex,omitempty"` // raw .rf.config bytes
 }
 

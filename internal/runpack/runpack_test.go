@@ -158,6 +158,134 @@ func TestRunSpecRecordsJITConfig(t *testing.T) {
 	}
 }
 
+// TestRunSpecRecordsLibcAndAllocatorModes packs a libc-span detection run
+// under non-default hardening modes, checks the knobs round-trip through
+// the sealed manifest, replays byte-identically under them (the knobs are
+// guest-visible: replay without them would diverge), and rejects tampered
+// mode fields.
+func TestRunSpecRecordsLibcAndAllocatorModes(t *testing.T) {
+	c := juliet.LibcCases()[0] // OOB through memcpy: only the span check sees it
+	_, hard, _ := hardenCase(t, c, redfat.Defaults())
+	spec := RunSpec{Input: juliet.Trigger(c), Hardened: true,
+		QuarantineBytes: 4096, Canary: true, UnderAllocEvery: 64}
+	res, runErr := redfat.Run(hard, redfat.RunOptions{
+		Input: spec.Input, Hardened: true,
+		QuarantineBytes: spec.QuarantineBytes, Canary: spec.Canary,
+		UnderAllocEvery: spec.UnderAllocEvery,
+	})
+	if res == nil {
+		t.Fatalf("run produced no result: %v", runErr)
+	}
+	if len(res.Errors) == 0 {
+		t.Fatal("span check missed the libc overflow; replay test needs a detection")
+	}
+	hardData, err := hard.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "pack")
+	if err := PackRun(dir, []string{"-hardened", "-canary", "prog.relf"},
+		hardData, hard, spec, res, runErr, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	man, err := VerifyPath(dir)
+	if err != nil {
+		t.Fatalf("clean pack failed verify: %v", err)
+	}
+	if man.Run == nil || man.Run.NoLibcCheck || !man.Run.Canary ||
+		man.Run.QuarantineBytes != 4096 || man.Run.UnderAllocEvery != 64 {
+		t.Fatalf("mode config did not round-trip: %+v", man.Run)
+	}
+	p, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(p, man)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("replay diverged in %v", rep.Mismatched)
+	}
+	// Flipping any recorded mode knob must break the manifest seal.
+	edits := []struct {
+		name     string
+		old, new string
+	}{
+		{"canary", `"canary": true`, `"canary": false`},
+		{"quarantine", `"quarantine_bytes": 4096`, `"quarantine_bytes": 0`},
+		{"underalloc", `"under_alloc_every": 64`, `"under_alloc_every": 1`},
+	}
+	for _, e := range edits {
+		t.Run(e.name, func(t *testing.T) {
+			bad := tamper(t, dir, func(t *testing.T, dir string) {
+				path := filepath.Join(dir, ManifestName)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				edited := bytes.Replace(data, []byte(e.old), []byte(e.new), 1)
+				if bytes.Equal(edited, data) {
+					t.Fatalf("%s edit did not apply", e.name)
+				}
+				if err := os.WriteFile(path, edited, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if _, err := VerifyPath(bad); ExitCode(err) != ExitBadManifest {
+				t.Fatalf("tampered %s: exit %d (%v), want %d",
+					e.name, ExitCode(err), err, ExitBadManifest)
+			}
+		})
+	}
+}
+
+// TestRunSpecNoLibcCheckIdentity packs the same libc overflow case with
+// the span intrinsics disabled: the run must detect nothing, and replay
+// must restore the knob (replaying with checks on would re-detect and
+// diverge).
+func TestRunSpecNoLibcCheckIdentity(t *testing.T) {
+	c := juliet.LibcCases()[0]
+	_, hard, _ := hardenCase(t, c, redfat.Defaults())
+	spec := RunSpec{Input: juliet.Trigger(c), Hardened: true, NoLibcCheck: true}
+	res, runErr := redfat.Run(hard, redfat.RunOptions{
+		Input: spec.Input, Hardened: true, NoLibcCheck: true,
+	})
+	if res == nil {
+		t.Fatalf("run produced no result: %v", runErr)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("libc checks disabled but run still detected: %v", res.Errors)
+	}
+	hardData, err := hard.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "pack")
+	if err := PackRun(dir, []string{"-hardened", "-nolibccheck", "prog.relf"},
+		hardData, hard, spec, res, runErr, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	man, err := VerifyPath(dir)
+	if err != nil {
+		t.Fatalf("clean pack failed verify: %v", err)
+	}
+	if man.Run == nil || !man.Run.NoLibcCheck {
+		t.Fatalf("no_libc_check did not round-trip: %+v", man.Run)
+	}
+	p, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(p, man)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("replay diverged in %v", rep.Mismatched)
+	}
+}
+
 func TestRewritePackReplayAcrossKnobMatrix(t *testing.T) {
 	base := redfat.Defaults()
 	o0 := base

@@ -102,6 +102,7 @@ const (
 	ErrUseAfterFree
 	ErrCorruptMeta
 	ErrInvalidFree
+	ErrOverlap
 )
 
 // String names the error kind.
@@ -117,6 +118,8 @@ func (k MemErrorKind) String() string {
 		return "corrupted metadata"
 	case ErrInvalidFree:
 		return "invalid free"
+	case ErrOverlap:
+		return "overlapping copy"
 	}
 	return "memory error"
 }
@@ -378,6 +381,9 @@ type vmMetrics struct {
 	jitDeopts    *telemetry.Counter // deopts back to the interpreter (all reasons)
 	jitDeoptBy   [NumDeoptReasons]*telemetry.Counter
 	jitCompileNS *telemetry.Histogram // wall-clock nanoseconds per compile
+
+	libcSpanChecks *telemetry.Counter // hardened-libc span checks executed
+	libcSpanFails  *telemetry.Counter // hardened-libc span checks that flagged
 }
 
 // AttachTelemetry binds the VM's dispatch-level metrics to reg and its
@@ -412,6 +418,9 @@ func (v *VM) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		jitInsts:     reg.Counter("vm.jit.exec.insts"),
 		jitDeopts:    reg.Counter("vm.jit.deopt.count"),
 		jitCompileNS: reg.Histogram("vm.jit.compile.ns", telemetry.Pow2Bounds(10, 20)),
+
+		libcSpanChecks: reg.Counter("vm.libc.span.check.count"),
+		libcSpanFails:  reg.Counter("vm.libc.span.fail.count"),
 	}
 	for op := 0; op < isa.NumOps; op++ {
 		t.retired[op] = reg.Counter("vm.retired." + isa.Op(op).String())
@@ -507,6 +516,23 @@ func (v *VM) Report(e MemError) error {
 		return &cp
 	}
 	return nil
+}
+
+// CountLibcSpanCheck records one hardened-libc span check execution in
+// the attached telemetry. Nil-safe: without a registry it is a single
+// branch, and it never touches guest cycle accounting.
+func (v *VM) CountLibcSpanCheck() {
+	if v.tel != nil {
+		v.tel.libcSpanChecks.Inc()
+	}
+}
+
+// CountLibcSpanFail records one hardened-libc span check that flagged a
+// violation. Nil-safe like CountLibcSpanCheck.
+func (v *VM) CountLibcSpanFail() {
+	if v.tel != nil {
+		v.tel.libcSpanFails.Inc()
+	}
 }
 
 // maxBacktraceScan bounds the stack words examined per frame-walk, so a

@@ -44,6 +44,7 @@ const (
 	KAnti                     // (array−K)[i] anti-idiom accesses (false positives)
 	KBugUnder                 // planted array[-1] OOB reads
 	KBugOver                  // planted array[n] OOB read
+	KCustom                   // emitted by the Kern's own Emit function
 )
 
 // Kern instantiates a kernel within a benchmark. Its position in the
@@ -52,6 +53,10 @@ type Kern struct {
 	Kind       KernKind
 	ScaleShift uint  // kernel iterations = scale >> ScaleShift (min 1)
 	Param      int64 // kernel-specific: site count for KAnti/KBugUnder
+
+	// Emit generates a KCustom kernel body (prologue through Ret); used
+	// by the libc-intrinsic twins, which live outside the catalogue.
+	Emit func(*emitter)
 }
 
 // emitter state shared while generating one benchmark.
@@ -140,6 +145,8 @@ func EmitKernel(b *asm.Builder, name string, k Kern) {
 		e.bugUnder(int(k.Param))
 	case KBugOver:
 		e.bugOver()
+	case KCustom:
+		k.Emit(e)
 	default:
 		panic("workload: unknown kernel kind")
 	}

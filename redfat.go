@@ -296,6 +296,23 @@ type RunOptions struct {
 	AbortOnError bool
 	// RandomizeHeap enables low-fat allocator placement randomization.
 	RandomizeHeap bool
+	// NoLibcCheck disables the hardened libc span intrinsics (and, under
+	// Memcheck, its libc interposition), reverting the modelled libc to
+	// unchecked baseline bindings. Guest-visible — span checks charge
+	// cycles and produce detections — so it is recorded in runpacks.
+	NoLibcCheck bool
+	// QuarantineBytes overrides the redzone heap's delayed-reuse
+	// quarantine budget (-1 disables quarantine, 0 keeps the default,
+	// >0 sets the byte budget). Hardened runs only.
+	QuarantineBytes int64
+	// Canary arms canary-poisoned redzones: allocation slack is filled
+	// with a canary byte verified on free and on span-check crossings.
+	// Hardened runs only.
+	Canary bool
+	// UnderAllocEvery, when >0, under-allocates roughly one in every N
+	// heap objects by one byte (the REDFAT_TEST self-test mode,
+	// deterministic via the VM's random stream). Hardened runs only.
+	UnderAllocEvery uint64
 	// Trace, when set, receives an execution trace (one disassembled
 	// instruction per line), capped at TraceLimit lines (0 = 10000).
 	Trace      io.Writer
@@ -378,23 +395,27 @@ type Result struct {
 // Run executes a binary on the RF64 VM.
 func Run(bin *Binary, opt RunOptions) (*Result, error) {
 	cfg := rtlib.RunConfig{
-		Input:          opt.Input,
-		MaxCycles:      opt.MaxCycles,
-		Abort:          opt.AbortOnError,
-		RandomizeHeap:  opt.RandomizeHeap,
-		TraceWriter:    opt.Trace,
-		TraceLimit:     opt.TraceLimit,
-		Metrics:        opt.Metrics,
-		EventTrace:     opt.EventTrace,
-		NoBlockCache:   opt.NoBlockCache,
-		NoChain:        opt.NoChain,
-		NoTLB:          opt.NoTLB,
-		NoJIT:          opt.NoJIT,
-		JITThreshold:   opt.JITThreshold,
-		Forensics:      opt.Forensics,
-		ForensicsDepth: opt.ForensicsDepth,
-		Profiler:       opt.Profiler,
-		Flight:         opt.Flight,
+		Input:           opt.Input,
+		MaxCycles:       opt.MaxCycles,
+		Abort:           opt.AbortOnError,
+		RandomizeHeap:   opt.RandomizeHeap,
+		NoLibcCheck:     opt.NoLibcCheck,
+		QuarantineBytes: opt.QuarantineBytes,
+		Canary:          opt.Canary,
+		UnderAllocEvery: opt.UnderAllocEvery,
+		TraceWriter:     opt.Trace,
+		TraceLimit:      opt.TraceLimit,
+		Metrics:         opt.Metrics,
+		EventTrace:      opt.EventTrace,
+		NoBlockCache:    opt.NoBlockCache,
+		NoChain:         opt.NoChain,
+		NoTLB:           opt.NoTLB,
+		NoJIT:           opt.NoJIT,
+		JITThreshold:    opt.JITThreshold,
+		Forensics:       opt.Forensics,
+		ForensicsDepth:  opt.ForensicsDepth,
+		Profiler:        opt.Profiler,
+		Flight:          opt.Flight,
 	}
 	var (
 		v   *vm.VM
@@ -455,23 +476,27 @@ func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
 		return nil, fmt.Errorf("redfat: Memcheck does not support linked programs")
 	}
 	cfg := rtlib.RunConfig{
-		Input:          opt.Input,
-		MaxCycles:      opt.MaxCycles,
-		Abort:          opt.AbortOnError,
-		RandomizeHeap:  opt.RandomizeHeap,
-		TraceWriter:    opt.Trace,
-		TraceLimit:     opt.TraceLimit,
-		Metrics:        opt.Metrics,
-		EventTrace:     opt.EventTrace,
-		NoBlockCache:   opt.NoBlockCache,
-		NoChain:        opt.NoChain,
-		NoTLB:          opt.NoTLB,
-		NoJIT:          opt.NoJIT,
-		JITThreshold:   opt.JITThreshold,
-		Forensics:      opt.Forensics,
-		ForensicsDepth: opt.ForensicsDepth,
-		Profiler:       opt.Profiler,
-		Flight:         opt.Flight,
+		Input:           opt.Input,
+		MaxCycles:       opt.MaxCycles,
+		Abort:           opt.AbortOnError,
+		RandomizeHeap:   opt.RandomizeHeap,
+		NoLibcCheck:     opt.NoLibcCheck,
+		QuarantineBytes: opt.QuarantineBytes,
+		Canary:          opt.Canary,
+		UnderAllocEvery: opt.UnderAllocEvery,
+		TraceWriter:     opt.Trace,
+		TraceLimit:      opt.TraceLimit,
+		Metrics:         opt.Metrics,
+		EventTrace:      opt.EventTrace,
+		NoBlockCache:    opt.NoBlockCache,
+		NoChain:         opt.NoChain,
+		NoTLB:           opt.NoTLB,
+		NoJIT:           opt.NoJIT,
+		JITThreshold:    opt.JITThreshold,
+		Forensics:       opt.Forensics,
+		ForensicsDepth:  opt.ForensicsDepth,
+		Profiler:        opt.Profiler,
+		Flight:          opt.Flight,
 	}
 	v, rts, err := rtlib.RunLinked(main, libs, cfg)
 	res := &Result{}
