@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet rfvet build test race perf-smoke trace-smoke replay-smoke obs-smoke bench-smoke bench-host bench-history clean
+.PHONY: check fmt vet rfvet build test race perf-smoke trace-smoke replay-smoke obs-smoke edge-audit-smoke bench-smoke bench-host bench-history clean
 
 # check is the tier-1 gate: formatting, static analysis (go vet plus the
 # repo-specific rfvet rules), build, tests (which include the TLB perf
 # smoke, see perf-smoke), a race-detector pass over the concurrent
-# harness (short mode), the runpack replay smoke, and the live
-# introspection smoke.
-check: fmt vet rfvet build test race replay-smoke obs-smoke
+# harness (short mode), the runpack replay smoke, the live introspection
+# smoke, and the indirect-edge audit smoke.
+check: fmt vet rfvet build test race replay-smoke obs-smoke edge-audit-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -65,6 +65,15 @@ replay-smoke:
 obs-smoke:
 	$(GO) test -run 'TestEndpoints|TestFlight|TestServerBeforePublish' -v ./internal/obs/
 	$(GO) test -run TestCLIObsSmoke -v .
+
+# edge-audit-smoke drives the indirect-flow recovery contract end to
+# end: rfgen emits the switch-dense and broken-jump-table corpora,
+# rfverify -edges audits every recovered edge on each original, full
+# translation validation runs under both -noindirect settings, and every
+# seeded unsound-edge mutant class must be rejected. See DESIGN.md §17.
+edge-audit-smoke:
+	$(GO) test -run TestCLIEdgeAuditSmoke -v .
+	$(GO) test -run TestEdgeAudit -v ./internal/verify/
 
 # bench-smoke regenerates a down-scaled Table 1 with JSON export, as a
 # fast end-to-end exercise of the experiment harness.

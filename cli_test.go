@@ -568,6 +568,45 @@ func TestCLIProfileWorkflow(t *testing.T) {
 
 // TestCLIGen exercises rfgen and feeds one generated binary back through
 // the pipeline.
+// TestCLIEdgeAuditSmoke drives the indirect-edge audit end to end: emit
+// the switch-dense corpus and the broken-jump-table negative corpus with
+// rfgen, audit every original with rfverify -edges (the adversarial
+// binaries pass by staying Unknown — no claims, nothing unsound), and
+// run full translation validation on the marker-built benchmarks under
+// both -noindirect settings. `make edge-audit-smoke` runs exactly this
+// test plus the seeded unsound-edge mutant suite in internal/verify.
+func TestCLIEdgeAuditSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI tools")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	if out, code := runTool(t, bin, "rfgen", "-switch", "-o", work); code != 0 {
+		t.Fatalf("rfgen -switch: %d %s", code, out)
+	}
+	if out, code := runTool(t, bin, "rfgen", "-adversarial", "-o", work); code != 0 {
+		t.Fatalf("rfgen -adversarial: %d %s", code, out)
+	}
+	for _, name := range []string{"interp", "fsm", "jtoverclaim", "jtunaligned", "jtdecoy"} {
+		orig := filepath.Join(work, name+".relf")
+		if out, code := runTool(t, bin, "rfverify", "-edges", orig); code != 0 {
+			t.Errorf("rfverify -edges %s: %d %s", name, code, out)
+		}
+	}
+	for _, name := range []string{"interp", "fsm"} {
+		orig := filepath.Join(work, name+".relf")
+		for _, noind := range []string{"-noindirect=false", "-noindirect=true"} {
+			hard := filepath.Join(work, name+".hard.relf")
+			if out, code := runTool(t, bin, "redfat", noind, "-o", hard, orig); code != 0 {
+				t.Fatalf("redfat %s %s: %d %s", noind, name, code, out)
+			}
+			if out, code := runTool(t, bin, "rfverify", "-orig", orig, hard); code != 0 {
+				t.Errorf("rfverify -orig %s (%s): %d %s", name, noind, code, out)
+			}
+		}
+	}
+}
+
 func TestCLIGen(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the CLI tools")

@@ -41,6 +41,7 @@ func main() {
 	merge := flag.Bool("merge", true, "enable check merging")
 	elimDom := flag.Bool("elimdom", true, "enable dominator-based redundant-check elimination")
 	localLive := flag.Bool("local-liveness", false, "restrict liveness to block-local scans (ablation)")
+	noIndirect := flag.Bool("noindirect", false, "disable indirect-flow recovery in the dataflow engine (ablation)")
 	noLibc := flag.Bool("nolibccheck", false, "record that the binary deploys without the hardened libc intrinsics")
 	o0 := flag.Bool("O0", false, "disable all optimizations")
 	profileMode := flag.Bool("profile", false, "build the profiling-phase binary")
@@ -74,6 +75,7 @@ func main() {
 		Merge:         *merge && !*o0,
 		ElimDom:       *elimDom && !*o0,
 		LocalLiveness: *localLive,
+		NoIndirect:    *noIndirect,
 		Profile:       *profileMode,
 		MaxBatch:      *maxBatch,
 		NoLibcCheck:   *noLibc,

@@ -173,9 +173,9 @@ func run() error {
 	if *all || *table1 {
 		ran = true
 		fmt.Fprintf(w, "=== Table 1: SPEC CPU2006 (scale %.2f) ===\n", *scale)
-		fmt.Fprintf(w, "%-12s %7s %12s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+		fmt.Fprintf(w, "%-12s %7s %12s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n",
 			"benchmark", "cover", "baseline", "unopt", "+elim", "+batch",
-			"+merge", "+dom", "-size", "-reads", "memcheck")
+			"+merge", "+dom", "+ind", "-size", "-reads", "memcheck")
 		rows, err := h.Table1(*scale, w)
 		if err != nil {
 			return err
@@ -247,6 +247,12 @@ func run() error {
 			return err
 		}
 		abl.Dataflow = dflow
+		fmt.Fprintln(w, "\n=== Ablation: indirect-flow recovery (switch-dense suite) ===")
+		ind, err := h.IndirectSweep(nil, *scale, w)
+		if err != nil {
+			return err
+		}
+		abl.Indirect = ind
 		fmt.Fprintln(w, "\n=== Ablation: coverage-guided profiling boost (h264ref) ===")
 		fz, err := h.FuzzBoostStudy("h264ref", []int{1, 50, 200}, w)
 		if err != nil {

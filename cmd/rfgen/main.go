@@ -8,6 +8,8 @@
 //	rfgen -cve   -o dir       the four CVE models
 //	rfgen -juliet -o dir      the 480-case Juliet CWE-122 suite
 //	rfgen -chrome -o dir      the Chrome-scale image
+//	rfgen -switch -o dir      the switch-dense marker-built benchmarks
+//	rfgen -adversarial -o dir the broken-jump-table negative corpus
 //
 // Each binary is accompanied by a ".input" file holding the ref workload
 // (or attack) input vector, one value per line, usable with
@@ -34,8 +36,10 @@ func main() {
 	jl := flag.Bool("juliet", false, "emit the Juliet CWE-122 suite")
 	chrome := flag.Bool("chrome", false, "emit the Chrome-scale image")
 	fillers := flag.Int("fillers", 8000, "Chrome-scale filler functions")
+	sw := flag.Bool("switch", false, "emit the switch-dense marker-built benchmarks")
+	adv := flag.Bool("adversarial", false, "emit the broken-jump-table negative corpus")
 	flag.Parse()
-	if !*spec && !*cve && !*jl && !*chrome {
+	if !*spec && !*cve && !*jl && !*chrome && !*sw && !*adv {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -90,6 +94,24 @@ func main() {
 			fatal(err)
 		}
 		emit("chrome", bin, []uint64{0, 5000})
+	}
+	if *sw {
+		for _, bm := range workload.SwitchDense() {
+			bin, err := bm.Build()
+			if err != nil {
+				fatal(err)
+			}
+			emit(bm.Name, bin, bm.RefInput())
+		}
+	}
+	if *adv {
+		for _, ac := range workload.Adversarial() {
+			bin, err := ac.Build()
+			if err != nil {
+				fatal(err)
+			}
+			emit(ac.Bench.Name, bin, ac.Bench.RefInput())
+		}
 	}
 	fmt.Printf("rfgen: wrote %d binaries to %s\n", n, *out)
 }

@@ -5,14 +5,19 @@
 //
 //	rfverify -orig prog.relf prog.hard.relf   full validation
 //	rfverify prog.hard.relf                   structural checks only
+//	rfverify -edges prog.relf                 indirect-edge audit only
 //
 // With -orig, every patched site is round-tripped through its
 // trampoline, byte stealing is audited against recovered jump targets,
 // trampoline save sets are compared with a whole-CFG liveness solution,
-// and every operand the recorded policy selects must be protected by a
-// check. Without -orig only the metadata and trampoline structure can
-// be checked. Neither binary is executed. Exit status 1 means the
-// binary failed validation; 2 means the inputs were unusable.
+// every operand the recorded policy selects must be protected by a
+// check, and — for marker-built originals — every recovered indirect
+// edge is independently re-derived. Without -orig only the metadata and
+// trampoline structure can be checked. With -edges the argument is an
+// ORIGINAL (unhardened) marker-built binary and only the indirect-flow
+// recovery is audited against its own claims. Neither binary is
+// executed. Exit status 1 means the binary failed validation; 2 means
+// the inputs were unusable.
 package main
 
 import (
@@ -25,10 +30,11 @@ import (
 
 func main() {
 	orig := flag.String("orig", "", "original (pre-hardening) binary for full validation")
+	edges := flag.Bool("edges", false, "audit only the indirect-flow recovery of an ORIGINAL marker-built binary")
 	quiet := flag.Bool("q", false, "suppress the summary line; violations only")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rfverify [-orig original.relf] hardened.relf")
+		fmt.Fprintln(os.Stderr, "usage: rfverify [-orig original.relf | -edges] binary.relf")
 		os.Exit(2)
 	}
 
@@ -38,7 +44,13 @@ func main() {
 		os.Exit(2)
 	}
 	var rep *redfat.VerifyReport
-	if *orig != "" {
+	if *edges {
+		rep, err = redfat.VerifyEdges(hard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfverify:", err)
+			os.Exit(2)
+		}
+	} else if *orig != "" {
 		ob, err := redfat.LoadBinary(*orig)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rfverify:", err)

@@ -25,7 +25,20 @@
 //     published server states feed golden-tested endpoints, so feeding
 //     either from a map range would break their determinism contracts.
 //
-// Test files are exempt from both rules. Exit status is 1 when any
+//   - cfg-unknown: any function that walks Block.Succs on the cfg
+//     Block type must acknowledge Unknown blocks. An Unknown block's
+//     successor set is ⊤ (an unmodeled indirect transfer) but its
+//     recorded Succs slice is empty, so a plain successor walk silently
+//     treats ⊤ as ∅ — exactly the unsoundness the indirect-flow
+//     recovery exists to shrink, not hide. Accepted acknowledgments:
+//     the same function references .Unknown, or .Entry/.Entries (the
+//     virtual-root construction that makes every block — including
+//     Unknown targets — reachable, which is how the dominator and
+//     availability solvers stay conservative), or a comment in or on
+//     the function contains the word "Unknown" explaining why ⊤ is
+//     safe there.
+//
+// Test files are exempt from all rules. Exit status is 1 when any
 // issue is found, 2 when the module cannot be loaded.
 package main
 
@@ -188,7 +201,8 @@ func (v *vetter) check(dir, pkgPath string) (*types.Package, *pkgFiles, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(v.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		f, err := parser.ParseFile(v.fset, filepath.Join(dir, name), nil,
+			parser.SkipObjectResolution|parser.ParseComments)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -238,6 +252,7 @@ func (v *vetter) vetDir(dir string) error {
 	}
 	v.checkTelemetryNames(pf)
 	v.checkMapEmit(pf)
+	v.checkCFGUnknown(pf)
 	return nil
 }
 
@@ -439,4 +454,78 @@ func (v *vetter) checkMapEmit(pf *pkgFiles) {
 			return true
 		})
 	}
+}
+
+// isCFGBlock reports whether expr has the cfg Block type (or a pointer
+// to it). Like isRegistry, missing type information falls back to the
+// conservative answer true.
+func (v *vetter) isCFGBlock(pf *pkgFiles, expr ast.Expr) bool {
+	tv, ok := pf.info.Types[expr]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Block" && strings.HasSuffix(n.Obj().Pkg().Path(), "internal/cfg")
+}
+
+// checkCFGUnknown flags functions that read Block.Succs without
+// acknowledging Unknown blocks anywhere in the same function: an
+// Unknown block records no successors, so an unacknowledged walk treats
+// ⊤ as ∅. Referencing .Unknown, .Entry, or .Entries counts (the latter
+// two because the virtual-root entry set is how whole-graph solvers
+// stay conservative under Unknown flow), as does a comment containing
+// "Unknown" in or on the function.
+func (v *vetter) checkCFGUnknown(pf *pkgFiles) {
+	for _, f := range pf.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			succsPos := token.NoPos
+			acknowledged := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Succs":
+					if succsPos == token.NoPos && v.isCFGBlock(pf, sel.X) {
+						succsPos = sel.Pos()
+					}
+				case "Unknown", "Entry", "Entries":
+					acknowledged = true
+				}
+				return true
+			})
+			if succsPos == token.NoPos || acknowledged || mentionsUnknown(f, fd) {
+				continue
+			}
+			v.report(succsPos,
+				"cfg-unknown: %s walks Block.Succs without acknowledging Unknown blocks (⊤ has no recorded successors); check .Unknown, seed from Entries, or document why ⊤ is safe here",
+				fd.Name.Name)
+		}
+	}
+}
+
+// mentionsUnknown reports whether the function's doc comment or any
+// comment inside its body contains the word "Unknown".
+func mentionsUnknown(f *ast.File, fd *ast.FuncDecl) bool {
+	if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "Unknown") {
+		return true
+	}
+	for _, cg := range f.Comments {
+		if cg.Pos() >= fd.Pos() && cg.End() <= fd.End() && strings.Contains(cg.Text(), "Unknown") {
+			return true
+		}
+	}
+	return false
 }

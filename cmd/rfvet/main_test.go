@@ -270,3 +270,81 @@ func otherType(m map[string]int) {
 		t.Errorf("want exactly 1 issue, got %d: %v", len(msgs), msgs)
 	}
 }
+
+// TestCFGUnknownRule pins the cfg-unknown rule: walking Block.Succs
+// without acknowledging Unknown blocks is flagged, while each accepted
+// acknowledgment form (.Unknown check, Entries seeding, an explanatory
+// comment) and non-cfg Block types pass untouched.
+func TestCFGUnknownRule(t *testing.T) {
+	v := writeTree(t, map[string]string{
+		"internal/cfg/cfg.go": `package cfg
+type Block struct {
+	Succs   []int
+	Preds   []int
+	Unknown bool
+	Entry   bool
+}
+type Graph struct {
+	Blocks  []Block
+	Entries []int
+}
+`,
+		"internal/use/use.go": `package use
+import "tmpmod/internal/cfg"
+func badWalk(g *cfg.Graph) int { // flagged: treats the empty Succs of a top block as proven
+	n := 0
+	for b := range g.Blocks {
+		n += len(g.Blocks[b].Succs)
+	}
+	return n
+}
+func goodCheck(g *cfg.Graph) int {
+	n := 0
+	for b := range g.Blocks {
+		if g.Blocks[b].Unknown {
+			continue
+		}
+		n += len(g.Blocks[b].Succs)
+	}
+	return n
+}
+func goodEntries(g *cfg.Graph) []int {
+	work := append([]int(nil), g.Entries...)
+	for _, b := range work {
+		work = append(work, g.Blocks[b].Succs...)
+	}
+	return work
+}
+// goodDoc only counts proven edges; Unknown blocks contribute none,
+// which is fine for a lower bound.
+func goodDoc(g *cfg.Graph) int {
+	n := 0
+	for b := range g.Blocks {
+		n += len(g.Blocks[b].Succs)
+	}
+	return n
+}
+func goodBodyComment(g *cfg.Graph) int {
+	n := 0
+	for b := range g.Blocks {
+		// Unknown blocks record no successors; a lower bound is fine here.
+		n += len(g.Blocks[b].Succs)
+	}
+	return n
+}
+type other struct{ Succs []int }
+func otherType(xs []other) int { // not the cfg Block: allowed
+	n := 0
+	for i := range xs {
+		n += len(xs[i].Succs)
+	}
+	return n
+}
+`,
+	})
+	msgs := runVet(t, v)
+	wantIssue(t, msgs, "cfg-unknown: badWalk walks Block.Succs")
+	if len(msgs) != 1 {
+		t.Errorf("want exactly 1 issue, got %d: %v", len(msgs), msgs)
+	}
+}

@@ -98,6 +98,7 @@ func main() {
 	noChain := flag.Bool("nochain", false, "disable block chaining (host A/B validation)")
 	noTLB := flag.Bool("notlb", false, "disable the guest-memory software TLB (host A/B validation)")
 	noJIT := flag.Bool("nojit", false, "disable the superblock trace tier (host A/B validation)")
+	noIndirect := flag.Bool("noindirect", false, "disable the recovered-edge monitor for marker-built binaries (host A/B validation)")
 	jitThreshold := flag.Uint64("jit-threshold", 0, "block hotness before trace compilation (0 = default)")
 	noLibc := flag.Bool("nolibccheck", false, "disable the hardened libc span intrinsics (ablation; guest-visible)")
 	quarantine := flag.Int64("quarantine", 0, "free-quarantine byte budget (-1 disables, 0 default; hardened runs)")
@@ -153,6 +154,7 @@ func main() {
 		NoChain:      *noChain,
 		NoTLB:        *noTLB,
 		NoJIT:        *noJIT,
+		NoIndirect:   *noIndirect,
 		JITThreshold: *jitThreshold,
 
 		NoLibcCheck:     *noLibc,
@@ -322,6 +324,7 @@ func main() {
 			MaxCycles:    *max,
 			Forensics:    true,
 			NoJIT:        *noJIT,
+			NoIndirect:   *noIndirect,
 			JITThreshold: *jitThreshold,
 
 			NoLibcCheck:     *noLibc,

@@ -63,6 +63,13 @@ type dataFixup struct {
 	sym    string // symbol whose address is written (8 bytes, LE)
 }
 
+// jtRec records one declared jump table (a rodata global) so Build can
+// emit the .rf.jt metadata section the indirect-flow recovery trusts.
+type jtRec struct {
+	name    string
+	entries uint32
+}
+
 // Builder incrementally assembles a program.
 type Builder struct {
 	opts    Options
@@ -70,7 +77,9 @@ type Builder struct {
 	labels  map[string]int // label name → item index it precedes
 	funcs   []relf.Symbol  // accumulated function symbols (sizes fixed later)
 	globals []global
+	rodata  []global
 	bss     []global
+	jts     []jtRec
 	fixups  []dataFixup
 	imports []string
 	entry   string
@@ -164,12 +173,36 @@ func (b *Builder) GlobalU64(name string, vals ...uint64) {
 }
 
 // FuncTable defines an initialized global holding the addresses of the
-// given symbols (a jump table), resolved at build time.
+// given symbols (a jump table), resolved at build time. The table lives in
+// writable .data and is NOT declared in .rf.jt, so the indirect-flow
+// recovery must leave jumps through it Unknown; use JumpTable for a
+// recoverable one.
 func (b *Builder) FuncTable(name string, syms ...string) {
 	b.Global(name, make([]byte, 8*len(syms)))
 	for i, s := range syms {
 		b.fixups = append(b.fixups, dataFixup{global: name, offset: uint64(8 * i), sym: s})
 	}
+}
+
+// ROData defines an initialized object in the read-only data section.
+func (b *Builder) ROData(name string, data []byte) {
+	b.rodata = append(b.rodata, global{name: name, data: data,
+		size: uint64(len(data)), align: 8})
+}
+
+// JumpTable defines a word-aligned jump table in .rodata holding the
+// addresses of the given symbols, and declares it in the .rf.jt metadata
+// section with a relocation record per entry. Declaring any jump table
+// (or emitting any LPAD) marks the binary as marker-built: the VM then
+// enforces that indirect branches land on LPAD instructions, and the
+// indirect-flow recovery in internal/cfg may resolve jumps through the
+// table to its entries.
+func (b *Builder) JumpTable(name string, syms ...string) {
+	b.ROData(name, make([]byte, 8*len(syms)))
+	for i, s := range syms {
+		b.fixups = append(b.fixups, dataFixup{global: name, offset: uint64(8 * i), sym: s})
+	}
+	b.jts = append(b.jts, jtRec{name: name, entries: uint32(len(syms))})
 }
 
 // Zero defines a zero-initialized (BSS) object.
@@ -274,6 +307,9 @@ func (b *Builder) Ret() { b.Emit(isa.Inst{Op: isa.RET, Form: isa.FNone}) }
 // Nop emits nop.
 func (b *Builder) Nop() { b.Emit(isa.Inst{Op: isa.NOP, Form: isa.FNone}) }
 
+// Lpad emits a landing-pad marker (a legal indirect-branch target).
+func (b *Builder) Lpad() { b.Emit(isa.Inst{Op: isa.LPAD, Form: isa.FNone}) }
+
 // Shift emits a shift by immediate.
 func (b *Builder) Shift(op isa.Op, r isa.Reg, count int64) {
 	b.Emit(isa.Inst{Op: op, Form: isa.FRI, Reg: r, Imm: count, Size: 8})
@@ -339,6 +375,40 @@ func (b *Builder) StoreGlobal(sym string, addend int64, src isa.Reg, size uint8)
 		fixAbsOrRIP(b.opts.PIC), sym, addend)
 }
 
+// LoadIndexed emits `mov sym(,idx,scale), dst` — the jump-table load
+// pattern the indirect-flow recovery slicer recognises. Position-dependent
+// code only: PIC tables would hold offsets, which recovery does not model.
+func (b *Builder) LoadIndexed(dst isa.Reg, sym string, idx isa.Reg, scale uint8, size uint8) {
+	if b.opts.PIC {
+		b.fail("asm: LoadIndexed requires position-dependent code")
+		return
+	}
+	b.emitFix(isa.Inst{Op: isa.MOV, Form: isa.FRM, Reg: dst,
+		Mem: isa.Mem{Base: isa.RegNone, Index: idx, Scale: scale}, Size: size},
+		fixMemAbs, sym, 0)
+}
+
+// JmpReg emits an indirect jump through a register.
+func (b *Builder) JmpReg(r isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.JMP, Form: isa.FR, Reg: r, Size: 8})
+}
+
+// JmpIndexed emits `jmp *sym(,idx,8)` — the memory-form table dispatch.
+func (b *Builder) JmpIndexed(sym string, idx isa.Reg) {
+	if b.opts.PIC {
+		b.fail("asm: JmpIndexed requires position-dependent code")
+		return
+	}
+	b.emitFix(isa.Inst{Op: isa.JMP, Form: isa.FM,
+		Mem: isa.Mem{Base: isa.RegNone, Index: idx, Scale: 8}, Size: 8},
+		fixMemAbs, sym, 0)
+}
+
+// CallReg emits an indirect call through a register.
+func (b *Builder) CallReg(r isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.CALL, Form: isa.FR, Reg: r, Size: 8})
+}
+
 func fixAbsOrRIP(pic bool) fixKind {
 	if pic {
 		return fixRIP
@@ -375,7 +445,26 @@ func (b *Builder) Build() (*relf.Binary, error) {
 		dataBytes = append(dataBytes, g.data...)
 		dataAddr += g.size
 	}
-	bssStart := (dataAddr + 0xFFF) &^ 0xFFF
+	// Read-only data follows .data on its own pages, so the page-granular
+	// memory protections keep it genuinely unwritable at run time (the
+	// property the jump-table recovery relies on).
+	roStart := (dataAddr + 0xFFF) &^ 0xFFF
+	roAddr := roStart
+	var roBytes []byte
+	for _, g := range b.rodata {
+		if g.align > 1 {
+			pad := (g.align - (roAddr % g.align)) % g.align
+			roAddr += pad
+			roBytes = append(roBytes, make([]byte, pad)...)
+		}
+		if _, dup := symAddr[g.name]; dup {
+			return nil, fmt.Errorf("asm: duplicate global %q", g.name)
+		}
+		symAddr[g.name] = roAddr
+		roBytes = append(roBytes, g.data...)
+		roAddr += g.size
+	}
+	bssStart := (roAddr + 0xFFF) &^ 0xFFF
 	bssAddr := bssStart
 	for _, g := range b.bss {
 		if g.align > 1 {
@@ -479,7 +568,7 @@ func (b *Builder) Build() (*relf.Binary, error) {
 		}
 	}
 
-	// Apply data fixups (jump tables).
+	// Apply data fixups (jump tables), in .data or .rodata.
 	for _, f := range b.fixups {
 		gaddr, ok := symAddr[f.global]
 		if !ok {
@@ -489,12 +578,16 @@ func (b *Builder) Build() (*relf.Binary, error) {
 		if !ok {
 			return nil, fmt.Errorf("asm: fixup to undefined symbol %q", f.sym)
 		}
-		off := gaddr - dataStart + f.offset
-		if off+8 > uint64(len(dataBytes)) {
+		bytes, start := dataBytes, dataStart
+		if gaddr >= roStart && len(roBytes) > 0 {
+			bytes, start = roBytes, roStart
+		}
+		off := gaddr - start + f.offset
+		if off+8 > uint64(len(bytes)) {
 			return nil, fmt.Errorf("asm: fixup outside global %q", f.global)
 		}
 		for j := 0; j < 8; j++ {
-			dataBytes[off+uint64(j)] = byte(target >> (8 * j))
+			bytes[off+uint64(j)] = byte(target >> (8 * j))
 		}
 	}
 
@@ -516,6 +609,29 @@ func (b *Builder) Build() (*relf.Binary, error) {
 		bin.AddSection(&relf.Section{
 			Name: ".data", Kind: relf.SecData, Addr: dataStart,
 			Size: uint64(len(dataBytes)), Data: dataBytes, Write: true,
+		})
+	}
+	if len(roBytes) > 0 {
+		bin.AddSection(&relf.Section{
+			Name: ".rodata", Kind: relf.SecROData, Addr: roStart,
+			Size: uint64(len(roBytes)), Data: roBytes,
+		})
+	}
+	marker := len(b.jts) > 0
+	for i := range b.items {
+		if b.items[i].inst.Op == isa.LPAD {
+			marker = true
+			break
+		}
+	}
+	if marker {
+		tables := make([]relf.JumpTable, len(b.jts))
+		for i, t := range b.jts {
+			tables[i] = relf.JumpTable{Addr: symAddr[t.name], Entries: t.entries}
+		}
+		bin.AddSection(&relf.Section{
+			Name: relf.JumpTableSection, Kind: relf.SecMeta,
+			Data: relf.EncodeJumpTables(tables),
 		})
 	}
 	if bssAddr > bssStart {
@@ -541,6 +657,10 @@ func (b *Builder) Build() (*relf.Binary, error) {
 	}
 	bin.Symbols = append(bin.Symbols, funcSyms...)
 	for _, g := range b.globals {
+		bin.Symbols = append(bin.Symbols,
+			relf.Symbol{Name: g.name, Addr: symAddr[g.name], Size: g.size})
+	}
+	for _, g := range b.rodata {
 		bin.Symbols = append(bin.Symbols,
 			relf.Symbol{Name: g.name, Addr: symAddr[g.name], Size: g.size})
 	}

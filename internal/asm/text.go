@@ -21,6 +21,8 @@ import (
 //	.byte v, v, ...              byte data
 //	.ascii "str" / .asciz "str"  string data
 //	.zero n                      BSS object (in .data)
+//	.jumptable name, l1, l2...   word-aligned read-only jump table of code
+//	                             labels, declared in .rf.jt (see internal/cfg)
 //
 // Instructions use AT&T operand order (src, dst), "$imm" immediates,
 // "%reg" registers, "disp(base,index,scale)" memory operands with
@@ -165,6 +167,16 @@ func (p *parser) directive(line string) error {
 		if dir == ".asciz" {
 			p.dataBuf = append(p.dataBuf, 0)
 		}
+		return nil
+	case ".jumptable":
+		if err := p.flushData(); err != nil {
+			return err
+		}
+		args := splitArgs(arg)
+		if len(args) < 2 {
+			return fmt.Errorf(".jumptable needs a name and at least one target label")
+		}
+		p.b.JumpTable(args[0], args[1:]...)
 		return nil
 	case ".zero":
 		n, err := parseInt(arg)

@@ -379,3 +379,140 @@ func (h *Harness) DataflowSweep(names []string, scale float64, w io.Writer) ([]D
 func DataflowSweep(names []string, scale float64, w io.Writer) ([]DataflowRow, error) {
 	return (&Harness{}).DataflowSweep(names, scale, w)
 }
+
+// IndirectRow reports one {indirect-flow recovery} × {dominator
+// elimination} combination over the switch-dense suite: total guest
+// cycles, the recovered-edge claims the rewriter made, and the dominated
+// checks it removed.
+type IndirectRow struct {
+	NoIndirect  bool    `json:"no_indirect"`
+	ElimDom     bool    `json:"elim_dom"`
+	TotalCycles uint64  `json:"total_cycles"`
+	Slowdown    float64 `json:"slowdown"`
+	Resolved    int     `json:"resolved"`       // recovered indirect-flow claims
+	Eliminated  int     `json:"elim_dominated"` // checks removed as dominated
+}
+
+// indirectCombos orders the knob matrix from least to most analysis:
+// recovery off first, the production default (recovery + dominator
+// elimination) last. The recovery-off/dom row is the interesting
+// counterfactual: eliminations its Unknown frontier blocks are exactly
+// what the +ind rows unlock.
+var indirectCombos = []struct{ noInd, elimDom bool }{
+	{true, false},  // no recovery, no dominator elimination
+	{true, true},   // no recovery, dominator elimination
+	{false, false}, // recovery, no dominator elimination
+	{false, true},  // recovery + dominator elimination (production)
+}
+
+// IndirectSweep measures the indirect-flow-recovery ablation: every
+// combination of {NoIndirect} × {ElimDom} over the named benchmarks
+// (nil = the switch-dense suite, the marker-built workloads where
+// recovery has edges to find). Builds and baselines run once per
+// benchmark, serially; the benchmark × configuration grid fans out as
+// pool units. Every cell's exit checksum is asserted against the
+// baseline — recovery must never change guest results.
+func (h *Harness) IndirectSweep(names []string, scale float64, w io.Writer) ([]IndirectRow, error) {
+	var bms []*workload.Benchmark
+	if names == nil {
+		bms = workload.SwitchDense()
+	} else {
+		for _, name := range names {
+			bm := workload.ByName(name)
+			if bm == nil {
+				return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+			}
+			bms = append(bms, bm)
+		}
+	}
+	type prep struct {
+		bm    *workload.Benchmark
+		bin   *relf.Binary
+		base  uint64
+		exitC uint64
+	}
+	preps := make([]*prep, len(bms))
+	for i, bm := range bms {
+		bm = scaled(bm, scale)
+		bin, err := bm.Build()
+		if err != nil {
+			return nil, err
+		}
+		v, err := rtlib.RunBaseline(bin, rtlib.RunConfig{Input: bm.RefInput(), Metrics: h.Metrics})
+		if err != nil {
+			return nil, err
+		}
+		preps[i] = &prep{bm: bm, bin: bin, base: v.Cycles, exitC: v.ExitCode}
+	}
+	type cell struct {
+		cycles   uint64
+		resolved int
+		elim     int
+	}
+	nc := len(indirectCombos)
+	cells, err := fanOut(h, "indirect", len(preps)*nc,
+		func(i int) string {
+			c := indirectCombos[i%nc]
+			return fmt.Sprintf("%s/noind=%v,dom=%v", preps[i/nc].bm.Name, c.noInd, c.elimDom)
+		},
+		func(i int, reg *telemetry.Registry) (cell, error) {
+			p, c := preps[i/nc], indirectCombos[i%nc]
+			opt := redfat.Defaults()
+			opt.NoIndirect = c.noInd
+			opt.ElimDom = c.elimDom
+			hard, rep, err := redfat.Harden(p.bin, opt)
+			if err != nil {
+				return cell{}, err
+			}
+			v, _, err := rtlib.RunHardened(hard,
+				rtlib.RunConfig{Input: p.bm.RefInput(), NoIndirect: c.noInd, Metrics: reg})
+			if err != nil {
+				return cell{}, err
+			}
+			if v.ExitCode != p.exitC {
+				return cell{}, fmt.Errorf("bench: %s checksum changed under noind=%v dom=%v",
+					p.bm.Name, c.noInd, c.elimDom)
+			}
+			return cell{cycles: v.Cycles, resolved: rep.IndirectResolved,
+				elim: rep.ElimDominated}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var baseTotal uint64
+	for _, p := range preps {
+		baseTotal += p.base
+	}
+	rows := make([]IndirectRow, nc)
+	for ci, c := range indirectCombos {
+		var total uint64
+		var resolved, elim int
+		for bi := range preps {
+			cl := cells[bi*nc+ci]
+			total += cl.cycles
+			resolved += cl.resolved
+			elim += cl.elim
+		}
+		rows[ci] = IndirectRow{
+			NoIndirect: c.noInd, ElimDom: c.elimDom,
+			TotalCycles: total, Slowdown: float64(total) / float64(baseTotal),
+			Resolved: resolved, Eliminated: elim,
+		}
+	}
+	if w != nil {
+		for _, r := range rows {
+			fmt.Fprintf(w, "noindirect=%-5v elimdom=%-5v: %14d cycles %6.2fx  resolved %4d  elim-dominated %5d\n",
+				r.NoIndirect, r.ElimDom, r.TotalCycles, r.Slowdown, r.Resolved, r.Eliminated)
+		}
+		blocked, unlocked := rows[1], rows[len(rows)-1]
+		fmt.Fprintf(w, "recovered edges unlocked %d dominated-check eliminations (%d → %d) and saved %d cycles\n",
+			unlocked.Eliminated-blocked.Eliminated, blocked.Eliminated, unlocked.Eliminated,
+			int64(blocked.TotalCycles)-int64(unlocked.TotalCycles))
+	}
+	return rows, nil
+}
+
+// IndirectSweep is the serial form of Harness.IndirectSweep.
+func IndirectSweep(names []string, scale float64, w io.Writer) ([]IndirectRow, error) {
+	return (&Harness{}).IndirectSweep(names, scale, w)
+}

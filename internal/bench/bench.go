@@ -66,6 +66,7 @@ type Table1Row struct {
 	Batch    float64 `json:"batch"`
 	Merge    float64 `json:"merge"`
 	Dom      float64 `json:"dom"`
+	Ind      float64 `json:"ind"`
 	NoSize   float64 `json:"nosize"`
 	NoReads  float64 `json:"noreads"`
 	Memcheck float64 `json:"memcheck"`
@@ -75,9 +76,12 @@ type Table1Row struct {
 }
 
 // table1Configs returns the instrumentation ladder of Table 1's columns.
+// The ladder runs with indirect-flow recovery disabled through +dom so
+// the +ind step isolates the recovered-edge benefit (elimination across
+// formerly-Unknown boundaries); the later columns inherit recovery on.
 func table1Configs(allow profile.AllowList) []redfat.Options {
 	base := redfat.Options{LowFat: true, CheckReads: true, SizeCheck: true,
-		AllowList: allow}
+		AllowList: allow, NoIndirect: true}
 	unopt := base
 	elim := base
 	elim.Elim = true
@@ -87,20 +91,22 @@ func table1Configs(allow profile.AllowList) []redfat.Options {
 	merge.Merge = true
 	dom := merge
 	dom.ElimDom = true
-	nosize := dom
+	ind := dom
+	ind.NoIndirect = false
+	nosize := ind
 	nosize.SizeCheck = false
 	noreads := nosize
 	noreads.CheckReads = false
-	return []redfat.Options{unopt, elim, batch, merge, dom, nosize, noreads}
+	return []redfat.Options{unopt, elim, batch, merge, dom, ind, nosize, noreads}
 }
 
-// t1nConfigs is the number of Table 1 measurement columns: the seven-step
+// t1nConfigs is the number of Table 1 measurement columns: the eight-step
 // instrumentation ladder plus the Memcheck comparison.
-const t1nConfigs = 8
+const t1nConfigs = 9
 
 // t1configNames labels the Table 1 configuration columns in progress output.
 var t1configNames = [t1nConfigs]string{
-	"unopt", "+elim", "+batch", "+merge", "+dom", "-size", "-reads", "memcheck",
+	"unopt", "+elim", "+batch", "+merge", "+dom", "+ind", "-size", "-reads", "memcheck",
 }
 
 // t1prep is the per-benchmark state shared by the seven Table 1
@@ -141,7 +147,7 @@ type t1res struct {
 }
 
 // table1Config measures one configuration column for a prepared
-// benchmark: columns 0–6 are the instrumentation ladder, column 7 is the
+// benchmark: columns 0–7 are the instrumentation ladder, column 8 is the
 // Memcheck comparison.
 func table1Config(p *t1prep, c int, reg *telemetry.Registry) (t1res, error) {
 	if c == t1nConfigs-1 {
@@ -167,7 +173,7 @@ func table1Config(p *t1prep, c int, reg *telemetry.Registry) (t1res, error) {
 	return r, nil
 }
 
-// assembleT1Row folds the eight configuration cells into a table row.
+// assembleT1Row folds the nine configuration cells into a table row.
 func assembleT1Row(p *t1prep, cells []t1res) *Table1Row {
 	row := &Table1Row{Name: p.bm.Name, Lang: p.bm.Lang, ChecksumOK: true,
 		BaselineCycles: p.base.Cycles}
@@ -178,9 +184,9 @@ func assembleT1Row(p *t1prep, cells []t1res) *Table1Row {
 	}
 	slow := func(i int) float64 { return float64(cells[i].cycles) / float64(p.base.Cycles) }
 	row.Unopt, row.Elim, row.Batch = slow(0), slow(1), slow(2)
-	row.Merge, row.Dom = slow(3), slow(4)
-	row.NoSize, row.NoReads = slow(5), slow(6)
-	row.Memcheck = slow(7)
+	row.Merge, row.Dom, row.Ind = slow(3), slow(4), slow(5)
+	row.NoSize, row.NoReads = slow(6), slow(7)
+	row.Memcheck = slow(8)
 	row.Coverage = cells[3].coverage
 	row.DetectedErrors = cells[3].errors
 	return row
@@ -233,9 +239,12 @@ func scaled(bm *workload.Benchmark, scale float64) *workload.Benchmark {
 // stages — per-benchmark preparation (build, baseline, allow-list), then
 // the (benchmark × configuration) grid — and renders the table to w
 // (nil ok). Rows are assembled in benchmark order regardless of
-// completion order, so the output is identical at any pool width.
+// completion order, so the output is identical at any pool width. The
+// switch-dense marker-built benchmarks ride along after the SPEC set:
+// they are where the +ind column separates from +dom (the SPEC binaries
+// carry no jump-table declarations, so recovery is a no-op there).
 func (h *Harness) Table1(scale float64, w io.Writer) ([]*Table1Row, error) {
-	bms := workload.All()
+	bms := append(workload.All(), workload.SwitchDense()...)
 	preps, err := fanOut(h, "table1/prep", len(bms),
 		func(i int) string { return bms[i].Name },
 		func(i int, reg *telemetry.Registry) (*t1prep, error) {
@@ -273,12 +282,12 @@ func renderTable1(rows []*Table1Row, w io.Writer) {
 		return
 	}
 	for _, row := range rows {
-		fmt.Fprintf(w, "%-12s %6.1f%% %12d %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %s\n",
+		fmt.Fprintf(w, "%-12s %6.1f%% %12d %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %s\n",
 			row.Name, row.Coverage*100, row.BaselineCycles,
-			row.Unopt, row.Elim, row.Batch, row.Merge, row.Dom,
+			row.Unopt, row.Elim, row.Batch, row.Merge, row.Dom, row.Ind,
 			row.NoSize, row.NoReads, row.Memcheck, okFlag(row.ChecksumOK))
 	}
-	fmt.Fprintf(w, "%-12s %6.1f%% %12s %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx\n",
+	fmt.Fprintf(w, "%-12s %6.1f%% %12s %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx %8.2fx\n",
 		"geomean", 100*mean(rows, func(r *Table1Row) float64 { return r.Coverage }),
 		"",
 		geo(rows, func(r *Table1Row) float64 { return r.Unopt }),
@@ -286,6 +295,7 @@ func renderTable1(rows []*Table1Row, w io.Writer) {
 		geo(rows, func(r *Table1Row) float64 { return r.Batch }),
 		geo(rows, func(r *Table1Row) float64 { return r.Merge }),
 		geo(rows, func(r *Table1Row) float64 { return r.Dom }),
+		geo(rows, func(r *Table1Row) float64 { return r.Ind }),
 		geo(rows, func(r *Table1Row) float64 { return r.NoSize }),
 		geo(rows, func(r *Table1Row) float64 { return r.NoReads }),
 		geo(rows, func(r *Table1Row) float64 { return r.Memcheck }))

@@ -30,8 +30,9 @@ func TestTable1SingleBenchmark(t *testing.T) {
 	}
 	// The optimization ladder must be monotone non-increasing and the
 	// ordering of Table 1 must hold: unopt ≥ elim ≥ batch ≥ merge ≥
-	// dom ≥ nosize ≥ noreads > 1.
-	seq := []float64{row.Unopt, row.Elim, row.Batch, row.Merge, row.Dom, row.NoSize, row.NoReads}
+	// dom ≥ ind ≥ nosize ≥ noreads > 1. (libquantum carries no jump
+	// tables, so +ind must exactly match +dom — pinned separately.)
+	seq := []float64{row.Unopt, row.Elim, row.Batch, row.Merge, row.Dom, row.Ind, row.NoSize, row.NoReads}
 	for i := 1; i < len(seq); i++ {
 		if seq[i] > seq[i-1]*1.02 { // tiny tolerance
 			t.Errorf("optimization step %d regressed: %v", i, seq)
@@ -46,6 +47,59 @@ func TestTable1SingleBenchmark(t *testing.T) {
 	}
 	if row.Coverage < 0.9 {
 		t.Errorf("libquantum coverage %.2f, want ≈1 (ungated)", row.Coverage)
+	}
+	if row.Ind != row.Dom {
+		t.Errorf("+ind (%.4fx) differs from +dom (%.4fx) on a non-marker binary", row.Ind, row.Dom)
+	}
+}
+
+// TestTable1SwitchDense pins the column the recovery adds: on a
+// marker-built benchmark the +ind step must strictly beat +dom (the
+// recovered edges unlock dominated-check elimination inside the
+// dispatch loop) while the checksum stays intact.
+func TestTable1SwitchDense(t *testing.T) {
+	row, err := bench.Table1Bench(workload.ByName("interp"), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.ChecksumOK {
+		t.Error("checksum mismatch")
+	}
+	if row.Ind >= row.Dom {
+		t.Errorf("+ind (%.4fx) did not beat +dom (%.4fx) on the switch-dense interpreter",
+			row.Ind, row.Dom)
+	}
+}
+
+func TestIndirectSweep(t *testing.T) {
+	rows, err := bench.IndirectSweep(nil, 0.02, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	blocked, prod := rows[1], rows[3]
+	if !blocked.NoIndirect || !blocked.ElimDom {
+		t.Fatalf("row 1 is not the recovery-off/dom configuration: %+v", blocked)
+	}
+	if prod.NoIndirect || !prod.ElimDom {
+		t.Fatalf("last row is not the production configuration: %+v", prod)
+	}
+	// Recovery must claim edges, unlock eliminations the Unknown frontier
+	// blocked, and not cost guest cycles.
+	if blocked.Resolved != 0 {
+		t.Errorf("recovery-off rows claim %d resolved sites, want 0", blocked.Resolved)
+	}
+	if prod.Resolved == 0 {
+		t.Error("production rows resolved no indirect sites on the switch-dense suite")
+	}
+	if prod.Eliminated <= blocked.Eliminated {
+		t.Errorf("recovery unlocked no eliminations: noind=%d ind=%d",
+			blocked.Eliminated, prod.Eliminated)
+	}
+	if prod.TotalCycles > blocked.TotalCycles {
+		t.Errorf("recovery cost cycles: noind=%d ind=%d", blocked.TotalCycles, prod.TotalCycles)
 	}
 }
 

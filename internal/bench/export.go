@@ -17,6 +17,7 @@ type Table1Summary struct {
 	Elim         float64 `json:"elim"`
 	Batch        float64 `json:"batch"`
 	Merge        float64 `json:"merge"`
+	Ind          float64 `json:"ind"`
 	NoSize       float64 `json:"nosize"`
 	NoReads      float64 `json:"noreads"`
 	Memcheck     float64 `json:"memcheck"`
@@ -30,6 +31,7 @@ func Summarize(rows []*Table1Row) Table1Summary {
 		Elim:         geo(rows, func(r *Table1Row) float64 { return r.Elim }),
 		Batch:        geo(rows, func(r *Table1Row) float64 { return r.Batch }),
 		Merge:        geo(rows, func(r *Table1Row) float64 { return r.Merge }),
+		Ind:          geo(rows, func(r *Table1Row) float64 { return r.Ind }),
 		NoSize:       geo(rows, func(r *Table1Row) float64 { return r.NoSize }),
 		NoReads:      geo(rows, func(r *Table1Row) float64 { return r.NoReads }),
 		Memcheck:     geo(rows, func(r *Table1Row) float64 { return r.Memcheck }),
@@ -49,6 +51,7 @@ type Ablations struct {
 	Batch    []BatchRow    `json:"batch,omitempty"`
 	Clobber  []ClobberRow  `json:"clobber,omitempty"`
 	Dataflow []DataflowRow `json:"dataflow,omitempty"`
+	Indirect []IndirectRow `json:"indirect,omitempty"`
 	Fuzz     []FuzzRow     `json:"fuzz,omitempty"`
 }
 

@@ -85,6 +85,21 @@ type LibcSpanTwinBench struct {
 	SpanChecks  uint64  `json:"span_checks"` // vm.libc.span.check.count, intrinsic run
 }
 
+// IndirectHostBench records what the indirect-flow recovery buys on the
+// switch-dense interpreter workload: recovered-edge claims, the
+// dominated-check eliminations those edges unlock (recovery-on minus
+// recovery-off under -elimdom), and the deterministic guest-cycle win.
+type IndirectHostBench struct {
+	Benchmark    string  `json:"benchmark"`
+	Resolved     int     `json:"resolved"`              // recovered indirect-flow claims
+	ElimNoInd    int     `json:"elim_dominated_noind"`  // dominated checks removed, recovery off
+	ElimInd      int     `json:"elim_dominated_ind"`    // dominated checks removed, recovery on
+	UnlockedElim int     `json:"unlocked_eliminations"` // ElimInd - ElimNoInd
+	NoIndCycles  uint64  `json:"noind_cycles"`
+	IndCycles    uint64  `json:"ind_cycles"`
+	CycleRatio   float64 `json:"cycle_ratio"` // noind / ind guest cycles
+}
+
 // Table1HostBench compares serial and parallel wall-clock for the Table 1
 // pipeline at a reduced scale.
 type Table1HostBench struct {
@@ -107,6 +122,7 @@ type HostBenchResult struct {
 	BlockChain BlockChainHostBench `json:"block_chain"`
 	VMJIT      VMJITHostBench      `json:"vm_jit"`
 	LibcSpan   []LibcSpanTwinBench `json:"libc_span"`
+	Indirect   IndirectHostBench   `json:"indirect"`
 	Table1     Table1HostBench     `json:"table1_parallel"`
 }
 
@@ -136,6 +152,9 @@ func RunHostBench(parallel int, scale float64) (*HostBenchResult, error) {
 		return nil, err
 	}
 	if err := res.measureLibcSpan(); err != nil {
+		return nil, err
+	}
+	if err := res.measureIndirect(); err != nil {
 		return nil, err
 	}
 	if err := res.measureTable1(parallel, scale); err != nil {
@@ -404,6 +423,70 @@ func (r *HostBenchResult) measureLibcSpan() error {
 	return nil
 }
 
+// measureIndirect hardens the switch-dense interpreter with and without
+// the indirect-flow recovery (dominator elimination on in both) and
+// records the recovered claims, unlocked eliminations, and guest-cycle
+// ratio. Both runs' exit checksums are asserted equal — the recovery
+// must never change guest results.
+func (r *HostBenchResult) measureIndirect() error {
+	bm := workload.ByName("interp")
+	if bm == nil {
+		return fmt.Errorf("hostbench: switch-dense benchmark %q missing", "interp")
+	}
+	cp := *bm
+	cp.RefScale = 6000
+	bin, err := cp.Build()
+	if err != nil {
+		return err
+	}
+	type side struct {
+		cycles uint64
+		exit   uint64
+		elim   int
+		res    int
+	}
+	measure := func(noInd bool) (side, error) {
+		opt := redfat.Defaults()
+		opt.NoIndirect = noInd
+		hard, rep, err := redfat.Harden(bin, opt)
+		if err != nil {
+			return side{}, err
+		}
+		v, _, err := rtlib.RunHardened(hard,
+			rtlib.RunConfig{Input: cp.RefInput(), NoIndirect: noInd})
+		if err != nil {
+			return side{}, err
+		}
+		return side{cycles: v.Cycles, exit: v.ExitCode,
+			elim: rep.ElimDominated, res: rep.IndirectResolved}, nil
+	}
+	noind, err := measure(true)
+	if err != nil {
+		return err
+	}
+	ind, err := measure(false)
+	if err != nil {
+		return err
+	}
+	if noind.exit != ind.exit {
+		return fmt.Errorf("hostbench: indirect recovery changed the guest checksum: %#x vs %#x",
+			noind.exit, ind.exit)
+	}
+	r.Indirect = IndirectHostBench{
+		Benchmark:    cp.Name,
+		Resolved:     ind.res,
+		ElimNoInd:    noind.elim,
+		ElimInd:      ind.elim,
+		UnlockedElim: ind.elim - noind.elim,
+		NoIndCycles:  noind.cycles,
+		IndCycles:    ind.cycles,
+	}
+	if ind.cycles > 0 {
+		r.Indirect.CycleRatio = float64(noind.cycles) / float64(ind.cycles)
+	}
+	return nil
+}
+
 func (r *HostBenchResult) measureTable1(parallel int, scale float64) error {
 	var runErr error
 	measure := func(width int) testing.BenchmarkResult {
@@ -481,6 +564,12 @@ func (r *HostBenchResult) Render(w io.Writer) {
 		fmt.Fprintf(w, "  intrinsic     %12d cycles %10d ns  (%.1fx cycles, %.1fx wall)\n",
 			tw.IntrCycles, tw.IntrNs, tw.CycleRatio, tw.WallSpeedup)
 	}
+	fmt.Fprintf(w, "indirect recovery (%s, %d resolved claims):\n",
+		r.Indirect.Benchmark, r.Indirect.Resolved)
+	fmt.Fprintf(w, "  recovery off  %12d cycles  %6d dominated checks eliminated\n",
+		r.Indirect.NoIndCycles, r.Indirect.ElimNoInd)
+	fmt.Fprintf(w, "  recovery on   %12d cycles  %6d dominated checks eliminated  (+%d unlocked, %.2fx cycles)\n",
+		r.Indirect.IndCycles, r.Indirect.ElimInd, r.Indirect.UnlockedElim, r.Indirect.CycleRatio)
 	fmt.Fprintf(w, "table1 (scale %.2f):\n", r.Table1.Scale)
 	fmt.Fprintf(w, "  serial        %12d ns\n", r.Table1.SerialNs)
 	fmt.Fprintf(w, "  parallel %-4d %12d ns  (%.2fx speedup)\n",

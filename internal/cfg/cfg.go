@@ -13,6 +13,7 @@
 package cfg
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
@@ -286,6 +287,33 @@ func (p *Program) recoverLeaders() {
 		if in.HasMem() && in.Mem.IsAbsolute() {
 			if v := uint64(uint32(in.Mem.Disp)); v >= textLow && v < textHigh {
 				mark(v)
+			}
+		}
+		// Landing pads are indirect-branch targets by construction.
+		if in.Op == isa.LPAD {
+			mark(di.Addr)
+		}
+	}
+
+	// Marker-built binaries declare their jump tables: every declared
+	// entry is a known indirect-jump target, hence a leader. Note this is
+	// content-gated, not knob-gated — block partitioning must not depend
+	// on whether recovery is enabled, only on the binary itself.
+	if sec := p.Binary.Section(relf.JumpTableSection); sec != nil {
+		tables, err := relf.DecodeJumpTables(sec.Data)
+		if err == nil {
+			for _, t := range tables {
+				s := p.Binary.SectionAt(t.Addr)
+				if s == nil || len(s.Data) == 0 {
+					continue
+				}
+				off := t.Addr - s.Addr
+				for k := uint64(0); k < uint64(t.Entries); k++ {
+					if off+8*k+8 > uint64(len(s.Data)) {
+						break
+					}
+					mark(binary.LittleEndian.Uint64(s.Data[off+8*k:]))
+				}
 			}
 		}
 	}

@@ -12,7 +12,12 @@ type Dataflow struct {
 
 // NewDataflow builds the engine for a disassembled program.
 func NewDataflow(p *Program) *Dataflow {
-	g := NewGraph(p)
+	return NewDataflowOpts(p, GraphOptions{})
+}
+
+// NewDataflowOpts is NewDataflow with explicit graph-recovery options.
+func NewDataflowOpts(p *Program, opts GraphOptions) *Dataflow {
+	g := NewGraphOpts(p, opts)
 	return &Dataflow{Graph: g, Live: NewLiveness(g), Dom: NewDomTree(g)}
 }
 

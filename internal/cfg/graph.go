@@ -37,11 +37,22 @@ type Graph struct {
 	Blocks  []Block
 	BlockOf []int // instruction index → block id
 	Entries []int // block ids with a virtual-root edge
+
+	// Indirect holds the results of indirect-flow recovery. It is nil
+	// unless the binary is marker-built (.rf.jt present) and recovery was
+	// not disabled; unresolved sites stay Unknown either way.
+	Indirect *IndirectInfo
 }
 
 // NewGraph partitions the program into basic blocks and builds explicit
-// successor/predecessor edges.
+// successor/predecessor edges, with indirect-flow recovery enabled.
 func NewGraph(p *Program) *Graph {
+	return NewGraphOpts(p, GraphOptions{})
+}
+
+// NewGraphOpts is NewGraph with explicit recovery options. Blocks left
+// with no proven successor set keep Unknown set.
+func NewGraphOpts(p *Program, opts GraphOptions) *Graph {
 	g := &Graph{Prog: p, BlockOf: make([]int, len(p.Insts))}
 
 	for start := 0; start < len(p.Insts); {
@@ -82,6 +93,12 @@ func NewGraph(p *Program) *Graph {
 		for _, s := range g.Blocks[b].Succs {
 			g.Blocks[s].Preds = append(g.Blocks[s].Preds, b)
 		}
+	}
+
+	// Indirect-flow recovery: resolve Unknown blocks whose targets can be
+	// proven (marker-built binaries only; inert otherwise).
+	if !opts.NoIndirect {
+		g.recoverIndirect()
 	}
 
 	g.markEntries()
@@ -181,12 +198,31 @@ func (g *Graph) markEntries() {
 
 	// Address-taken candidates in data: function tables store code
 	// addresses as 64-bit words in data/rodata sections, which never
-	// appear as text immediates. Scan aligned words.
+	// appear as text immediates. Scan aligned words, skipping proven
+	// jump-table spans: their flow is carried by explicit recovered
+	// edges, which is exactly what lets dominance cross the dispatch.
+	var proven []struct{ lo, hi uint64 }
+	if g.Indirect != nil {
+		for _, t := range g.Indirect.Tables {
+			proven = append(proven, struct{ lo, hi uint64 }{t.Addr, t.Addr + 8*uint64(t.Entries)})
+		}
+	}
+	inProven := func(a uint64) bool {
+		for _, span := range proven {
+			if a >= span.lo && a < span.hi {
+				return true
+			}
+		}
+		return false
+	}
 	for _, s := range p.Binary.Sections {
 		if s.Exec || len(s.Data) < 8 {
 			continue
 		}
 		for off := 0; off+8 <= len(s.Data); off += 8 {
+			if inProven(s.Addr + uint64(off)) {
+				continue
+			}
 			if v := binary.LittleEndian.Uint64(s.Data[off:]); inText(v) {
 				markAddr(v)
 			}
@@ -241,7 +277,9 @@ func (g *Graph) markEntries() {
 	}
 }
 
-// NumEdges returns the number of static CFG edges.
+// NumEdges returns the number of static CFG edges. Unknown blocks
+// record no successors, so this counts proven edges only — ⊤ flow is
+// invisible here by construction.
 func (g *Graph) NumEdges() int {
 	n := 0
 	for b := range g.Blocks {

@@ -1,0 +1,384 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"redfat/internal/asm"
+	"redfat/internal/cfg"
+	"redfat/internal/isa"
+	"redfat/internal/relf"
+)
+
+// switchProgram assembles the canonical marker-built switch: a guarded
+// three-way jump-table dispatch with landing-pad handlers. The guard op
+// and compare bound are parameters so tests can exercise every proof
+// polarity; mutate (optional) runs right before the table load.
+type switchOpts struct {
+	guard     isa.Op // JA/JAE on the fall-through layout, JB/JBE on taken
+	taken     bool   // guard jumps TO the dispatch (JB/JBE layout)
+	cmpImm    int64
+	noLpads   bool                 // handlers without landing pads
+	preLoad   func(b *asm.Builder) // injected between guard and load
+	memForm   bool                 // jmp *table(,%rcx,8) instead of reg form
+	funcTable bool                 // use a writable, undeclared .data table
+}
+
+func buildSwitch(t *testing.T, o switchOpts) *relf.Binary {
+	t.Helper()
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.MovRI(isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, o.cmpImm)
+	if o.taken {
+		b.Jcc(o.guard, "dispatch")
+		b.Jmp("default")
+	} else {
+		b.Jcc(o.guard, "default")
+	}
+	b.Label("dispatch")
+	if o.preLoad != nil {
+		o.preLoad(b)
+	}
+	if o.memForm {
+		b.JmpIndexed("table", isa.RCX)
+	} else {
+		b.LoadIndexed(isa.RAX, "table", isa.RCX, 8, 8)
+		b.JmpReg(isa.RAX)
+	}
+	for _, h := range []string{"h0", "h1", "h2"} {
+		b.Label(h)
+		if !o.noLpads {
+			b.Lpad()
+		}
+		b.MovRI(isa.RBX, 7)
+		b.Jmp("out")
+	}
+	b.Label("default")
+	b.MovRI(isa.RBX, 99)
+	b.Label("out")
+	b.Emit(isa.Inst{Op: isa.HLT, Form: isa.FNone})
+	if o.funcTable {
+		b.FuncTable("table", "h0", "h1", "h2")
+		// Keep the binary marker-built: declare an unrelated table so the
+		// writable dispatch table is judged on its own (lack of) merits.
+		b.JumpTable("decoy", "h0")
+	} else {
+		b.JumpTable("table", "h0", "h1", "h2")
+	}
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return bin
+}
+
+func mustGraph(t *testing.T, bin *relf.Binary, opts cfg.GraphOptions) *cfg.Graph {
+	t.Helper()
+	p, err := cfg.Disassemble(bin)
+	if err != nil {
+		t.Fatalf("disassemble: %v", err)
+	}
+	return cfg.NewGraphOpts(p, opts)
+}
+
+// dispatchBlock finds the block terminated by the (unique) indirect jump.
+func dispatchBlock(t *testing.T, g *cfg.Graph) int {
+	t.Helper()
+	for b := range g.Blocks {
+		last := &g.Prog.Insts[g.Blocks[b].End-1].Inst
+		if last.Op == isa.JMP && (last.Form == isa.FR || last.Form == isa.FM) {
+			return b
+		}
+	}
+	t.Fatal("no indirect jump block found")
+	return -1
+}
+
+func TestTableResolutionGuardPolarities(t *testing.T) {
+	cases := []struct {
+		name  string
+		o     switchOpts
+		bound uint32
+	}{
+		{"ja-fallthrough", switchOpts{guard: isa.JA, cmpImm: 2}, 3},
+		{"jae-fallthrough", switchOpts{guard: isa.JAE, cmpImm: 3}, 3},
+		{"jbe-taken", switchOpts{guard: isa.JBE, taken: true, cmpImm: 2}, 3},
+		{"jb-taken", switchOpts{guard: isa.JB, taken: true, cmpImm: 3}, 3},
+		{"memform", switchOpts{guard: isa.JA, cmpImm: 2, memForm: true}, 3},
+		{"partial-bound", switchOpts{guard: isa.JA, cmpImm: 1}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := mustGraph(t, buildSwitch(t, tc.o), cfg.GraphOptions{})
+			if g.Indirect == nil {
+				t.Fatal("marker-built binary: Indirect must be set")
+			}
+			db := dispatchBlock(t, g)
+			blk := &g.Blocks[db]
+			if blk.Unknown {
+				t.Fatal("dispatch block still Unknown")
+			}
+			addr := g.Prog.Insts[blk.End-1].Addr
+			res := g.Indirect.Site(addr)
+			if res == nil || res.Kind != cfg.ResolvedTable {
+				t.Fatalf("site %#x: want table resolution, got %+v", addr, res)
+			}
+			if res.Bound != tc.bound {
+				t.Fatalf("bound: got %d want %d", res.Bound, tc.bound)
+			}
+			if len(blk.Succs) != int(tc.bound) {
+				t.Fatalf("succs: got %d want %d", len(blk.Succs), tc.bound)
+			}
+			// Every recovered target must start with a landing pad, and —
+			// the point of the whole exercise — must NOT be an Entry:
+			// dominance may now cross the dispatch.
+			for _, s := range blk.Succs {
+				h := &g.Blocks[s]
+				if g.Prog.Insts[h.Start].Inst.Op != isa.LPAD {
+					t.Fatalf("recovered target block %d does not start with LPAD", s)
+				}
+				if tc.bound == 3 && h.Entry {
+					t.Fatalf("handler block %d still marked Entry", s)
+				}
+			}
+		})
+	}
+}
+
+func TestNoIndirectKnobKeepsUnknown(t *testing.T) {
+	bin := buildSwitch(t, switchOpts{guard: isa.JA, cmpImm: 2})
+	g := mustGraph(t, bin, cfg.GraphOptions{NoIndirect: true})
+	if g.Indirect != nil {
+		t.Fatal("NoIndirect: Indirect must be nil")
+	}
+	db := dispatchBlock(t, g)
+	if !g.Blocks[db].Unknown {
+		t.Fatal("NoIndirect: dispatch block must stay Unknown")
+	}
+	// The knob must not change the block partition (guest-visible state
+	// like batch boundaries depends on it): same block count and spans.
+	g2 := mustGraph(t, bin, cfg.GraphOptions{})
+	if len(g.Blocks) != len(g2.Blocks) {
+		t.Fatalf("block partition differs: %d vs %d", len(g.Blocks), len(g2.Blocks))
+	}
+	for b := range g.Blocks {
+		if g.Blocks[b].Start != g2.Blocks[b].Start || g.Blocks[b].End != g2.Blocks[b].End {
+			t.Fatalf("block %d span differs across knob settings", b)
+		}
+	}
+}
+
+func TestNonMarkerBinaryUnaffected(t *testing.T) {
+	// Same shape but a plain writable function table and no landing pads:
+	// not marker-built, recovery must not even engage.
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.MovRI(isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, 2)
+	b.Jcc(isa.JA, "out")
+	b.LoadIndexed(isa.RAX, "table", isa.RCX, 8, 8)
+	b.JmpReg(isa.RAX)
+	b.Label("h0")
+	b.MovRI(isa.RBX, 7)
+	b.Label("out")
+	b.Emit(isa.Inst{Op: isa.HLT, Form: isa.FNone})
+	b.FuncTable("table", "h0", "h0", "h0")
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if cfg.MarkerBuilt(bin) {
+		t.Fatal("plain binary must not be marker-built")
+	}
+	g := mustGraph(t, bin, cfg.GraphOptions{})
+	if g.Indirect != nil {
+		t.Fatal("non-marker binary: Indirect must stay nil")
+	}
+	if db := dispatchBlock(t, g); !g.Blocks[db].Unknown {
+		t.Fatal("non-marker dispatch must stay Unknown")
+	}
+}
+
+func TestBailsDegradeToLPADSet(t *testing.T) {
+	cases := []struct {
+		name string
+		o    switchOpts
+	}{
+		// Guard claims more than the table holds: the slice proof must
+		// refuse, leaving only the landing-pad-set fallback.
+		{"overclaimed-bound", switchOpts{guard: isa.JA, cmpImm: 5}},
+		// Index clobbered between guard and load: bound no longer applies.
+		{"clobbered-index", switchOpts{guard: isa.JA, cmpImm: 2,
+			preLoad: func(b *asm.Builder) {
+				b.Emit(isa.Inst{Op: isa.INC, Form: isa.FR, Reg: isa.RCX, Size: 8})
+			}}},
+		// Signed guard admits "negative" (huge unsigned) indices.
+		{"signed-guard", switchOpts{guard: isa.JG, cmpImm: 2}},
+		// Writable undeclared function table: never trusted.
+		{"writable-table", switchOpts{guard: isa.JA, cmpImm: 2, funcTable: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := mustGraph(t, buildSwitch(t, tc.o), cfg.GraphOptions{})
+			db := dispatchBlock(t, g)
+			blk := &g.Blocks[db]
+			if blk.Unknown {
+				t.Fatal("landing pads exist and no phantom bytes: fallback should apply")
+			}
+			addr := g.Prog.Insts[blk.End-1].Addr
+			res := g.Indirect.Site(addr)
+			if res == nil || res.Kind != cfg.ResolvedLPADSet {
+				t.Fatalf("want LPAD-set fallback, got %+v", res)
+			}
+			// The fallback target set is exactly the landing-pad blocks.
+			for _, s := range blk.Succs {
+				if g.Prog.Insts[g.Blocks[s].Start].Inst.Op != isa.LPAD {
+					t.Fatalf("fallback target block %d is not a landing pad", s)
+				}
+			}
+		})
+	}
+}
+
+func TestNoLpadsStaysUnknown(t *testing.T) {
+	// Marker-built (a table is declared) but its entries are not landing
+	// pads: table proof bails on the entry check, and with no landing
+	// pads in the binary the fallback has nothing to offer.
+	g := mustGraph(t, buildSwitch(t, switchOpts{guard: isa.JA, cmpImm: 2, noLpads: true}),
+		cfg.GraphOptions{})
+	db := dispatchBlock(t, g)
+	if !g.Blocks[db].Unknown {
+		t.Fatal("dispatch over non-LPAD entries must stay Unknown")
+	}
+	if res := g.Indirect.Site(g.Prog.Insts[g.Blocks[db].End-1].Addr); res != nil {
+		t.Fatalf("unexpected resolution: %+v", res)
+	}
+}
+
+func TestPhantomLPADByteDisablesFallback(t *testing.T) {
+	// An immediate operand containing the LPAD opcode byte is a legal
+	// dynamic target under the VM's raw-byte enforcement, so the
+	// landing-pad-set fallback must refuse the whole binary.
+	phantom := (int64(byte(isa.LPAD)) << 8) | int64(byte(isa.LPAD))
+	g := mustGraph(t, buildSwitch(t, switchOpts{guard: isa.JA, cmpImm: 5,
+		preLoad: func(b *asm.Builder) { b.MovRI(isa.RDX, phantom) }}),
+		cfg.GraphOptions{})
+	db := dispatchBlock(t, g)
+	if !g.Blocks[db].Unknown {
+		t.Fatal("phantom LPAD byte present: fallback must not apply")
+	}
+}
+
+func TestTableResolutionSurvivesPhantomBytes(t *testing.T) {
+	// Phantom bytes only poison the fallback; an explicit bounded table
+	// proof does not rely on the landing-pad set being exhaustive.
+	phantom := (int64(byte(isa.LPAD)) << 8) | int64(byte(isa.LPAD))
+	g := mustGraph(t, buildSwitch(t, switchOpts{guard: isa.JA, cmpImm: 2,
+		preLoad: func(b *asm.Builder) { b.MovRI(isa.RDX, phantom) }}),
+		cfg.GraphOptions{})
+	db := dispatchBlock(t, g)
+	blk := &g.Blocks[db]
+	if blk.Unknown {
+		t.Fatal("table proof must survive phantom bytes")
+	}
+	res := g.Indirect.Site(g.Prog.Insts[blk.End-1].Addr)
+	if res == nil || res.Kind != cfg.ResolvedTable {
+		t.Fatalf("want table resolution, got %+v", res)
+	}
+}
+
+func TestRetPairing(t *testing.T) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.Lpad() // makes the binary marker-built; main is never paired (entry)
+	b.Call("leaf")
+	b.MovRI(isa.RBX, 1)
+	b.Call("leaf")
+	b.MovRI(isa.RBX, 2)
+	b.Emit(isa.Inst{Op: isa.HLT, Form: isa.FNone})
+	b.Func("leaf")
+	b.MovRI(isa.RAX, 42)
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	g := mustGraph(t, bin, cfg.GraphOptions{})
+	if g.Indirect == nil {
+		t.Fatal("marker-built: Indirect must be set")
+	}
+	var ret *cfg.Resolved
+	for i := range g.Indirect.Resolved {
+		if g.Indirect.Resolved[i].Kind == cfg.ResolvedRet {
+			ret = &g.Indirect.Resolved[i]
+		}
+	}
+	if ret == nil {
+		t.Fatal("leaf RET not paired")
+	}
+	if len(ret.Targets) != 2 {
+		t.Fatalf("want 2 return points, got %v", ret.Targets)
+	}
+	rb, ok := g.Prog.InstAt(ret.Addr)
+	if !ok {
+		t.Fatal("ret addr not decoded")
+	}
+	blk := &g.Blocks[g.BlockOf[rb]]
+	if blk.Unknown || len(blk.Succs) != 2 {
+		t.Fatalf("ret block: Unknown=%v succs=%d", blk.Unknown, len(blk.Succs))
+	}
+}
+
+func TestRetPairingBailsOnAddressTakenFunc(t *testing.T) {
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.Lpad()
+	b.Call("leaf")
+	b.LoadAddr(isa.RDX, "leaf", 0) // function address escapes
+	b.Emit(isa.Inst{Op: isa.HLT, Form: isa.FNone})
+	b.Func("leaf")
+	b.MovRI(isa.RAX, 42)
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	g := mustGraph(t, bin, cfg.GraphOptions{})
+	for i := range g.Indirect.Resolved {
+		if g.Indirect.Resolved[i].Kind == cfg.ResolvedRet {
+			t.Fatalf("address-taken function must not be paired: %+v", g.Indirect.Resolved[i])
+		}
+	}
+}
+
+// TestRecoveredEdgesUnlockDominance pins the payoff: with recovery on,
+// the dispatch block dominates every handler (so an available check in
+// the dispatch covers handler accesses); with the ablation knob it cannot.
+func TestRecoveredEdgesUnlockDominance(t *testing.T) {
+	bin := buildSwitch(t, switchOpts{guard: isa.JA, cmpImm: 2})
+	p, err := cfg.Disassemble(bin)
+	if err != nil {
+		t.Fatalf("disassemble: %v", err)
+	}
+	on := cfg.NewDataflowOpts(p, cfg.GraphOptions{})
+	off := cfg.NewDataflowOpts(p, cfg.GraphOptions{NoIndirect: true})
+
+	db := dispatchBlock(t, on.Graph)
+	for _, h := range on.Graph.Blocks[db].Succs {
+		if !on.Dom.Dominates(db, h) {
+			t.Fatalf("recovery on: dispatch %d must dominate handler %d", db, h)
+		}
+	}
+	// Under the ablation the handlers are address-taken Entries: nothing
+	// dominates them but themselves.
+	dbOff := dispatchBlock(t, off.Graph)
+	for b := range off.Graph.Blocks {
+		blk := &off.Graph.Blocks[b]
+		if blk.Start != off.Graph.Blocks[dbOff].End {
+			continue
+		}
+		if off.Dom.Dominates(dbOff, b) {
+			t.Fatal("recovery off: dispatch must not dominate the first handler")
+		}
+	}
+}

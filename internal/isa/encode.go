@@ -21,8 +21,8 @@ import (
 //	    bit 2 (R): extends ModRM.reg
 //
 // The opcode byte is the Op value itself (1..opMax-1). Zero-operand ops
-// (NOP, TRAP, HLT, RET, PUSHF, POPF, CQO) are exactly one byte; every other
-// op is followed by a descriptor byte:
+// (NOP, TRAP, HLT, RET, PUSHF, POPF, CQO, LPAD) are exactly one byte; every
+// other op is followed by a descriptor byte:
 //
 //	bits 0..3: Form
 //	bits 4..5: size code (0 → 8 bytes, 1 → 1, 2 → 2, 3 → 4)
@@ -88,7 +88,7 @@ func sizeFromCode(code uint8) uint8 {
 
 func isNoOperand(op Op) bool {
 	switch op {
-	case NOP, TRAP, HLT, RET, PUSHF, POPF, CQO:
+	case NOP, TRAP, HLT, RET, PUSHF, POPF, CQO, LPAD:
 		return true
 	}
 	return false
@@ -98,7 +98,7 @@ func isNoOperand(op Op) bool {
 // The encoder and decoder share this single source of truth.
 func validForm(op Op, form Form) bool {
 	switch op {
-	case NOP, TRAP, HLT, RET, PUSHF, POPF, CQO:
+	case NOP, TRAP, HLT, RET, PUSHF, POPF, CQO, LPAD:
 		return form == FNone
 	case MOV:
 		switch form {

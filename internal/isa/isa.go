@@ -225,6 +225,13 @@ const (
 	// calls into the libredfat check routines.
 	RTCALL
 
+	// LPAD is a CET-style landing pad (models ENDBR64): a 1-byte no-op
+	// that marks a legal indirect-branch target. When a binary opts in
+	// via its .rf.config, indirect JMP/CALL to an address whose first
+	// byte is not an LPAD faults in the VM, which is what makes the
+	// marker-based indirect-flow recovery in internal/cfg sound.
+	LPAD
+
 	opMax
 )
 
@@ -246,6 +253,7 @@ var opNames = [...]string{
 	JB: "jb", JBE: "jbe", JA: "ja", JAE: "jae", JS: "js", JNS: "jns",
 	JO: "jo", JNO: "jno",
 	RTCALL: "rtcall",
+	LPAD:   "lpad",
 }
 
 // String returns the mnemonic.

@@ -60,7 +60,7 @@ func Analyze(bin *relf.Binary, opt Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	df := cfg.NewDataflow(prog)
+	df := cfg.NewDataflowOpts(prog, cfg.GraphOptions{NoIndirect: opt.NoIndirect})
 
 	// Function ranges from the symbol table, sorted by address; each
 	// covers up to the next function start.
@@ -103,6 +103,8 @@ func Analyze(bin *relf.Binary, opt Options) (*Analysis, error) {
 		blk := &df.Graph.Blocks[b]
 		fs := fnOf(prog.Insts[blk.Start].Addr)
 		fs.Blocks++
+		// Unknown blocks record no successors, so Edges counts proven
+		// edges only; their ⊤ flow shows up as shallow dominator depth.
 		fs.Edges += len(blk.Succs)
 		if d := df.Dom.Depth(b); d > fs.DomDepth {
 			fs.DomDepth = d

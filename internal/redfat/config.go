@@ -39,6 +39,7 @@ const (
 	cfgLocalLiveness
 	cfgAllowList
 	cfgNoLibcCheck
+	cfgNoIndirect
 )
 
 // EncodeConfig serializes the policy-relevant subset of opt.
@@ -61,6 +62,7 @@ func EncodeConfig(opt Options) []byte {
 	set(&f2, cfgLocalLiveness, opt.LocalLiveness)
 	set(&f2, cfgAllowList, opt.AllowList != nil)
 	set(&f2, cfgNoLibcCheck, opt.NoLibcCheck)
+	set(&f2, cfgNoIndirect, opt.NoIndirect)
 	out := make([]byte, 5)
 	out[0] = configVersion
 	out[1] = f1
@@ -91,6 +93,7 @@ func DecodeConfig(data []byte) (opt Options, hasAllowList bool, err error) {
 	opt.NoClobberSpec = f2&cfgNoClobberSpec != 0
 	opt.LocalLiveness = f2&cfgLocalLiveness != 0
 	opt.NoLibcCheck = f2&cfgNoLibcCheck != 0
+	opt.NoIndirect = f2&cfgNoIndirect != 0
 	opt.MaxBatch = int(binary.LittleEndian.Uint16(data[3:]))
 	return opt, f2&cfgAllowList != 0, nil
 }

@@ -85,6 +85,13 @@ type Options struct {
 	// every trampoline then saves the full scratch set and flags.
 	// Exposed for ablation measurements.
 	NoClobberSpec bool
+
+	// NoIndirect disables indirect-flow recovery (jump-table resolution,
+	// landing-pad target sets, RET/call-site pairing) in the dataflow
+	// engine: indirect control flow stays ⊤ as in the seed analysis.
+	// Only observable on marker-built inputs (those carrying .rf.jt);
+	// exposed for ablation measurements.
+	NoIndirect bool
 }
 
 // Defaults returns the fully optimized production configuration
@@ -120,6 +127,11 @@ type Report struct {
 	// them must preserve the flags.
 	LiveRegsSaved  int
 	LiveFlagsSaved int
+
+	// Indirect-flow recovery outcome on marker-built inputs: resolved
+	// indirect jump sites (table or landing-pad-set) and paired RETs.
+	IndirectResolved int
+	IndirectRets     int
 }
 
 // Publish exports the instrumentation report as counters in reg (no-op
@@ -140,6 +152,8 @@ func (r *Report) Publish(reg *telemetry.Registry) {
 	reg.Counter("harden.elim.dom").Add(uint64(r.ElimDominated))
 	reg.Counter("harden.liveness.regs").Add(uint64(r.LiveRegsSaved))
 	reg.Counter("harden.liveness.flags").Add(uint64(r.LiveFlagsSaved))
+	reg.Counter("harden.indirect.resolved").Add(uint64(r.IndirectResolved))
+	reg.Counter("harden.indirect.rets").Add(uint64(r.IndirectRets))
 	r.Rewrite.Publish(reg)
 }
 
@@ -205,7 +219,16 @@ func Harden(bin *relf.Binary, opt Options) (*relf.Binary, *Report, error) {
 	// elimination and for the global liveness trampoline specialization.
 	var df *cfg.Dataflow
 	if (opt.ElimDom && !opt.Profile) || (!opt.NoClobberSpec && !opt.LocalLiveness) {
-		df = cfg.NewDataflow(prog)
+		df = cfg.NewDataflowOpts(prog, cfg.GraphOptions{NoIndirect: opt.NoIndirect})
+		if ind := df.Graph.Indirect; ind != nil {
+			for _, r := range ind.Resolved {
+				if r.Kind == cfg.ResolvedRet {
+					rep.IndirectRets++
+				} else {
+					rep.IndirectResolved++
+				}
+			}
+		}
 	}
 
 	// Pass A: select sites and decide their check mode.

@@ -3,6 +3,7 @@ package relf
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // PatchTableSection is the name of the metadata section holding the
@@ -22,14 +23,20 @@ const PatchTableSection = ".rf.patch"
 const OriginTableSection = ".rf.origins"
 
 // EncodePatchTable serializes a patch table (trap address → trampoline
-// address) into section data. Entries are sorted by the caller if
-// determinism is needed; the VM loads them into a map.
+// address) into section data, sorted by source address so the section
+// bytes are a deterministic function of the mapping — hardening the same
+// binary twice with the same options must produce identical output.
 func EncodePatchTable(entries map[uint64]uint64) []byte {
+	froms := make([]uint64, 0, len(entries))
+	for from := range entries {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
 	buf := make([]byte, 0, 8+16*len(entries))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(entries)))
-	for from, to := range entries {
+	for _, from := range froms {
 		buf = binary.LittleEndian.AppendUint64(buf, from)
-		buf = binary.LittleEndian.AppendUint64(buf, to)
+		buf = binary.LittleEndian.AppendUint64(buf, entries[from])
 	}
 	return buf
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"redfat/internal/cfg"
 	"redfat/internal/heap"
 	"redfat/internal/isa"
 	"redfat/internal/lowfat"
@@ -84,6 +85,19 @@ type RunConfig struct {
 	// NoBlockCache.
 	NoJIT bool
 
+	// NoIndirect disables the recovered-edge soundness monitor that is
+	// otherwise armed for marker-built binaries (host-side telemetry:
+	// vm.indirect.escape.count). It does NOT disable the landing-pad
+	// enforcement itself — that is binary semantics, owned by the binary
+	// via its .rf.jt marker, and must not vary with an ablation knob.
+	NoIndirect bool
+
+	// IndirectHook, when set, observes every indirect JMP/CALL transfer
+	// (pc → target) before it commits. Host-side observability only —
+	// the differential edge oracle uses it to compare actual transfers
+	// against the statically recovered target sets.
+	IndirectHook func(pc, target uint64)
+
 	// JITThreshold overrides the block-hotness threshold at which
 	// traces are compiled (0 keeps vm.DefaultJITThreshold).
 	JITThreshold uint64
@@ -108,6 +122,46 @@ type RunConfig struct {
 	// guest-deterministic. Host-side only: a deliberately un-replayed
 	// knob, absent from runpack RunSpecs.
 	Flight *obs.Flight
+}
+
+// attachIndirect arms the CET-style landing-pad machinery when every
+// module carries the .rf.jt marker: indirect jumps/calls to non-LPAD
+// bytes fault (binary semantics, independent of any knob), and — unless
+// NoIndirect — the static recovery is re-run so the VM can count dynamic
+// transfers escaping the recovered target sets (host-side telemetry).
+// Mixed marker/legacy module sets leave enforcement off, like a legacy
+// DSO disabling process-wide IBT.
+func (c *RunConfig) attachIndirect(v *vm.VM, bins ...*relf.Binary) {
+	v.IndirectHook = c.IndirectHook
+	for _, b := range bins {
+		if !cfg.MarkerBuilt(b) {
+			return
+		}
+	}
+	v.LPADCheck = true
+	if c.NoIndirect {
+		return
+	}
+	targets := make(map[uint64]map[uint64]bool)
+	for _, b := range bins {
+		if b.PIC {
+			continue // static addresses differ from the load bias
+		}
+		p, err := cfg.Disassemble(b)
+		if err != nil {
+			continue // e.g. partially patched text: monitor stays off
+		}
+		g := cfg.NewGraph(p)
+		if g.Indirect == nil {
+			continue
+		}
+		for addr, set := range g.Indirect.TargetSets() {
+			targets[addr] = set
+		}
+	}
+	if len(targets) > 0 {
+		v.IndirectTargets = targets
+	}
 }
 
 // defaultForensicsDepth is the backtrace depth used when Forensics is on
@@ -215,6 +269,7 @@ func RunBaseline(bin *relf.Binary, cfg RunConfig) (*vm.VM, error) {
 	cfg.AttachFlight(v, m)
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
+	cfg.attachIndirect(v, bin)
 	h := heap.New(m)
 	h.AttachTelemetry(cfg.Metrics)
 	cfg.AttachForensics(v, h)
@@ -243,6 +298,7 @@ func RunHardened(bin *relf.Binary, cfg RunConfig) (*vm.VM, *Runtime, error) {
 	cfg.AttachFlight(v, m)
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
+	cfg.attachIndirect(v, bin)
 	h := cfg.newHeap(v, m)
 	cfg.AttachForensics(v, h)
 	rt, err := NewRuntime(bin, h)
@@ -286,6 +342,7 @@ func RunLinked(main *relf.Binary, libs []*relf.Binary, cfg RunConfig) (*vm.VM, [
 	cfg.AttachFlight(v, m)
 	cfg.AttachTrace(v)
 	cfg.attachTelemetry(v)
+	cfg.attachIndirect(v, append([]*relf.Binary{main}, libs...)...)
 	h := cfg.newHeap(v, m)
 	cfg.AttachForensics(v, h)
 	libc := LibC(h, m)

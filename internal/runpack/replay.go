@@ -129,6 +129,7 @@ func KnobsFromOptions(opt redfat.Options) *KnobSpec {
 		MaxBatch:      opt.MaxBatch,
 		AllowList:     opt.AllowList != nil,
 		NoLibcCheck:   opt.NoLibcCheck,
+		NoIndirect:    opt.NoIndirect,
 		ConfigHex:     hex.EncodeToString(core.EncodeConfig(opt)),
 	}
 }
@@ -336,6 +337,7 @@ func replayRun(p *Pack, man *Manifest) (*ReplayReport, error) {
 		MaxCycles:       spec.MaxCycles,
 		Forensics:       spec.Forensics,
 		NoJIT:           spec.NoJIT,
+		NoIndirect:      spec.NoIndirect,
 		JITThreshold:    spec.JITThreshold,
 		NoLibcCheck:     spec.NoLibcCheck,
 		QuarantineBytes: spec.QuarantineBytes,

@@ -94,6 +94,7 @@ type RunSpec struct {
 	// (guest results are identical regardless; this is provenance and
 	// belt-and-suspenders for replay).
 	NoJIT        bool   `json:"no_jit,omitempty"`
+	NoIndirect   bool   `json:"no_indirect,omitempty"`
 	JITThreshold uint64 `json:"jit_threshold,omitempty"`
 	// Libc-interposition and allocator hardening modes. Unlike the tier
 	// knobs these are guest-visible (they change cycles and detections),
@@ -122,6 +123,7 @@ type KnobSpec struct {
 	MaxBatch      int    `json:"max_batch"`
 	AllowList     bool   `json:"allow_list,omitempty"`
 	NoLibcCheck   bool   `json:"no_libc_check,omitempty"`
+	NoIndirect    bool   `json:"no_indirect,omitempty"`
 	ConfigHex     string `json:"config_hex,omitempty"` // raw .rf.config bytes
 }
 

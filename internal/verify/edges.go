@@ -1,0 +1,550 @@
+// Indirect-flow edge audit: re-derive every claim the cfg recovery pass
+// makes about indirect control flow, independently of that pass.
+//
+// The recovered edges feed dominance- and liveness-driven optimizations,
+// so an unsound edge (a dynamic transfer the claimed successor set
+// misses) silently breaks the hardening guarantees. Following the
+// package's translation-validation philosophy, the auditor does not
+// trust the recovery implementation: it re-slices the jump operand,
+// re-proves the guard bound, re-reads the table, and re-checks the
+// closed-function conditions itself, sharing with the recovery only the
+// primitives every analysis shares (the decoder, the block partition,
+// and the def/use tables). Any claim the auditor cannot re-derive
+// EXACTLY is rejected — divergence signals an analysis bug even when
+// the particular instance happens to be sound.
+package verify
+
+import (
+	"encoding/binary"
+
+	"redfat/internal/cfg"
+	"redfat/internal/isa"
+	"redfat/internal/relf"
+)
+
+// AuditEdges re-derives every recovered indirect-flow claim in info
+// against bin and reports each failure as a KindEdge violation. The
+// graph g must be the claim-free base graph (built with NoIndirect), so
+// its edges and predecessors owe nothing to the claims under audit.
+func AuditEdges(rep *Report, bin *relf.Binary, prog *cfg.Program, g *cfg.Graph, info *cfg.IndirectInfo) {
+	if info == nil {
+		return
+	}
+	a := &edgeAuditor{rep: rep, bin: bin, prog: prog, g: g, info: info}
+	a.prepare()
+	for i := range info.Resolved {
+		r := &info.Resolved[i]
+		rep.EdgeSites++
+		rep.EdgeTargets += len(r.Targets)
+		switch r.Kind {
+		case cfg.ResolvedTable:
+			a.auditTable(r)
+		case cfg.ResolvedLPADSet:
+			a.auditLPADSet(r)
+		case cfg.ResolvedRet:
+			a.auditRet(r)
+		default:
+			rep.violate(KindEdge, r.Addr, "unknown resolution kind %d", r.Kind)
+		}
+	}
+}
+
+// VerifyEdges is the standalone entry point (rfverify -edges): run the
+// recovery on bin and audit its own claims. Returns the report and the
+// number of claims audited.
+func VerifyEdges(bin *relf.Binary) (*Report, error) {
+	rep := &Report{}
+	if !cfg.MarkerBuilt(bin) {
+		return rep, nil
+	}
+	prog, err := cfg.Disassemble(bin)
+	if err != nil {
+		return nil, err
+	}
+	recovered := cfg.NewGraphOpts(prog, cfg.GraphOptions{})
+	base := cfg.NewGraphOpts(prog, cfg.GraphOptions{NoIndirect: true})
+	AuditEdges(rep, bin, prog, base, recovered.Indirect)
+	return rep, nil
+}
+
+type edgeAuditor struct {
+	rep  *Report
+	bin  *relf.Binary
+	prog *cfg.Program
+	g    *cfg.Graph
+	info *cfg.IndirectInfo
+
+	declared map[uint64]uint32 // .rf.jt table base → declared entries
+	lpads    map[uint64]bool   // decoded LPAD instruction addresses
+	cand     map[uint64]bool   // address-taken candidates (no exclusions)
+}
+
+// prepare computes the auditor's own view of the binary: declared
+// tables, decoded landing pads, and address-taken candidates.
+func (a *edgeAuditor) prepare() {
+	a.declared = map[uint64]uint32{}
+	if sec := a.bin.Section(relf.JumpTableSection); sec != nil {
+		if tables, err := relf.DecodeJumpTables(sec.Data); err == nil {
+			for _, t := range tables {
+				if t.Entries > a.declared[t.Addr] {
+					a.declared[t.Addr] = t.Entries
+				}
+			}
+		}
+	}
+
+	a.lpads = map[uint64]bool{}
+	for i := range a.prog.Insts {
+		if a.prog.Insts[i].Inst.Op == isa.LPAD {
+			a.lpads[a.prog.Insts[i].Addr] = true
+		}
+	}
+
+	p := a.prog
+	a.cand = map[uint64]bool{}
+	textLow := p.Insts[0].Addr
+	last := p.Insts[len(p.Insts)-1]
+	textHigh := last.Addr + uint64(last.Inst.Len)
+	mark := func(v uint64) {
+		if v >= textLow && v < textHigh {
+			a.cand[v] = true
+		}
+	}
+	mark(p.Binary.Entry)
+	for _, s := range p.Binary.Symbols {
+		if s.Func {
+			mark(s.Addr)
+		}
+	}
+	for i := range p.Insts {
+		in := &p.Insts[i].Inst
+		next := p.Insts[i].Addr + uint64(in.Len)
+		if in.Op == isa.CALL && (in.Form == isa.FRel8 || in.Form == isa.FRel32) {
+			mark(next + uint64(in.Imm))
+		}
+		if in.Form == isa.FRI || in.Form == isa.FMI {
+			mark(uint64(in.Imm))
+		}
+		if in.HasMem() && in.Mem.IsAbsolute() {
+			mark(uint64(uint32(in.Mem.Disp)))
+		}
+	}
+	for _, s := range p.Binary.Sections {
+		if s.Exec || len(s.Data) < 8 {
+			continue
+		}
+		for off := 0; off+8 <= len(s.Data); off += 8 {
+			if a.tableWord(s.Addr + uint64(off)) {
+				continue
+			}
+			mark(binary.LittleEndian.Uint64(s.Data[off:]))
+		}
+	}
+}
+
+// tableWord reports whether addr lies inside a table span the recovery
+// claims proven. Such words are excluded from the address-taken scan
+// only because the claimed edges represent their flow — which is exactly
+// what the table audits establish.
+func (a *edgeAuditor) tableWord(addr uint64) bool {
+	for _, t := range a.info.Tables {
+		if addr >= t.Addr && addr < t.Addr+8*uint64(t.Entries) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockOf returns the base-graph block whose instruction range contains
+// instruction index i.
+func (a *edgeAuditor) blockOf(i int) *cfg.Block { return &a.g.Blocks[a.g.BlockOf[i]] }
+
+// auditTable re-derives a bounded jump-table claim from scratch.
+func (a *edgeAuditor) auditTable(r *cfg.Resolved) {
+	p := a.prog
+	rep := a.rep
+	j, ok := p.InstAt(r.Addr)
+	if !ok {
+		rep.violate(KindEdge, r.Addr, "claimed site is not an instruction boundary")
+		return
+	}
+	jin := &p.Insts[j].Inst
+	if jin.Op != isa.JMP || (jin.Form != isa.FR && jin.Form != isa.FM) {
+		rep.violate(KindEdge, r.Addr, "claimed table site is not an indirect jump")
+		return
+	}
+	if p.Binary.PIC {
+		rep.violate(KindEdge, r.Addr, "table claims are not derivable for PIC binaries")
+		return
+	}
+	blk := a.blockOf(j)
+	if blk.End-1 != j {
+		rep.violate(KindEdge, r.Addr, "claimed site does not terminate its block")
+		return
+	}
+
+	// Re-slice the jump operand to the table load.
+	var tm isa.Mem
+	loadIdx := j
+	switch jin.Form {
+	case isa.FM:
+		tm = jin.Mem
+	case isa.FR:
+		reg := jin.Reg
+		found := false
+		for i := j - 1; i >= blk.Start; i-- {
+			in := &p.Insts[i].Inst
+			if in.Op == isa.MOV && in.Form == isa.FRM && in.Reg == reg && in.Size == 8 {
+				tm, loadIdx, found = in.Mem, i, true
+				break
+			}
+			if cfg.RegsWritten(in).Has(reg) {
+				rep.violate(KindEdge, r.Addr, "jump register defined by a non-load in the dispatch block")
+				return
+			}
+		}
+		if !found {
+			rep.violate(KindEdge, r.Addr, "jump register has no table load in the dispatch block")
+			return
+		}
+		for i := loadIdx + 1; i < j; i++ {
+			if cfg.RegsWritten(&p.Insts[i].Inst).Has(reg) {
+				rep.violate(KindEdge, r.Addr, "jump register redefined between load and jump")
+				return
+			}
+		}
+	}
+	if tm.Seg != isa.SegNone || tm.Base != isa.RegNone || !tm.HasIndex() || tm.Scale != 8 {
+		rep.violate(KindEdge, r.Addr, "dispatch operand is not a scaled absolute table access")
+		return
+	}
+	if got := uint64(uint32(tm.Disp)); got != r.Table {
+		rep.violate(KindEdge, r.Addr, "claimed table %#x but dispatch loads from %#x", r.Table, got)
+		return
+	}
+	entries, ok := a.declared[r.Table]
+	if !ok {
+		rep.violate(KindEdge, r.Addr, "table %#x is not declared in %s", r.Table, relf.JumpTableSection)
+		return
+	}
+	if r.Bound == 0 || r.Bound > entries {
+		rep.violate(KindEdge, r.Addr, "claimed bound %d outside declared table (%d entries)", r.Bound, entries)
+		return
+	}
+	idx := tm.Index
+	for i := blk.Start; i < loadIdx; i++ {
+		if cfg.RegsWritten(&p.Insts[i].Inst).Has(idx) {
+			rep.violate(KindEdge, r.Addr, "index register redefined between guard and load")
+			return
+		}
+	}
+
+	// The dispatch block must be enterable only via its guard edge.
+	if len(blk.Preds) != 1 || &a.g.Blocks[blk.Preds[0]] == blk {
+		rep.violate(KindEdge, r.Addr, "dispatch block does not have a unique guard predecessor")
+		return
+	}
+	start := p.Insts[blk.Start].Addr
+	if a.cand[start] || p.Insts[blk.Start].Inst.Op == isa.LPAD {
+		rep.violate(KindEdge, r.Addr, "dispatch block is itself an indirect-entry candidate")
+		return
+	}
+	bound, ok := a.proveBound(blk.Preds[0], a.g.BlockOf[j], idx)
+	if !ok {
+		rep.violate(KindEdge, r.Addr, "guard bound could not be re-proven")
+		return
+	}
+	if r.Bound != bound {
+		rep.violate(KindEdge, r.Addr, "claimed bound %d but guard proves %d", r.Bound, bound)
+		return
+	}
+
+	// Re-read the table and compare targets; every entry must be a
+	// decoded landing-pad instruction.
+	if r.Table%8 != 0 {
+		rep.violate(KindEdge, r.Addr, "table %#x is not word-aligned", r.Table)
+		return
+	}
+	s := p.Binary.SectionAt(r.Table)
+	if s == nil || s.Write || s.Exec || len(s.Data) == 0 {
+		rep.violate(KindEdge, r.Addr, "table %#x is not in a read-only data section", r.Table)
+		return
+	}
+	off := r.Table - s.Addr
+	if off+8*uint64(r.Bound) > uint64(len(s.Data)) {
+		rep.violate(KindEdge, r.Addr, "table span runs past section %s", s.Name)
+		return
+	}
+	want := map[uint64]bool{}
+	for k := uint64(0); k < uint64(r.Bound); k++ {
+		v := binary.LittleEndian.Uint64(s.Data[off+8*k:])
+		if !a.lpads[v] {
+			rep.violate(KindEdge, r.Addr, "table entry %d (%#x) is not a decoded landing pad", k, v)
+			return
+		}
+		want[v] = true
+	}
+	if !sameTargetSet(r.Targets, want) {
+		rep.violate(KindEdge, r.Addr, "claimed target set differs from the table contents")
+	}
+}
+
+// proveBound re-derives the unsigned guard bound on the edge pb→b, the
+// auditor's own version of the proof.
+func (a *edgeAuditor) proveBound(pb, b int, idx isa.Reg) (uint32, bool) {
+	p := a.prog
+	pblk := &a.g.Blocks[pb]
+	t := pblk.End - 1
+	tin := &p.Insts[t].Inst
+	if !tin.Op.IsCondJump() {
+		return 0, false
+	}
+	next := p.Insts[t].Addr + uint64(tin.Len)
+	bAddr := p.Insts[a.g.Blocks[b].Start].Addr
+	taken := next+uint64(tin.Imm) == bAddr
+	fall := next == bAddr
+	if taken == fall {
+		return 0, false
+	}
+	var n int64
+	found := false
+	for i := t - 1; i >= pblk.Start; i-- {
+		in := &p.Insts[i].Inst
+		if cfg.RegsWritten(in).Has(idx) {
+			return 0, false
+		}
+		if cfg.WritesFlags(in) {
+			if in.Op == isa.CMP && in.Form == isa.FRI && in.Reg == idx && in.Size == 8 {
+				n, found = in.Imm, true
+			}
+			break
+		}
+	}
+	if !found || n < 0 || n >= int64(^uint32(0)) {
+		return 0, false
+	}
+	switch {
+	case fall && tin.Op == isa.JA:
+		return uint32(n) + 1, true
+	case fall && tin.Op == isa.JAE:
+		return uint32(n), true
+	case taken && tin.Op == isa.JBE:
+		return uint32(n) + 1, true
+	case taken && tin.Op == isa.JB:
+		return uint32(n), true
+	}
+	return 0, false
+}
+
+// auditLPADSet checks a landing-pad-set claim: the binary must be free of
+// phantom LPAD bytes (interior instruction bytes the VM would accept as
+// landing pads), and the claimed set must be exactly the decoded pads.
+func (a *edgeAuditor) auditLPADSet(r *cfg.Resolved) {
+	p := a.prog
+	rep := a.rep
+	j, ok := p.InstAt(r.Addr)
+	if !ok {
+		rep.violate(KindEdge, r.Addr, "claimed site is not an instruction boundary")
+		return
+	}
+	jin := &p.Insts[j].Inst
+	if jin.Op != isa.JMP || (jin.Form != isa.FR && jin.Form != isa.FM) {
+		rep.violate(KindEdge, r.Addr, "landing-pad-set claim on a non-indirect-jump")
+		return
+	}
+	text := p.Binary.Text()
+	if text == nil {
+		rep.violate(KindEdge, r.Addr, "no text section")
+		return
+	}
+	for i := range p.Insts {
+		off := p.Insts[i].Addr - text.Addr
+		for k := uint64(1); k < uint64(p.Insts[i].Inst.Len); k++ {
+			if isa.Op(text.Data[off+k]) == isa.LPAD {
+				rep.violate(KindEdge, r.Addr,
+					"phantom landing-pad byte inside instruction at %#x invalidates the set claim",
+					p.Insts[i].Addr)
+				return
+			}
+		}
+	}
+	want := make(map[uint64]bool, len(a.lpads))
+	for v := range a.lpads {
+		want[v] = true
+	}
+	if !sameTargetSet(r.Targets, want) {
+		rep.violate(KindEdge, r.Addr, "claimed set differs from the decoded landing pads")
+	}
+}
+
+// auditRet re-derives the closed-function conditions for a RET pairing.
+func (a *edgeAuditor) auditRet(r *cfg.Resolved) {
+	p := a.prog
+	rep := a.rep
+	j, ok := p.InstAt(r.Addr)
+	if !ok {
+		rep.violate(KindEdge, r.Addr, "claimed site is not an instruction boundary")
+		return
+	}
+	if p.Insts[j].Inst.Op != isa.RET {
+		rep.violate(KindEdge, r.Addr, "RET pairing claimed at a non-RET instruction")
+		return
+	}
+
+	// The enclosing function, from the symbol table.
+	var lo, hi uint64
+	found := false
+	for _, s := range p.Binary.Symbols {
+		if s.Func && s.Size > 0 && r.Addr >= s.Addr && r.Addr < s.Addr+s.Size {
+			lo, hi, found = s.Addr, s.Addr+s.Size, true
+			break
+		}
+	}
+	if !found {
+		rep.violate(KindEdge, r.Addr, "RET is not inside a sized function symbol")
+		return
+	}
+	inF := func(v uint64) bool { return v >= lo && v < hi }
+	if inF(p.Binary.Entry) {
+		rep.violate(KindEdge, r.Addr, "function contains the process entry point")
+		return
+	}
+
+	// Is there unproven indirect flow anywhere? Indirect calls always
+	// count; indirect jumps count unless a (validated elsewhere) claim
+	// covers them.
+	claimed := map[uint64]bool{}
+	for i := range a.info.Resolved {
+		c := &a.info.Resolved[i]
+		if c.Kind != cfg.ResolvedRet {
+			claimed[c.Addr] = true
+		}
+	}
+	unresolved := false
+	for i := range p.Insts {
+		in := &p.Insts[i].Inst
+		if in.Op == isa.CALL && (in.Form == isa.FR || in.Form == isa.FM) {
+			unresolved = true
+		}
+		if in.Op == isa.JMP && (in.Form == isa.FR || in.Form == isa.FM) && !claimed[p.Insts[i].Addr] {
+			unresolved = true
+		}
+	}
+
+	// Claimed indirect edges are entries too: the recovery ran its
+	// closure check on the post-resolution graph, where every table and
+	// landing-pad-set claim contributes static edges. An edge from a site
+	// outside F to a target inside F breaks closure exactly like a tail
+	// call in. (If those other claims are bogus the audit flags them
+	// separately; zero violations overall means they equal the true flow.)
+	for i := range a.info.Resolved {
+		c := &a.info.Resolved[i]
+		if c.Kind == cfg.ResolvedRet || inF(c.Addr) {
+			continue
+		}
+		for _, t := range c.Targets {
+			if inF(t) {
+				rep.violate(KindEdge, r.Addr,
+					"recovered indirect edge from %#x enters the function at %#x", c.Addr, t)
+				return
+			}
+		}
+	}
+
+	for b := range a.g.Blocks {
+		blk := &a.g.Blocks[b]
+		if !inF(p.Insts[blk.Start].Addr) {
+			continue
+		}
+		for _, pr := range blk.Preds {
+			if !inF(p.Insts[a.g.Blocks[pr].Start].Addr) {
+				rep.violate(KindEdge, r.Addr, "function has a static edge from outside (block %#x)",
+					p.Insts[a.g.Blocks[pr].Start].Addr)
+				return
+			}
+		}
+		for i := blk.Start; i < blk.End; i++ {
+			ia := p.Insts[i].Addr
+			if a.cand[ia] && ia != lo {
+				rep.violate(KindEdge, r.Addr, "function body address %#x is address-taken", ia)
+				return
+			}
+			if p.Insts[i].Inst.Op == isa.LPAD && unresolved {
+				rep.violate(KindEdge, r.Addr,
+					"function contains a landing pad while unproven indirect flow exists")
+				return
+			}
+		}
+	}
+	if a.cand[lo] && !a.onlyCallTaken(lo) {
+		rep.violate(KindEdge, r.Addr, "function address escapes beyond direct calls")
+		return
+	}
+
+	// Re-derive the return points of every direct call into the function.
+	want := map[uint64]bool{}
+	for i := range p.Insts {
+		in := &p.Insts[i].Inst
+		if in.Op != isa.CALL || (in.Form != isa.FRel8 && in.Form != isa.FRel32) {
+			continue
+		}
+		next := p.Insts[i].Addr + uint64(in.Len)
+		if !inF(next + uint64(in.Imm)) {
+			continue
+		}
+		if _, ok := p.InstAt(next); !ok {
+			rep.violate(KindEdge, r.Addr, "call at %#x has no decoded return point", p.Insts[i].Addr)
+			return
+		}
+		want[next] = true
+	}
+	if len(want) == 0 {
+		rep.violate(KindEdge, r.Addr, "function has no direct callers")
+		return
+	}
+	if !sameTargetSet(r.Targets, want) {
+		rep.violate(KindEdge, r.Addr, "claimed return points differ from the direct call sites")
+	}
+}
+
+// onlyCallTaken reports whether addr never appears as an immediate,
+// absolute displacement, or data word — i.e. its only address-taken
+// occurrences are symbols and direct call targets.
+func (a *edgeAuditor) onlyCallTaken(addr uint64) bool {
+	p := a.prog
+	for i := range p.Insts {
+		in := &p.Insts[i].Inst
+		if (in.Form == isa.FRI || in.Form == isa.FMI) && uint64(in.Imm) == addr {
+			return false
+		}
+		if in.HasMem() && in.Mem.IsAbsolute() && uint64(uint32(in.Mem.Disp)) == addr {
+			return false
+		}
+	}
+	for _, s := range p.Binary.Sections {
+		if s.Exec || len(s.Data) < 8 {
+			continue
+		}
+		for off := 0; off+8 <= len(s.Data); off += 8 {
+			if binary.LittleEndian.Uint64(s.Data[off:]) == addr {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sameTargetSet compares a claimed target list with a derived set.
+func sameTargetSet(targets []uint64, want map[uint64]bool) bool {
+	if len(targets) != len(want) {
+		return false
+	}
+	seen := map[uint64]bool{}
+	for _, t := range targets {
+		if !want[t] || seen[t] {
+			return false
+		}
+		seen[t] = true
+	}
+	return true
+}

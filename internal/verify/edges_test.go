@@ -1,0 +1,271 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"redfat/internal/asm"
+	"redfat/internal/cfg"
+	"redfat/internal/isa"
+	"redfat/internal/relf"
+	"redfat/internal/verify"
+)
+
+// edgeSwitch assembles the canonical marker-built guarded jump-table
+// dispatch (same shape the cfg recovery tests use). cmpImm controls the
+// guard bound; preLoad (optional) is injected between guard and load.
+func edgeSwitch(t *testing.T, cmpImm int64, preLoad func(*asm.Builder)) *relf.Binary {
+	t.Helper()
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.MovRI(isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, cmpImm)
+	b.Jcc(isa.JA, "default")
+	if preLoad != nil {
+		preLoad(b)
+	}
+	b.LoadIndexed(isa.RAX, "table", isa.RCX, 8, 8)
+	b.JmpReg(isa.RAX)
+	for _, h := range []string{"h0", "h1", "h2"} {
+		b.Label(h)
+		b.Lpad()
+		b.MovRI(isa.RBX, 7)
+		b.Jmp("out")
+	}
+	b.Label("default")
+	b.MovRI(isa.RBX, 99)
+	b.Label("out")
+	b.Emit(isa.Inst{Op: isa.HLT, Form: isa.FNone})
+	b.JumpTable("table", "h0", "h1", "h2")
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return bin
+}
+
+// edgeRet assembles a closed leaf function with two direct callers; if
+// escape is set the leaf's address is also taken as data, opening it.
+func edgeRet(t *testing.T, escape bool) *relf.Binary {
+	t.Helper()
+	b := asm.NewBuilder(asm.Options{})
+	b.Func("main")
+	b.Lpad() // marker-built; main itself is never paired (it is the entry)
+	b.Call("leaf")
+	b.MovRI(isa.RBX, 1)
+	b.Call("leaf")
+	if escape {
+		b.LoadAddr(isa.RDX, "leaf", 0)
+	}
+	b.Emit(isa.Inst{Op: isa.HLT, Form: isa.FNone})
+	b.Func("leaf")
+	b.MovRI(isa.RAX, 42)
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return bin
+}
+
+// cloneInfo deep-copies the recovery's claims so a mutant cannot leak
+// into the shared graph.
+func cloneInfo(info *cfg.IndirectInfo) *cfg.IndirectInfo {
+	out := &cfg.IndirectInfo{
+		Resolved: append([]cfg.Resolved(nil), info.Resolved...),
+		Tables:   append([]relf.JumpTable(nil), info.Tables...),
+	}
+	for i := range out.Resolved {
+		out.Resolved[i].Targets = append([]uint64(nil), info.Resolved[i].Targets...)
+	}
+	return out
+}
+
+// auditClaims runs the recovery on bin, applies mutate to a copy of its
+// claims, and audits the result against the claim-free base graph.
+func auditClaims(t *testing.T, bin *relf.Binary, mutate func(*cfg.IndirectInfo)) *verify.Report {
+	t.Helper()
+	prog, err := cfg.Disassemble(bin)
+	if err != nil {
+		t.Fatalf("disassemble: %v", err)
+	}
+	recovered := cfg.NewGraphOpts(prog, cfg.GraphOptions{})
+	if recovered.Indirect == nil {
+		t.Fatal("marker-built binary: recovery must attach claims")
+	}
+	info := cloneInfo(recovered.Indirect)
+	if mutate != nil {
+		mutate(info)
+	}
+	base := cfg.NewGraphOpts(prog, cfg.GraphOptions{NoIndirect: true})
+	rep := &verify.Report{}
+	verify.AuditEdges(rep, bin, prog, base, info)
+	return rep
+}
+
+// claimOfKind returns the first claim of kind k, failing if absent.
+func claimOfKind(t *testing.T, info *cfg.IndirectInfo, k cfg.ResolvedKind) *cfg.Resolved {
+	t.Helper()
+	for i := range info.Resolved {
+		if info.Resolved[i].Kind == k {
+			return &info.Resolved[i]
+		}
+	}
+	t.Fatalf("no %v claim recovered", k)
+	return nil
+}
+
+func wantEdgeViolation(t *testing.T, rep *verify.Report, substr string) {
+	t.Helper()
+	for _, v := range rep.Violations {
+		if v.Kind == verify.KindEdge && strings.Contains(v.Detail, substr) {
+			return
+		}
+	}
+	t.Fatalf("want a %q edge violation containing %q, got %+v",
+		verify.KindEdge, substr, rep.Violations)
+}
+
+func TestEdgeAuditHonestClaims(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		bin  *relf.Binary
+	}{
+		{"switch", edgeSwitch(t, 2, nil)},
+		{"ret-pairing", edgeRet(t, false)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := auditClaims(t, tc.bin, nil)
+			if !rep.OK() {
+				t.Fatalf("honest claims must audit clean: %+v", rep.Violations)
+			}
+			if rep.EdgeSites == 0 || rep.EdgeTargets == 0 {
+				t.Fatalf("audit saw no claims: sites=%d targets=%d",
+					rep.EdgeSites, rep.EdgeTargets)
+			}
+		})
+	}
+}
+
+// The seeded unsound-edge mutants: each models a distinct analysis bug
+// and each must be rejected with a KindEdge violation.
+
+func TestEdgeAuditRejectsBoundUnderclaim(t *testing.T) {
+	// Missing-edge mutant: the claim admits fewer table entries than the
+	// guard allows, so a legal index would escape the recovered Succs.
+	rep := auditClaims(t, edgeSwitch(t, 2, nil), func(info *cfg.IndirectInfo) {
+		r := claimOfKind(t, info, cfg.ResolvedTable)
+		r.Bound--
+		r.Targets = r.Targets[:len(r.Targets)-1]
+	})
+	wantEdgeViolation(t, rep, "guard proves")
+}
+
+func TestEdgeAuditRejectsBoundOverclaim(t *testing.T) {
+	// The claim reads past the declared table end.
+	rep := auditClaims(t, edgeSwitch(t, 2, nil), func(info *cfg.IndirectInfo) {
+		claimOfKind(t, info, cfg.ResolvedTable).Bound++
+	})
+	wantEdgeViolation(t, rep, "outside declared table")
+}
+
+func TestEdgeAuditRejectsForeignTarget(t *testing.T) {
+	// A target swapped for an address the table does not contain.
+	bin := edgeSwitch(t, 2, nil)
+	rep := auditClaims(t, bin, func(info *cfg.IndirectInfo) {
+		r := claimOfKind(t, info, cfg.ResolvedTable)
+		r.Targets[0] = r.Addr // the dispatch jump itself: decidedly not a pad
+	})
+	wantEdgeViolation(t, rep, "differs")
+}
+
+func TestEdgeAuditRejectsWrongTableBase(t *testing.T) {
+	// The claim names a table the dispatch does not load from.
+	rep := auditClaims(t, edgeSwitch(t, 2, nil), func(info *cfg.IndirectInfo) {
+		claimOfKind(t, info, cfg.ResolvedTable).Table += 8
+	})
+	wantEdgeViolation(t, rep, "dispatch loads from")
+}
+
+func TestEdgeAuditRejectsUnguardedSite(t *testing.T) {
+	// The index is clobbered between guard and load, so the honest
+	// recovery falls back to the landing-pad set; a fabricated table
+	// claim at that site asserts a bound no guard protects.
+	bin := edgeSwitch(t, 2, func(b *asm.Builder) {
+		b.Emit(isa.Inst{Op: isa.INC, Form: isa.FR, Reg: isa.RCX, Size: 8})
+	})
+	rep := auditClaims(t, bin, func(info *cfg.IndirectInfo) {
+		r := claimOfKind(t, info, cfg.ResolvedLPADSet)
+		// Steal the honest binary's table geometry: same base, all pads.
+		honest := auditHonestTable(t)
+		r.Kind = cfg.ResolvedTable
+		r.Table = honest.Table
+		r.Bound = honest.Bound
+	})
+	wantEdgeViolation(t, rep, "index register redefined")
+}
+
+// auditHonestTable recovers the table claim from the clean switch so
+// mutant tests can reuse its geometry.
+func auditHonestTable(t *testing.T) *cfg.Resolved {
+	t.Helper()
+	prog, err := cfg.Disassemble(edgeSwitch(t, 2, nil))
+	if err != nil {
+		t.Fatalf("disassemble: %v", err)
+	}
+	g := cfg.NewGraphOpts(prog, cfg.GraphOptions{})
+	return claimOfKind(t, g.Indirect, cfg.ResolvedTable)
+}
+
+func TestEdgeAuditRejectsIncompleteLPADSet(t *testing.T) {
+	// A landing-pad-set claim that omits a decoded pad misses a legal
+	// dynamic target.
+	bin := edgeSwitch(t, 5, nil) // overclaimed bound: recovery → LPAD set
+	rep := auditClaims(t, bin, func(info *cfg.IndirectInfo) {
+		r := claimOfKind(t, info, cfg.ResolvedLPADSet)
+		r.Targets = r.Targets[:len(r.Targets)-1]
+	})
+	wantEdgeViolation(t, rep, "decoded landing pads")
+}
+
+func TestEdgeAuditRejectsMissingReturnPoint(t *testing.T) {
+	// A RET pairing that forgets one caller's return point.
+	rep := auditClaims(t, edgeRet(t, false), func(info *cfg.IndirectInfo) {
+		r := claimOfKind(t, info, cfg.ResolvedRet)
+		r.Targets = r.Targets[:1]
+	})
+	wantEdgeViolation(t, rep, "return points differ")
+}
+
+func TestEdgeAuditRejectsOpenFunctionPairing(t *testing.T) {
+	// The leaf's address escapes as data, so its RET can run under a
+	// stack the direct callers never built; a fabricated pairing claim
+	// must fail the closed-function re-derivation.
+	bin := edgeRet(t, true)
+	prog, err := cfg.Disassemble(bin)
+	if err != nil {
+		t.Fatalf("disassemble: %v", err)
+	}
+	var retIdx = -1
+	var retPoint uint64
+	for i := range prog.Insts {
+		in := &prog.Insts[i].Inst
+		if in.Op == isa.RET {
+			retIdx = i
+		}
+		if in.Op == isa.CALL && retPoint == 0 &&
+			(in.Form == isa.FRel8 || in.Form == isa.FRel32) {
+			retPoint = prog.Insts[i].Addr + uint64(in.Len)
+		}
+	}
+	if retIdx < 0 || retPoint == 0 {
+		t.Fatal("test binary shape changed: no RET or CALL found")
+	}
+	rep := auditClaims(t, bin, func(info *cfg.IndirectInfo) {
+		info.Resolved = append(info.Resolved, cfg.Resolved{
+			Inst: retIdx, Addr: prog.Insts[retIdx].Addr,
+			Kind: cfg.ResolvedRet, Targets: []uint64{retPoint},
+		})
+	})
+	wantEdgeViolation(t, rep, "escapes beyond direct calls")
+}

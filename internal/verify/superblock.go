@@ -199,7 +199,7 @@ func sbModel(v *vm.VM, info *vm.TraceInfo, i int, rep *Report) (sbStep, bool) {
 	}
 
 	switch in.Op {
-	case isa.NOP, isa.CQO, isa.LEA:
+	case isa.NOP, isa.CQO, isa.LEA, isa.LPAD:
 		m.cost = base
 
 	case isa.XCHG:

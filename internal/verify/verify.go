@@ -53,6 +53,7 @@ const (
 	KindLiveness Kind = "liveness" // trampoline saves less state than is live
 	KindCoverage Kind = "coverage" // selected operand not protected by any check
 	KindTrace    Kind = "trace"    // superblock plan contradicts single-step semantics
+	KindEdge     Kind = "edge"     // recovered indirect edge fails re-derivation
 )
 
 // Violation is one validation failure, anchored at a guest address.
@@ -76,6 +77,10 @@ type Report struct {
 	TraceChecks int `json:"trace_checks,omitempty"` // fused check sites
 	TraceElided int `json:"trace_elided,omitempty"` // fused sites forwarding a leader
 
+	// Indirect-flow edge audit (AuditEdges).
+	EdgeSites   int `json:"edge_sites,omitempty"`   // recovered sites audited
+	EdgeTargets int `json:"edge_targets,omitempty"` // recovered edges audited
+
 	Violations []Violation `json:"violations,omitempty"`
 }
 
@@ -93,6 +98,10 @@ func (r *Report) Render(w io.Writer) {
 	if r.Traces > 0 {
 		fmt.Fprintf(w, "verify: %d superblocks — %d steps, %d fused checks (%d forwarded)\n",
 			r.Traces, r.TraceSteps, r.TraceChecks, r.TraceElided)
+	}
+	if r.EdgeSites > 0 {
+		fmt.Fprintf(w, "verify: %d indirect sites audited — %d recovered edges\n",
+			r.EdgeSites, r.EdgeTargets)
 	}
 	for _, v := range r.Violations {
 		fmt.Fprintf(w, "  [%s] %#x: %s\n", v.Kind, v.Addr, v.Detail)
@@ -166,7 +175,12 @@ func Verify(orig, hard *relf.Binary) (*Report, error) {
 		}
 	}
 
-	df := cfg.NewDataflow(prog)
+	// The validator's graph must be built under the same recovery knob the
+	// rewriter recorded: recovered edges change the liveness and
+	// availability solutions in both directions (new edges can both prove
+	// and break facts), and the audits below compare against what the
+	// rewriter actually used.
+	df := cfg.NewDataflowOpts(prog, cfg.GraphOptions{NoIndirect: opt.NoIndirect})
 
 	// Walk every trampoline (sorted for deterministic reports).
 	trampAddrs := make([]uint64, 0, len(origins))
@@ -274,6 +288,15 @@ func Verify(orig, hard *relf.Binary) (*Report, error) {
 	// every selected operand to be protected or explicitly exempted.
 	if haveConfig {
 		auditCoverage(rep, df, prog, recs, unprot, opt)
+	}
+
+	// Edge audit: every recovered indirect-flow claim the rewriter's
+	// dataflow consumed must be independently re-derivable from the
+	// original binary alone. The base graph is built with recovery off so
+	// its edges owe nothing to the claims under audit.
+	if haveConfig && !opt.NoIndirect && df.Graph.Indirect != nil {
+		base := cfg.NewGraphOpts(prog, cfg.GraphOptions{NoIndirect: true})
+		AuditEdges(rep, orig, prog, base, df.Graph.Indirect)
 	}
 	return rep, nil
 }

@@ -136,6 +136,35 @@ func (v *VM) store(addr uint64, w uint16, val uint64) error {
 	return v.Mem.Store(addr, w, val)
 }
 
+// checkIndirect runs at every indirect JMP/CALL, before the transfer from
+// pc to target commits. When the binary opted into landing-pad
+// enforcement (LPADCheck) the target's first byte must be an LPAD opcode
+// — the byte at target is exactly the instruction that would decode there,
+// since LPAD takes no prefixes. Independently, when the runtime layer
+// attached recovered target sets (IndirectTargets), a transfer outside
+// the site's set bumps the escape counter; the monitor never alters guest
+// behaviour.
+func (v *VM) checkIndirect(pc, target uint64) error {
+	if v.IndirectHook != nil {
+		v.IndirectHook(pc, target)
+	}
+	if v.IndirectTargets != nil {
+		if set, ok := v.IndirectTargets[pc]; ok && !set[target] {
+			if v.tel != nil {
+				v.tel.indirectEscapes.Inc()
+			}
+		}
+	}
+	if !v.LPADCheck {
+		return nil
+	}
+	var b [1]byte
+	if v.Mem.Fetch(target, b[:]) != 1 || isa.Op(b[0]) != isa.LPAD {
+		return fmt.Errorf("vm: indirect branch at %#x to %#x, which is not a landing pad", pc, target)
+	}
+	return nil
+}
+
 func (v *VM) branchTo(target uint64) {
 	v.RIP = target
 	v.Cycles += CostBranch
@@ -224,7 +253,9 @@ func (v *VM) exec(pc uint64, in *isa.Inst) error {
 	v.Cycles += CostInst + v.PerInstOverhead
 
 	switch in.Op {
-	case isa.NOP:
+	case isa.NOP, isa.LPAD:
+		// LPAD retires like a NOP; its meaning is consumed at indirect
+		// branches (checkIndirect), not when it executes.
 		v.RIP = next
 
 	case isa.TRAP:
@@ -431,10 +462,17 @@ func (v *VM) exec(pc uint64, in *isa.Inst) error {
 		case isa.FRel8, isa.FRel32:
 			v.branchTo(next + uint64(in.Imm))
 		case isa.FR:
-			v.branchTo(v.Regs[in.Reg])
+			target := v.Regs[in.Reg]
+			if err := v.checkIndirect(pc, target); err != nil {
+				return err
+			}
+			v.branchTo(target)
 		case isa.FM:
 			target, err := v.load(v.EA(in.Mem, next), 8)
 			if err != nil {
+				return err
+			}
+			if err := v.checkIndirect(pc, target); err != nil {
 				return err
 			}
 			v.branchTo(target)
@@ -451,6 +489,11 @@ func (v *VM) exec(pc uint64, in *isa.Inst) error {
 		case isa.FM:
 			target, err = v.load(v.EA(in.Mem, next), 8)
 			if err != nil {
+				return err
+			}
+		}
+		if in.Form != isa.FRel32 {
+			if err := v.checkIndirect(pc, target); err != nil {
 				return err
 			}
 		}

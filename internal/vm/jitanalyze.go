@@ -233,7 +233,7 @@ func (tb *traceBuilder) step(b *block, pc uint64, in *isa.Inst) (ok, done bool) 
 	next := pc + uint64(in.Len)
 
 	switch in.Op {
-	case isa.NOP, isa.CQO:
+	case isa.NOP, isa.CQO, isa.LPAD:
 		tb.addStep(pc, in, next, base)
 
 	case isa.XCHG:
@@ -352,10 +352,21 @@ func (tb *traceBuilder) step(b *block, pc uint64, in *isa.Inst) (ok, done bool) 
 		case isa.FRel8, isa.FRel32:
 			tb.addStep(pc, in, next+uint64(in.Imm), base+CostBranch)
 		case isa.FR:
+			if v.LPADCheck || v.IndirectTargets != nil || v.IndirectHook != nil {
+				// Landing-pad enforcement, the escape monitor and the
+				// indirect-transfer observation hook all live in the
+				// interpreter's checkIndirect; end the trace before
+				// the indirect branch so it retires there. Host-side
+				// only: the trace boundary never changes guest cycles.
+				return false, false
+			}
 			s := tb.addStep(pc, in, 0, base+CostBranch)
 			tb.aux[s].contID = tb.addExit(s, ExitDyn, 0, 0, true, base+CostBranch)
 			return true, true
 		case isa.FM:
+			if v.LPADCheck || v.IndirectTargets != nil || v.IndirectHook != nil {
+				return false, false
+			}
 			s := tb.addStep(pc, in, 0, base+CostMem+CostBranch)
 			tb.addExit(s, ExitFault, 1, pc, false, base+CostMem)
 			tb.aux[s].contID = tb.addExit(s, ExitDyn, 0, 0, true, base+CostMem+CostBranch)
@@ -370,11 +381,17 @@ func (tb *traceBuilder) step(b *block, pc uint64, in *isa.Inst) (ok, done bool) 
 			s := tb.addStep(pc, in, next+uint64(in.Imm), base+CostCall+CostBranch)
 			tb.addExit(s, ExitFault, 1, pc, false, base+CostCall) // push fault
 		case isa.FR:
+			if v.LPADCheck || v.IndirectTargets != nil || v.IndirectHook != nil {
+				return false, false
+			}
 			s := tb.addStep(pc, in, 0, base+CostCall+CostBranch)
 			tb.addExit(s, ExitFault, 1, pc, false, base+CostCall)
 			tb.aux[s].contID = tb.addExit(s, ExitDyn, 0, 0, true, base+CostCall+CostBranch)
 			return true, true
 		case isa.FM:
+			if v.LPADCheck || v.IndirectTargets != nil || v.IndirectHook != nil {
+				return false, false
+			}
 			s := tb.addStep(pc, in, 0, base+CostCall+CostMem+CostBranch)
 			tb.addExit(s, ExitFault, 1, pc, false, base+CostCall+CostMem) // load fault
 			tb.addExit(s, ExitFault, 2, pc, false, base+CostCall+CostMem) // push fault

@@ -322,6 +322,31 @@ type VM struct {
 	// at that block is compiled (0 selects DefaultJITThreshold).
 	JITThreshold uint64
 
+	// LPADCheck enforces CET-style landing pads: an indirect JMP or CALL
+	// whose target byte is not an LPAD instruction faults. Set by the
+	// runtime layer when the binary opted in (it carries a .rf.jt
+	// section); this is guest-visible binary semantics, not an ablation
+	// knob, so it is never toggled by -noindirect.
+	LPADCheck bool
+
+	// IndirectTargets, when set by the runtime layer, maps each
+	// statically resolved indirect-branch site (PC) to its recovered
+	// target set from internal/cfg's indirect-flow recovery. The
+	// interpreter uses it as a dynamic soundness monitor: a transfer
+	// outside the recovered set bumps vm.indirect.escape.count. The
+	// monitor is host-side telemetry only — guest cycles, detections and
+	// output are bit-identical with or without it attached.
+	IndirectTargets map[uint64]map[uint64]bool
+
+	// IndirectHook, when set, observes every indirect JMP/CALL transfer
+	// (pc → target) before it commits. Host-side observability only — it
+	// feeds the differential edge oracle that validates the static
+	// recovery against actual execution; guest behaviour is identical
+	// with or without it. Indirect sites always retire through the
+	// interpreter when enforcement or the monitor is armed, but attach
+	// NoJIT when using the hook on non-marker binaries.
+	IndirectHook func(pc, target uint64)
+
 	// InlineCheck, when set by the runtime layer, resolves an RTCALL at
 	// pc (import importIdx, static argument arg) into a fusable check
 	// plan, or nil when the call is not an instrumented check. The JIT
@@ -384,6 +409,8 @@ type vmMetrics struct {
 
 	libcSpanChecks *telemetry.Counter // hardened-libc span checks executed
 	libcSpanFails  *telemetry.Counter // hardened-libc span checks that flagged
+
+	indirectEscapes *telemetry.Counter // indirect transfers outside the recovered target set
 }
 
 // AttachTelemetry binds the VM's dispatch-level metrics to reg and its
@@ -421,6 +448,8 @@ func (v *VM) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 
 		libcSpanChecks: reg.Counter("vm.libc.span.check.count"),
 		libcSpanFails:  reg.Counter("vm.libc.span.fail.count"),
+
+		indirectEscapes: reg.Counter("vm.indirect.escape.count"),
 	}
 	for op := 0; op < isa.NumOps; op++ {
 		t.retired[op] = reg.Counter("vm.retired." + isa.Op(op).String())

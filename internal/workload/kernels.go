@@ -45,6 +45,8 @@ const (
 	KBugUnder                 // planted array[-1] OOB reads
 	KBugOver                  // planted array[n] OOB read
 	KCustom                   // emitted by the Kern's own Emit function
+	KDispatch                 // computed-goto interpreter (marker-built jump table)
+	KFSM                      // jump-table state machine (marker-built)
 )
 
 // Kern instantiates a kernel within a benchmark. Its position in the
@@ -147,6 +149,10 @@ func EmitKernel(b *asm.Builder, name string, k Kern) {
 		e.bugOver()
 	case KCustom:
 		k.Emit(e)
+	case KDispatch:
+		e.dispatch()
+	case KFSM:
+		e.fsm()
 	default:
 		panic("workload: unknown kernel kind")
 	}

@@ -1,0 +1,334 @@
+package workload
+
+import (
+	"fmt"
+
+	"redfat/internal/asm"
+	"redfat/internal/isa"
+	"redfat/internal/relf"
+)
+
+// This file holds the switch-dense benchmarks (computed-goto interpreter,
+// jump-table state machine) that exercise the indirect-flow recovery, and
+// the adversarial variants whose jump-table evidence is deliberately
+// broken so the recovery must refuse to resolve them.
+//
+// The kernel shape is chosen so the recovery measurably unlocks check
+// elimination: the loop head performs a dominating access to cell
+// buf[i&255], and every dispatch handler touches the same cell through
+// the same base/index registers. With recovered edges the handlers'
+// checks are dominated by the loop head's and -elimdom removes them;
+// with -noindirect the handlers are only reachable through ⊤ (they are
+// address-taken entry points), no dominator crosses the dispatch, and
+// the checks stay.
+
+// dispatch: a computed-goto bytecode interpreter. opcode = i & 7;
+// opcodes 0..3 dispatch through a declared jump table behind a bounds
+// guard, opcodes 4..7 take the guarded default path.
+func (e *emitter) dispatch() {
+	b := e.b
+	e.prologue()
+	const cells = 256
+	e.malloc(isa.RBX, cells*8)
+	b.MovRR(isa.RDI, isa.RBX)
+	b.MovRI(isa.RSI, 0)
+	b.MovRI(isa.RDX, cells*8)
+	b.CallImport("memset")
+	b.MovRI(isa.RAX, 0)
+	b.MovRI(isa.RCX, 0)
+	tbl := e.pfx + "_ops"
+	loop := e.lbl("loop")
+	def := e.lbl("default")
+	next := e.lbl("next")
+	ops := []string{e.lbl("op0"), e.lbl("op1"), e.lbl("op2"), e.lbl("op3")}
+	b.Label(loop)
+	// The dominating access: cell = &buf[i & 255].
+	b.MovRR(isa.R9, isa.RCX)
+	b.AluRI(isa.AND, isa.R9, cells-1)
+	b.AluMR(isa.ADD, asm.MemBID(isa.RBX, isa.R9, 8, 0), isa.RCX, 8)
+	// opcode = i & 7, bounds-checked against the 4-entry table.
+	b.MovRR(isa.RDX, isa.RCX)
+	b.AluRI(isa.AND, isa.RDX, 7)
+	b.AluRI(isa.CMP, isa.RDX, 3)
+	b.Jcc(isa.JA, def)
+	b.LoadIndexed(isa.R10, tbl, isa.RDX, 8, 8)
+	b.JmpReg(isa.R10)
+	// op0: cell += i
+	b.Label(ops[0])
+	b.Lpad()
+	b.AluMR(isa.ADD, asm.MemBID(isa.RBX, isa.R9, 8, 0), isa.RCX, 8)
+	b.Jmp(next)
+	// op1: acc += cell
+	b.Label(ops[1])
+	b.Lpad()
+	b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.RBX, isa.R9, 8, 0), 8)
+	b.Jmp(next)
+	// op2: cell = opcode
+	b.Label(ops[2])
+	b.Lpad()
+	b.StoreM(asm.MemBID(isa.RBX, isa.R9, 8, 0), isa.RDX, 8)
+	b.Jmp(next)
+	// op3: cell -= i
+	b.Label(ops[3])
+	b.Lpad()
+	b.AluMR(isa.SUB, asm.MemBID(isa.RBX, isa.R9, 8, 0), isa.RCX, 8)
+	b.Jmp(next)
+	b.Label(def)
+	b.AluRI(isa.ADD, isa.RAX, 3)
+	b.Label(next)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRR(isa.CMP, isa.RCX, isa.R12)
+	b.Jcc(isa.JL, loop)
+
+	sum := e.lbl("sum")
+	b.MovRI(isa.RCX, 0)
+	b.Label(sum)
+	b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.RBX, isa.RCX, 8, 0), 8)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, cells)
+	b.Jcc(isa.JL, sum)
+	e.callFree(isa.RBX)
+	e.epilogue()
+	b.JumpTable(tbl, ops[0], ops[1], ops[2], ops[3])
+}
+
+// fsm: a three-state machine whose transition function is a jump table
+// indexed by the state register. The state is always in range, so the
+// guarded reset path is dead at runtime but keeps the bound provable.
+func (e *emitter) fsm() {
+	b := e.b
+	e.prologue()
+	const cells = 256
+	e.malloc(isa.RBX, cells*8)
+	b.MovRR(isa.RDI, isa.RBX)
+	b.MovRI(isa.RSI, 0)
+	b.MovRI(isa.RDX, cells*8)
+	b.CallImport("memset")
+	b.MovRI(isa.RSI, 0) // state (memset clobbered RSI)
+	b.MovRI(isa.RAX, 0)
+	b.MovRI(isa.RCX, 0)
+	tbl := e.pfx + "_states"
+	loop := e.lbl("loop")
+	reset := e.lbl("reset")
+	next := e.lbl("next")
+	sts := []string{e.lbl("s0"), e.lbl("s1"), e.lbl("s2")}
+	b.Label(loop)
+	b.MovRR(isa.R9, isa.RCX)
+	b.AluRI(isa.AND, isa.R9, cells-1)
+	b.AluMR(isa.ADD, asm.MemBID(isa.RBX, isa.R9, 8, 0), isa.RSI, 8)
+	b.AluRI(isa.CMP, isa.RSI, 2)
+	b.Jcc(isa.JA, reset)
+	b.LoadIndexed(isa.R10, tbl, isa.RSI, 8, 8)
+	b.JmpReg(isa.R10)
+	// s0 → s1: cell += i
+	b.Label(sts[0])
+	b.Lpad()
+	b.AluMR(isa.ADD, asm.MemBID(isa.RBX, isa.R9, 8, 0), isa.RCX, 8)
+	b.MovRI(isa.RSI, 1)
+	b.Jmp(next)
+	// s1 → s2: acc += cell
+	b.Label(sts[1])
+	b.Lpad()
+	b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.RBX, isa.R9, 8, 0), 8)
+	b.MovRI(isa.RSI, 2)
+	b.Jmp(next)
+	// s2 → s0: cell = i
+	b.Label(sts[2])
+	b.Lpad()
+	b.StoreM(asm.MemBID(isa.RBX, isa.R9, 8, 0), isa.RCX, 8)
+	b.MovRI(isa.RSI, 0)
+	b.Jmp(next)
+	b.Label(reset)
+	b.MovRI(isa.RSI, 0)
+	b.Label(next)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRR(isa.CMP, isa.RCX, isa.R12)
+	b.Jcc(isa.JL, loop)
+
+	sum := e.lbl("sum")
+	b.MovRI(isa.RCX, 0)
+	b.Label(sum)
+	b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.RBX, isa.RCX, 8, 0), 8)
+	b.AluRI(isa.ADD, isa.RCX, 1)
+	b.AluRI(isa.CMP, isa.RCX, cells)
+	b.Jcc(isa.JL, sum)
+	e.callFree(isa.RBX)
+	e.epilogue()
+	b.JumpTable(tbl, sts[0], sts[1], sts[2])
+}
+
+// SwitchDense returns the switch-dense marker-built benchmarks. They are
+// kept out of All() — the 29-benchmark SPEC set is pinned by the paper's
+// Table 1 — and appended by the benchmark driver where indirect-flow
+// results are wanted.
+func SwitchDense() []*Benchmark {
+	k := func(kind KernKind, shift uint) Kern { return Kern{Kind: kind, ScaleShift: shift} }
+	return []*Benchmark{
+		bench("interp", C, 60000,
+			[]Kern{k(KDispatch, 0), k(KString, 2)},
+			[]bool{false, false}),
+		bench("fsm", C, 60000,
+			[]Kern{k(KFSM, 0), k(KSweep, 2)},
+			[]bool{false, false}),
+	}
+}
+
+// AdversarialCase is a marker-built benchmark whose jump-table evidence
+// is deliberately broken. The recovery must leave its dispatch Unknown;
+// the dispatch itself is dead at runtime (the guard always routes to the
+// default path), so the binary still executes deterministically under
+// landing-pad enforcement.
+type AdversarialCase struct {
+	Name string
+	Why  string // what the recovery must refuse, and why
+
+	Bench *Benchmark
+	// mutate optionally corrupts the built binary's .rf.jt declarations.
+	mutate func(*relf.Binary) error
+}
+
+// Build assembles the case and applies its metadata corruption.
+func (a *AdversarialCase) Build() (*relf.Binary, error) {
+	bin, err := a.Bench.Build()
+	if err != nil {
+		return nil, err
+	}
+	if a.mutate != nil {
+		if err := a.mutate(bin); err != nil {
+			return nil, fmt.Errorf("workload %s: %w", a.Name, err)
+		}
+	}
+	return bin, nil
+}
+
+// advKernel emits a dispatch-shaped kernel for the adversarial cases.
+// The opcode register is pinned to 7 so the bound guard (CMP bound-1)
+// always routes to the default path: the indirect jump never executes.
+// pads controls whether the table entries are landing pads; poison
+// plants an immediate containing the LPAD byte, which disables the
+// recovery's landing-pad-set fallback (a phantom pad would make the
+// decoded-pad set unsound, and the VM's byte-level enforcement would
+// accept it).
+func advKernel(bound int64, pads, poison, padRodata bool) func(*emitter) {
+	return func(e *emitter) {
+		b := e.b
+		e.prologue()
+		const cells = 256
+		e.malloc(isa.RBX, cells*8)
+		b.MovRR(isa.RDI, isa.RBX)
+		b.MovRI(isa.RSI, 0)
+		b.MovRI(isa.RDX, cells*8)
+		b.CallImport("memset")
+		if poison {
+			b.MovRI(isa.R11, int64(isa.LPAD))
+		}
+		b.MovRI(isa.RAX, 0)
+		b.MovRI(isa.RCX, 0)
+		tbl := e.pfx + "_tbl"
+		loop := e.lbl("loop")
+		def := e.lbl("default")
+		next := e.lbl("next")
+		hs := []string{e.lbl("h0"), e.lbl("h1"), e.lbl("h2")}
+		b.Label(loop)
+		b.MovRR(isa.R9, isa.RCX)
+		b.AluRI(isa.AND, isa.R9, cells-1)
+		b.AluMR(isa.ADD, asm.MemBID(isa.RBX, isa.R9, 8, 0), isa.RCX, 8)
+		b.MovRI(isa.RDX, 7) // always above the guard: dispatch is dead
+		b.AluRI(isa.CMP, isa.RDX, bound-1)
+		b.Jcc(isa.JA, def)
+		b.LoadIndexed(isa.R10, tbl, isa.RDX, 8, 8)
+		b.JmpReg(isa.R10)
+		for _, h := range hs {
+			b.Label(h)
+			if pads {
+				b.Lpad()
+			}
+			b.AluMR(isa.ADD, asm.MemBID(isa.RBX, isa.R9, 8, 0), isa.RCX, 8)
+			b.Jmp(next)
+		}
+		b.Label(def)
+		b.AluRI(isa.ADD, isa.RAX, 3)
+		b.Label(next)
+		b.AluRI(isa.ADD, isa.RCX, 1)
+		b.AluRR(isa.CMP, isa.RCX, isa.R12)
+		b.Jcc(isa.JL, loop)
+
+		sum := e.lbl("sum")
+		b.MovRI(isa.RCX, 0)
+		b.Label(sum)
+		b.AluRM(isa.ADD, isa.RAX, asm.MemBID(isa.RBX, isa.RCX, 8, 0), 8)
+		b.AluRI(isa.ADD, isa.RCX, 1)
+		b.AluRI(isa.CMP, isa.RCX, cells)
+		b.Jcc(isa.JL, sum)
+		e.callFree(isa.RBX)
+		e.epilogue()
+		b.JumpTable(tbl, hs[0], hs[1], hs[2])
+		if padRodata {
+			// Deterministic non-pad words after the table, for the
+			// overclaim case to read.
+			b.ROData(tbl+"_pad", make([]byte, 24))
+		}
+	}
+}
+
+// advBench wraps one adversarial kernel into a benchmark.
+func advBench(name string, bound int64, pads, poison, padRodata bool) *Benchmark {
+	return bench(name, C, 20000,
+		[]Kern{{Kind: KCustom, Emit: advKernel(bound, pads, poison, padRodata)}},
+		[]bool{false})
+}
+
+// rewriteJT mutates the single declared jump table of a built binary.
+func rewriteJT(bin *relf.Binary, f func(*relf.JumpTable)) error {
+	s := bin.Section(relf.JumpTableSection)
+	if s == nil {
+		return fmt.Errorf("no %s section", relf.JumpTableSection)
+	}
+	tables, err := relf.DecodeJumpTables(s.Data)
+	if err != nil {
+		return err
+	}
+	if len(tables) != 1 {
+		return fmt.Errorf("want 1 declared table, have %d", len(tables))
+	}
+	f(&tables[0])
+	s.Data = relf.EncodeJumpTables(tables)
+	return nil
+}
+
+// Adversarial returns the negative corpus: marker-built binaries whose
+// jump-table evidence must NOT be trusted. Each models a distinct way
+// real binaries lie about indirect flow; the recovery is required to
+// leave every dispatch Unknown (rather than resolve it unsoundly), and
+// the rfverify edge audit must agree.
+func Adversarial() []*AdversarialCase {
+	return []*AdversarialCase{
+		{
+			Name: "jt-overclaim",
+			Why: "the declaration claims 6 entries but only 3 are pads; " +
+				"the overlapping words are not landing pads, so trusting " +
+				"the declared span would invent edges into data",
+			Bench: advBench("jtoverclaim", 6, true, true, true),
+			mutate: func(bin *relf.Binary) error {
+				return rewriteJT(bin, func(t *relf.JumpTable) { t.Entries = 6 })
+			},
+		},
+		{
+			Name: "jt-unaligned",
+			Why: "the declared table address is word-misaligned relative " +
+				"to the load the dispatch performs, so the declaration " +
+				"does not cover the span actually read",
+			Bench: advBench("jtunaligned", 3, true, true, false),
+			mutate: func(bin *relf.Binary) error {
+				return rewriteJT(bin, func(t *relf.JumpTable) { t.Addr += 4 })
+			},
+		},
+		{
+			Name: "data-in-text-decoy",
+			Why: "the declared table points at plain code labels that are " +
+				"not landing pads — a decoy indistinguishable from data " +
+				"masquerading as a dispatch table",
+			Bench: advBench("jtdecoy", 3, false, false, false),
+		},
+	}
+}

@@ -247,9 +247,9 @@ func All() []*Benchmark {
 	}
 }
 
-// ByName returns the named benchmark, or nil.
+// ByName returns the named benchmark — SPEC set or switch-dense — or nil.
 func ByName(name string) *Benchmark {
-	for _, bm := range All() {
+	for _, bm := range append(All(), SwitchDense()...) {
 		if bm.Name == name {
 			return bm
 		}

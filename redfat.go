@@ -247,6 +247,16 @@ func VerifyHardened(orig, hard *Binary) (*VerifyReport, error) {
 	return verify.Verify(orig, hard)
 }
 
+// VerifyEdges audits the indirect-flow recovery against its own claims:
+// the recovery pass runs over bin, and every recovered edge (jump-table
+// slice, landing-pad set, RET pairing) is independently re-derived from
+// the binary alone. Inert (empty report) for binaries that are not
+// marker-built. Use it to audit a binary before hardening; VerifyHardened
+// runs the same audit against the claims the rewriter actually consumed.
+func VerifyEdges(bin *Binary) (*VerifyReport, error) {
+	return verify.VerifyEdges(bin)
+}
+
 // VerifyStructural validates a hardened binary without its original:
 // metadata decodes, trampolines reference valid check records exactly
 // once (leaders first), and every trampoline returns to the text
@@ -337,6 +347,10 @@ type RunOptions struct {
 	// NoJIT disables the superblock tier (compiled traces over hot
 	// chained blocks). Same identity guarantee.
 	NoJIT bool
+	// NoIndirect disables the recovered-edge soundness monitor armed for
+	// marker-built (.rf.jt) binaries. Landing-pad enforcement itself is
+	// binary semantics and is unaffected. Same identity guarantee.
+	NoIndirect bool
 	// JITThreshold overrides the block-hotness threshold before trace
 	// compilation (0 keeps the default).
 	JITThreshold uint64
@@ -411,6 +425,7 @@ func Run(bin *Binary, opt RunOptions) (*Result, error) {
 		NoChain:         opt.NoChain,
 		NoTLB:           opt.NoTLB,
 		NoJIT:           opt.NoJIT,
+		NoIndirect:      opt.NoIndirect,
 		JITThreshold:    opt.JITThreshold,
 		Forensics:       opt.Forensics,
 		ForensicsDepth:  opt.ForensicsDepth,
@@ -492,6 +507,7 @@ func RunLinked(main *Binary, libs []*Binary, opt RunOptions) (*Result, error) {
 		NoChain:         opt.NoChain,
 		NoTLB:           opt.NoTLB,
 		NoJIT:           opt.NoJIT,
+		NoIndirect:      opt.NoIndirect,
 		JITThreshold:    opt.JITThreshold,
 		Forensics:       opt.Forensics,
 		ForensicsDepth:  opt.ForensicsDepth,
